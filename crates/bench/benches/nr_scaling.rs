@@ -1,0 +1,100 @@
+//! Criterion benchmarks of node replication itself: write batching
+//! (flat combining) and read-path cost — the ablation for the design
+//! choice DESIGN.md calls out (NR as the single concurrency mechanism).
+//!
+//! Run: `cargo bench -p veros-bench --bench nr_scaling`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use veros_nr::{Dispatch, NodeReplicated};
+
+#[derive(Clone, Default)]
+struct Counter(u64);
+
+impl Dispatch for Counter {
+    type ReadOp = ();
+    type WriteOp = u64;
+    type Response = u64;
+
+    fn dispatch(&self, _: ()) -> u64 {
+        self.0
+    }
+
+    fn dispatch_mut(&mut self, n: u64) -> u64 {
+        self.0 += n;
+        self.0
+    }
+}
+
+fn bench_single_thread_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nr_single_thread");
+    for replicas in [1usize, 2] {
+        let nr = NodeReplicated::new(replicas, 2, 256, Counter::default);
+        let t = nr.register(0).unwrap();
+        group.bench_with_input(BenchmarkId::new("execute_mut", replicas), &replicas, |b, _| {
+            b.iter(|| std::hint::black_box(nr.execute_mut(1, t)))
+        });
+        group.bench_with_input(BenchmarkId::new("execute_read", replicas), &replicas, |b, _| {
+            b.iter(|| std::hint::black_box(nr.execute((), t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_contended_writes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nr_contended");
+    group.sample_size(10);
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("writers", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let nr = Arc::new(NodeReplicated::new(1, threads, 256, Counter::default));
+                    let mut handles = Vec::new();
+                    for i in 0..threads {
+                        let nr = Arc::clone(&nr);
+                        handles.push(std::thread::spawn(move || {
+                            let t = nr.register(0).expect("slot");
+                            let _ = i;
+                            for _ in 0..200 {
+                                nr.execute_mut(1, t);
+                            }
+                        }));
+                    }
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_log_batch_sizes(c: &mut Criterion) {
+    // Flat-combining ablation: larger batches amortize log appends.
+    let mut group = c.benchmark_group("nr_log_batch");
+    for batch in [1usize, 8, 64] {
+        let log = veros_nr::Log::new(1024, 1);
+        group.bench_with_input(BenchmarkId::new("append_exec", batch), &batch, |b, &batch| {
+            let entries: Vec<veros_nr::LogEntry<u64>> = (0..batch as u64)
+                .map(|i| veros_nr::LogEntry {
+                    op: i,
+                    replica: 0,
+                    thread: 0,
+                })
+                .collect();
+            b.iter(|| {
+                assert!(log.try_append(&entries));
+                let mut sum = 0u64;
+                log.exec(0, |e| sum += e.op);
+                std::hint::black_box(sum)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_thread_ops, bench_contended_writes, bench_log_batch_sizes);
+criterion_main!(benches);

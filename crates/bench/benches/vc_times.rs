@@ -1,0 +1,89 @@
+//! Criterion benchmarks of the verification machinery itself: how fast
+//! the checkers that discharge the VC population run (exploration,
+//! linearizability, interpretation) — the "iteration time" the paper
+//! argues matters for the development experience.
+//!
+//! Run: `cargo bench -p veros-bench --bench vc_times`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use veros_pagetable::high_spec::HighSpecMachine;
+use veros_pagetable::refine::{differential_vs_spec, randomized_vs_spec, Impl, OpUniverse};
+use veros_spec::explorer::{prove_invariant, ExploreLimits};
+use veros_spec::history::Recorder;
+use veros_spec::linearizability::{check_linearizable, SeqSpec};
+
+fn bench_exploration(c: &mut Criterion) {
+    c.bench_function("explore_high_spec_small", |b| {
+        b.iter(|| {
+            prove_invariant(HighSpecMachine::small(), ExploreLimits::default(), |s| s.wf())
+                .unwrap()
+        })
+    });
+}
+
+fn bench_differential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("differential");
+    group.sample_size(10);
+    group.bench_function("bounded_small_depth2_interp", |b| {
+        b.iter(|| differential_vs_spec(Impl::Verified, &OpUniverse::small(), 2, true).unwrap())
+    });
+    group.bench_function("randomized_200_steps", |b| {
+        b.iter(|| randomized_vs_spec(Impl::Verified, 1, 200).unwrap())
+    });
+    group.finish();
+}
+
+struct Register;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum RegOp {
+    Read,
+    Write(u32),
+}
+
+impl SeqSpec for Register {
+    type Op = RegOp;
+    type Ret = u32;
+    type State = u32;
+
+    fn init(&self) -> u32 {
+        0
+    }
+
+    fn apply(&self, s: &u32, op: &RegOp) -> (u32, u32) {
+        match op {
+            RegOp::Read => (*s, *s),
+            RegOp::Write(v) => (*v, 0),
+        }
+    }
+}
+
+fn bench_linearizability(c: &mut Criterion) {
+    // A moderately concurrent 24-op history.
+    let r = Recorder::new();
+    for round in 0..4u32 {
+        for t in 0..3usize {
+            r.invoke(t, RegOp::Write(round * 3 + t as u32));
+        }
+        for t in 0..3usize {
+            r.response(t, 0);
+        }
+        for t in 0..3usize {
+            r.invoke(t, RegOp::Read);
+        }
+        for t in (0..3usize).rev() {
+            // The reads are concurrent with each other but strictly
+            // after the round's writes, so all must observe the same
+            // final value; linearizing thread 2's write last makes
+            // `round*3 + 2` the consistent answer.
+            r.response(t, round * 3 + 2);
+        }
+    }
+    let history = r.finish();
+    c.bench_function("wing_gong_24_ops", |b| {
+        b.iter(|| check_linearizable(&Register, &history).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_exploration, bench_differential, bench_linearizability);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Runs the full OS-contract verification-condition population — the
+//! "vision" half of the paper made checkable: §3 obligations, the §4.4
+//! refinement theorem, scheduler sanity, NR linearizability, filesystem
+//! crash safety, and the network transport spec.
+//!
+//! Usage: `cargo run --release -p veros-bench --bin audit [--quick]`
+
+use veros_core::vcs::{register_all, Profile};
+use veros_spec::report::{human_duration, render_cdf};
+use veros_spec::VcEngine;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let profile = if quick { Profile::Quick } else { Profile::Full };
+    let mut engine = VcEngine::new();
+    register_all(&mut engine, profile);
+    eprintln!("running {} OS-contract verification conditions ({profile:?})...", engine.len());
+    let report = engine.run();
+
+    println!("Full-stack OS contract audit");
+    println!("{}", render_cdf(&report.cdf(), 60, 12));
+    println!("{}", report.summary());
+    println!();
+    println!("by obligation kind:");
+    for (kind, n) in report.count_by_kind() {
+        println!("  {:<8} {n}", kind.label());
+    }
+    println!();
+    println!("slowest 10:");
+    let mut outcomes: Vec<_> = report.outcomes.iter().collect();
+    outcomes.sort_by_key(|o| std::cmp::Reverse(o.duration));
+    for o in outcomes.iter().take(10) {
+        println!("  {:>10}  {}", human_duration(o.duration), o.vc.name);
+    }
+
+    if !report.all_passed() {
+        eprintln!("\nFAILURES:");
+        for f in report.failures() {
+            eprintln!("  {}: {:?}", f.vc.name, f.status);
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerates Figure 1a: the CDF of all 220 verification conditions of
+//! the page-table prototype, plus the §5 summary numbers (total time,
+//! slowest single VC).
+//!
+//! Usage: `cargo run --release -p veros-bench --bin fig1a [--quick]`
+
+use veros_pagetable::vcs::{register_all, Profile, VC_COUNT};
+use veros_spec::report::{human_duration, render_cdf};
+use veros_spec::VcEngine;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let profile = if quick { Profile::Quick } else { Profile::Paper };
+    eprintln!("running {VC_COUNT} verification conditions ({profile:?} profile)...");
+
+    let mut engine = VcEngine::new();
+    register_all(&mut engine, profile);
+    assert_eq!(engine.len(), VC_COUNT);
+    let report = engine.run();
+
+    println!("Figure 1a: CDF of all {} verification conditions", report.total());
+    println!("{}", render_cdf(&report.cdf(), 60, 16));
+    println!("{}", report.summary());
+    println!();
+    println!("breakdown by obligation kind:");
+    for (kind, n) in report.count_by_kind() {
+        println!("  {:<8} {n}", kind.label());
+    }
+    println!();
+    println!("paper reference: 220 VCs, total ~40s, max ~11s, all <= 11s");
+    println!(
+        "this run:        {} VCs, total {}, max {}",
+        report.total(),
+        human_duration(report.total_time()),
+        human_duration(report.max_time())
+    );
+    println!();
+    println!("slowest 10 verification conditions:");
+    let mut outcomes: Vec<_> = report.outcomes.iter().collect();
+    outcomes.sort_by_key(|o| std::cmp::Reverse(o.duration));
+    for o in outcomes.iter().take(10) {
+        println!("  {:>10}  {}", human_duration(o.duration), o.vc.name);
+    }
+
+    if !report.all_passed() {
+        eprintln!("\nFAILURES:");
+        for f in report.failures() {
+            eprintln!("  {}: {:?}", f.vc.name, f.status);
+        }
+        std::process::exit(1);
+    }
+}

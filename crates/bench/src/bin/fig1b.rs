@@ -1,0 +1,44 @@
+//! Regenerates Figure 1b: map latency of the verified vs. unverified
+//! page table inside the NR-replicated address space, across core
+//! counts.
+//!
+//! Usage: `cargo run --release -p veros-bench --bin fig1b [--quick]`
+
+use veros_bench::sweep::{run_figure, SweepOp, CORE_POINTS};
+use veros_spec::report::render_series;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ops = if quick { 512 } else { 8192 };
+    eprintln!("figure 1b sweep: {} ops/thread across {:?} threads...", ops, CORE_POINTS);
+    let (unverified, verified) = run_figure(SweepOp::Map, ops);
+    println!(
+        "{}",
+        render_series(
+            "Figure 1b: Map latency",
+            "# Cores",
+            "mean latency per map, us",
+            &CORE_POINTS,
+            &[
+                ("NrOS Unverified", unverified.clone()),
+                ("NrOS Verified", verified.clone()),
+            ],
+        )
+    );
+    summarize(&unverified, &verified);
+}
+
+fn summarize(unverified: &[f64], verified: &[f64]) {
+    println!("paper claim: 'the verified implementation can closely match the");
+    println!("performance of the unverified implementation'");
+    for (i, &t) in CORE_POINTS.iter().enumerate() {
+        let ratio = verified[i] / unverified[i];
+        println!(
+            "  {t:>2} cores: verified/unverified latency ratio = {ratio:.2}"
+        );
+    }
+    println!("note: this host has fewer physical cores than the paper's 28-core");
+    println!("testbed; thread counts above the core count oversubscribe, so the");
+    println!("absolute curve reflects the host. The comparison between the two");
+    println!("implementations (the figure's claim) is host-independent.");
+}

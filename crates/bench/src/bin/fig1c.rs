@@ -1,0 +1,35 @@
+//! Regenerates Figure 1c: unmap latency of the verified vs. unverified
+//! page table inside the NR-replicated address space, across core
+//! counts.
+//!
+//! Usage: `cargo run --release -p veros-bench --bin fig1c [--quick]`
+
+use veros_bench::sweep::{run_figure, SweepOp, CORE_POINTS};
+use veros_spec::report::render_series;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ops = if quick { 512 } else { 8192 };
+    eprintln!("figure 1c sweep: {} ops/thread across {:?} threads...", ops, CORE_POINTS);
+    let (unverified, verified) = run_figure(SweepOp::Unmap, ops);
+    println!(
+        "{}",
+        render_series(
+            "Figure 1c: Unmap latency",
+            "# Cores",
+            "mean latency per unmap, us",
+            &CORE_POINTS,
+            &[
+                ("NrOS Unverified", unverified.clone()),
+                ("NrOS Verified", verified.clone()),
+            ],
+        )
+    );
+    println!("paper claim: verified closely matches unverified at every core count");
+    for (i, &t) in CORE_POINTS.iter().enumerate() {
+        println!(
+            "  {t:>2} cores: verified/unverified latency ratio = {:.2}",
+            verified[i] / unverified[i]
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates Table 2: verified OS components.
+
+use veros_bench::survey;
+
+fn main() {
+    let (rows, cells) = survey::table2();
+    println!(
+        "{}",
+        survey::render("Table 2: Verified OS components", &rows, &cells)
+    );
+    println!("legend: y = yes, n = no, (y) = partial");
+    println!();
+    println!("veros column provenance (crate -> spec/checks):");
+    println!("  Scheduler                  veros-kernel::scheduler -> sanity invariant VCs");
+    println!("  Memory management          veros-pagetable + frame_alloc -> 220 VCs (Fig 1a)");
+    println!("  Filesystem                 veros-fs -> read_spec, flat-view differential, crash VCs");
+    println!("  Complex drivers            (y): simulated disk/NIC models, spec-checked, not real silicon");
+    println!("  Process management         veros-kernel::process -> lifecycle under refinement VCs");
+    println!("  Threads and synchronization veros-kernel::futex + veros-ulib mutex/condvar/semaphore");
+    println!("  Network stack              veros-net -> rdt prefix-delivery spec VCs");
+    println!("  System libraries           veros-ulib -> Drepper mutex, allocator, channel checks");
+}

@@ -1,0 +1,247 @@
+//! The simulation harness: client + primary + backup over the hostile
+//! network.
+//!
+//! Host 0 is the client, host 1 the primary, host 2 the backup. Two
+//! transport channels exist from the start: client↔primary and
+//! primary↔backup, plus a standby client↔backup channel used for
+//! failover. All of it runs over the fault-injecting wire, so every
+//! end-to-end test doubles as a transport/replication stress test.
+
+use veros_net::rdt::RdtEndpoint;
+use veros_net::sim::{FaultPlan, Network};
+
+use crate::client::{BlockClient, ClientError};
+use crate::node::StorageNode;
+use crate::store::BlockStore;
+use crate::wire::Response;
+
+/// Ports used by the harness.
+mod ports {
+    pub const CLIENT_TO_PRIMARY: u16 = 5000;
+    pub const PRIMARY_SERVE: u16 = 5001;
+    pub const CLIENT_TO_BACKUP: u16 = 5002;
+    pub const BACKUP_SERVE_CLIENTS: u16 = 5003;
+    pub const PRIMARY_REPL: u16 = 6001;
+    pub const BACKUP_SERVE_REPL: u16 = 6002;
+}
+
+/// The cluster.
+pub struct Cluster {
+    /// The wire.
+    pub net: Network,
+    /// Client talking to the primary.
+    pub client: BlockClient,
+    /// Standby client channel to the backup (failover).
+    pub failover_client: BlockClient,
+    /// The primary node.
+    pub primary: StorageNode,
+    /// The backup node.
+    pub backup: StorageNode,
+    now: u64,
+    primary_alive: bool,
+}
+
+impl Cluster {
+    /// Builds a cluster over a network with `plan` faults and `seed`.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        let mut net = Network::new(3, plan, seed);
+        let ip0 = net.host(0).ip();
+        let ip1 = net.host(1).ip();
+        let ip2 = net.host(2).ip();
+
+        // Client endpoints.
+        let c2p = net.host(0).bind(ports::CLIENT_TO_PRIMARY).expect("port");
+        let c2b = net.host(0).bind(ports::CLIENT_TO_BACKUP).expect("port");
+        let client = BlockClient::new(RdtEndpoint::new(c2p, (ip1, ports::PRIMARY_SERVE)));
+        let failover_client =
+            BlockClient::new(RdtEndpoint::new(c2b, (ip2, ports::BACKUP_SERVE_CLIENTS)));
+
+        // Primary: serves the client, replicates to the backup.
+        let p_serve = net.host(1).bind(ports::PRIMARY_SERVE).expect("port");
+        let p_repl = net.host(1).bind(ports::PRIMARY_REPL).expect("port");
+        let mut primary = StorageNode::new(BlockStore::format(1 << 14));
+        primary.add_server(RdtEndpoint::new(p_serve, (ip0, ports::CLIENT_TO_PRIMARY)));
+        primary.set_backup(RdtEndpoint::new(p_repl, (ip2, ports::BACKUP_SERVE_REPL)));
+
+        // Backup: serves replication from the primary and (standby)
+        // clients.
+        let b_repl = net.host(2).bind(ports::BACKUP_SERVE_REPL).expect("port");
+        let b_clients = net.host(2).bind(ports::BACKUP_SERVE_CLIENTS).expect("port");
+        let mut backup = StorageNode::new(BlockStore::format(1 << 14));
+        backup.add_server(RdtEndpoint::new(b_repl, (ip1, ports::PRIMARY_REPL)));
+        backup.add_server(RdtEndpoint::new(b_clients, (ip0, ports::CLIENT_TO_BACKUP)));
+
+        Self {
+            net,
+            client,
+            failover_client,
+            primary,
+            backup,
+            now: 0,
+            primary_alive: true,
+        }
+    }
+
+    /// One simulation step: wire, nodes, time.
+    pub fn pump(&mut self) {
+        self.net.step();
+        if self.primary_alive {
+            self.primary.poll(self.net.host(1), self.now);
+        }
+        self.backup.poll(self.net.host(2), self.now);
+        self.now += 1;
+    }
+
+    /// Stops the primary (it no longer processes anything).
+    pub fn kill_primary(&mut self) {
+        self.primary_alive = false;
+    }
+
+    /// Issues `f` on the primary-facing client and pumps until its
+    /// response arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no response arrives within the step budget (a wedged
+    /// transport or node is a test failure).
+    pub fn rpc(
+        &mut self,
+        f: impl FnOnce(&mut BlockClient, &mut veros_net::stack::NetStack, u64) -> u64,
+    ) -> Result<Response, ClientError> {
+        let _ = f(&mut self.client, self.net.host(0), self.now);
+        for _ in 0..60_000 {
+            self.pump();
+            if let Some(r) = self.client.poll(self.net.host(0), self.now) {
+                return r;
+            }
+        }
+        panic!("rpc timed out");
+    }
+
+    /// Same against the backup (after failover).
+    pub fn rpc_failover(
+        &mut self,
+        f: impl FnOnce(&mut BlockClient, &mut veros_net::stack::NetStack, u64) -> u64,
+    ) -> Result<Response, ClientError> {
+        let _ = f(&mut self.failover_client, self.net.host(0), self.now);
+        for _ in 0..60_000 {
+            self.pump();
+            if let Some(r) = self.failover_client.poll(self.net.host(0), self.now) {
+                return r;
+            }
+        }
+        panic!("failover rpc timed out");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::block_checksum;
+
+    fn reliable() -> Cluster {
+        Cluster::new(FaultPlan::reliable(), 1)
+    }
+
+    #[test]
+    fn put_get_delete_end_to_end() {
+        let mut c = reliable();
+        let r = c.rpc(|cl, s, t| cl.put(s, t, "k1", b"block one")).unwrap();
+        assert!(matches!(r, Response::PutOk { .. }));
+        let r = c.rpc(|cl, s, t| cl.get(s, t, "k1")).unwrap();
+        match r {
+            Response::GetOk { data, checksum, .. } => {
+                assert_eq!(data, b"block one");
+                assert_eq!(checksum, block_checksum(b"block one"));
+            }
+            other => panic!("{other:?}"),
+        }
+        let r = c.rpc(|cl, s, t| cl.delete(s, t, "k1")).unwrap();
+        assert!(matches!(r, Response::DeleteOk { .. }));
+        let r = c.rpc(|cl, s, t| cl.get(s, t, "k1")).unwrap();
+        assert!(matches!(r, Response::NotFound { .. }));
+    }
+
+    #[test]
+    fn writes_replicate_synchronously() {
+        let mut c = reliable();
+        c.rpc(|cl, s, t| cl.put(s, t, "k", b"replicated")).unwrap();
+        // By ack time, the backup already has the block.
+        assert_eq!(c.backup.store.get("k").unwrap().0, b"replicated");
+    }
+
+    #[test]
+    fn hostile_network_still_serves_correctly() {
+        let mut c = Cluster::new(FaultPlan::hostile(), 9);
+        for i in 0..10u32 {
+            let key = format!("obj-{i}");
+            let data = vec![i as u8; 64 + i as usize];
+            let r = c.rpc(|cl, s, t| cl.put(s, t, &key, &data)).unwrap();
+            assert!(matches!(r, Response::PutOk { .. }));
+        }
+        for i in 0..10u32 {
+            let key = format!("obj-{i}");
+            match c.rpc(|cl, s, t| cl.get(s, t, &key)).unwrap() {
+                Response::GetOk { data, .. } => assert_eq!(data, vec![i as u8; 64 + i as usize]),
+                other => panic!("{other:?}"),
+            }
+        }
+        let r = c.rpc(|cl, s, t| cl.list(s, t)).unwrap();
+        match r {
+            Response::Keys { keys, .. } => assert_eq!(keys.len(), 10),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn failover_to_backup_preserves_acknowledged_writes() {
+        let mut c = Cluster::new(FaultPlan::hostile(), 4);
+        c.rpc(|cl, s, t| cl.put(s, t, "precious", b"ack'd")).unwrap();
+        c.kill_primary();
+        // The acknowledged write is readable from the backup.
+        match c.rpc_failover(|cl, s, t| cl.get(s, t, "precious")).unwrap() {
+            Response::GetOk { data, .. } => assert_eq!(data, b"ack'd"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn primary_crash_recovery_keeps_acknowledged_writes() {
+        let mut c = reliable();
+        c.rpc(|cl, s, t| cl.put(s, t, "a", b"one")).unwrap();
+        c.rpc(|cl, s, t| cl.put(s, t, "b", b"two")).unwrap();
+        // Crash the primary's disk (drop its entire write cache) and
+        // recover the store from what is durable.
+        let store = std::mem::replace(&mut c.primary.store, BlockStore::format(64));
+        let mut disk = store.into_disk();
+        disk.crash_keep_prefix(0);
+        let recovered = BlockStore::recover(disk);
+        assert_eq!(recovered.get("a").unwrap().0, b"one");
+        assert_eq!(recovered.get("b").unwrap().0, b"two");
+    }
+
+    #[test]
+    fn bad_data_rejected_end_to_end() {
+        // A malicious/buggy client sending a wrong checksum is rejected
+        // and nothing is stored or replicated.
+        let mut c = reliable();
+        let err = c
+            .rpc(|cl, s, t| {
+                let id = 1000;
+                let req = crate::wire::Request::Put {
+                    id,
+                    key: "evil".into(),
+                    data: b"payload".to_vec(),
+                    checksum: 0xbad,
+                    replicate: true,
+                };
+                // Bypass the client helper to inject the bad checksum.
+                let _ = cl.inject_raw(s, t, id, req.encode());
+                id
+            })
+            .unwrap_err();
+        assert!(matches!(err, ClientError::Rejected(_)), "{err:?}");
+        assert!(c.primary.store.get("evil").is_err());
+        assert!(c.backup.store.get("evil").is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! The motivating application: a data-storage node of a distributed
+//! block store.
+//!
+//! "As an example of the kind of application we are interested in
+//! verifying, consider the data-storage node in a distributed block
+//! store like GFS or S3. In fact, Amazon even describes their use of
+//! lightweight formal methods to verify such a storage node" (§1,
+//! citing [8]). This crate is that node, built on the verified stack:
+//!
+//! * [`wire`] — the client protocol, marshalled with the same
+//!   round-trip discipline as the syscall ABI.
+//! * [`store`] — the local storage engine: checksummed blocks persisted
+//!   through the journaled filesystem (crash safety inherited from the
+//!   journal's spec).
+//! * [`node`] — the storage node: serves the protocol over the reliable
+//!   transport, optionally replicating synchronously to a backup before
+//!   acknowledging (primary/backup).
+//! * [`client`] — the client library.
+//! * [`cluster`] — a simulation harness wiring client, primary, and
+//!   backup over the hostile network for the end-to-end checks.
+//!
+//! The spec is an abstract `key → bytes` map; the integration tests and
+//! `veros-bench --bin audit` check client-visible linearizability,
+//! checksum integrity end to end, crash recovery of acknowledged writes,
+//! and failover to the backup.
+
+pub mod client;
+pub mod cluster;
+pub mod node;
+pub mod store;
+pub mod wire;
+
+pub use client::BlockClient;
+pub use cluster::Cluster;
+pub use node::StorageNode;
+pub use store::BlockStore;
+pub use wire::{Request, Response};

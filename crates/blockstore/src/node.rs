@@ -1,0 +1,192 @@
+//! The storage node.
+//!
+//! Serves the protocol over reliable transport endpoints. A node may
+//! have several client-facing endpoints (clients, or its primary when it
+//! acts as the backup) plus one outgoing replication link. Writes with
+//! `replicate: true` are applied locally, forwarded to the backup, and
+//! acknowledged to the client only after the backup's acknowledgement —
+//! synchronous primary/backup replication, so an acknowledged write
+//! survives the loss of either replica.
+
+use std::collections::VecDeque;
+
+use veros_net::rdt::RdtEndpoint;
+use veros_net::stack::NetStack;
+
+use crate::store::{BlockStore, StoreError};
+use crate::wire::{Request, Response};
+
+/// A storage node.
+pub struct StorageNode {
+    /// The local storage engine (public for direct inspection in tests
+    /// and crash scenarios).
+    pub store: BlockStore,
+    servers: Vec<RdtEndpoint>,
+    backup: Option<RdtEndpoint>,
+    /// Responses held back until the backup acknowledges, FIFO (the
+    /// replication link is ordered, so acks match in order).
+    pending: VecDeque<(usize, Response)>,
+    served: u64,
+}
+
+impl StorageNode {
+    /// Creates a node over a storage engine.
+    pub fn new(store: BlockStore) -> Self {
+        Self {
+            store,
+            servers: Vec::new(),
+            backup: None,
+            pending: VecDeque::new(),
+            served: 0,
+        }
+    }
+
+    /// Adds a serving endpoint; returns its index.
+    pub fn add_server(&mut self, endpoint: RdtEndpoint) -> usize {
+        self.servers.push(endpoint);
+        self.servers.len() - 1
+    }
+
+    /// Sets the outgoing replication link.
+    pub fn set_backup(&mut self, endpoint: RdtEndpoint) {
+        self.backup = Some(endpoint);
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Executes a request against the local store.
+    fn execute(&mut self, req: &Request) -> Response {
+        self.served += 1;
+        match req {
+            Request::Put {
+                id,
+                key,
+                data,
+                checksum,
+                ..
+            } => match self.store.put(key, data, *checksum) {
+                Ok(()) => Response::PutOk { id: *id },
+                Err(e) => Response::Error {
+                    id: *id,
+                    reason: e.to_string(),
+                },
+            },
+            Request::Get { id, key } => match self.store.get(key) {
+                Ok((data, checksum)) => Response::GetOk {
+                    id: *id,
+                    data,
+                    checksum,
+                },
+                Err(StoreError::NotFound) => Response::NotFound { id: *id },
+                Err(e) => Response::Error {
+                    id: *id,
+                    reason: e.to_string(),
+                },
+            },
+            Request::Delete { id, key, .. } => match self.store.delete(key) {
+                Ok(()) => Response::DeleteOk { id: *id },
+                Err(StoreError::NotFound) => Response::NotFound { id: *id },
+                Err(e) => Response::Error {
+                    id: *id,
+                    reason: e.to_string(),
+                },
+            },
+            Request::List { id } => Response::Keys {
+                id: *id,
+                keys: self.store.list(),
+            },
+        }
+    }
+
+    /// One poll round: drain requests, execute/replicate, release acked
+    /// responses, drive retransmission timers.
+    pub fn poll(&mut self, stack: &mut NetStack, now: u64) {
+        // Serve requests on every endpoint.
+        for idx in 0..self.servers.len() {
+            let mut incoming = Vec::new();
+            {
+                let ep = &mut self.servers[idx];
+                let _ = ep.poll(stack, now);
+                while let Some(msg) = ep.recv() {
+                    incoming.push(msg);
+                }
+            }
+            for msg in incoming {
+                let Some(req) = Request::decode(&msg) else {
+                    continue; // Malformed requests are dropped.
+                };
+                let wants_replication = matches!(
+                    &req,
+                    Request::Put { replicate: true, .. } | Request::Delete { replicate: true, .. }
+                ) && self.backup.is_some();
+                let resp = self.execute(&req);
+                let local_ok = !matches!(resp, Response::Error { .. });
+                if wants_replication && local_ok {
+                    // Forward with replication cleared; hold the client
+                    // response until the backup acks.
+                    let fwd = match req {
+                        Request::Put {
+                            id,
+                            key,
+                            data,
+                            checksum,
+                            ..
+                        } => Request::Put {
+                            id,
+                            key,
+                            data,
+                            checksum,
+                            replicate: false,
+                        },
+                        Request::Delete { id, key, .. } => Request::Delete {
+                            id,
+                            key,
+                            replicate: false,
+                        },
+                        _ => unreachable!("only writes replicate"),
+                    };
+                    let backup = self.backup.as_mut().expect("checked");
+                    let _ = backup.send(stack, now, fwd.encode());
+                    self.pending.push_back((idx, resp));
+                } else {
+                    let ep = &mut self.servers[idx];
+                    let _ = ep.send(stack, now, resp.encode());
+                }
+            }
+        }
+        // Backup acknowledgements release pending client responses.
+        if let Some(backup) = &mut self.backup {
+            let _ = backup.poll(stack, now);
+            let mut acks = Vec::new();
+            while let Some(msg) = backup.recv() {
+                acks.push(msg);
+            }
+            let _ = backup.on_tick(stack, now);
+            for msg in acks {
+                let Some(resp) = Response::decode(&msg) else {
+                    continue;
+                };
+                if let Some((idx, held)) = self.pending.pop_front() {
+                    debug_assert_eq!(resp.id(), held.id(), "replication acks out of order");
+                    // If the backup failed the write, report that
+                    // instead of the held success.
+                    let out = match resp {
+                        Response::Error { id, reason } => Response::Error {
+                            id,
+                            reason: format!("replication failed: {reason}"),
+                        },
+                        _ => held,
+                    };
+                    let _ = self.servers[idx].send(stack, now, out.encode());
+                }
+            }
+        }
+        // Timers.
+        for ep in &mut self.servers {
+            let _ = ep.on_tick(stack, now);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! The local storage engine.
+//!
+//! Blocks live as files in the journaled filesystem: key `k` maps to the
+//! file `/b_<hex(k)>` whose first 8 bytes are the stored checksum and the
+//! rest the block data. Every mutation is one committed journal
+//! transaction, so the engine inherits the journal's crash-safety spec:
+//! acknowledged puts and deletes survive any crash.
+
+use veros_fs::journal::{FsOp, JournaledFs};
+use veros_fs::Path;
+use veros_hw::SimDisk;
+
+use crate::wire::block_checksum;
+
+/// Storage errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The provided checksum did not match the data.
+    ChecksumMismatch,
+    /// The stored block failed its checksum on read (corruption).
+    Corrupt,
+    /// No such key.
+    NotFound,
+    /// The filesystem rejected the operation.
+    Fs(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::ChecksumMismatch => f.write_str("checksum mismatch"),
+            StoreError::Corrupt => f.write_str("stored block corrupt"),
+            StoreError::NotFound => f.write_str("no such key"),
+            StoreError::Fs(e) => write!(f, "filesystem: {e}"),
+        }
+    }
+}
+
+/// The storage engine.
+pub struct BlockStore {
+    fs: JournaledFs,
+}
+
+fn key_path(key: &str) -> String {
+    // Hex-encode so arbitrary keys are always valid single-component
+    // paths.
+    let hex: String = key.bytes().map(|b| format!("{b:02x}")).collect();
+    format!("/b_{hex}")
+}
+
+fn path_key(path: &str) -> Option<String> {
+    let hex = path.strip_prefix("/b_")?;
+    if hex.len() % 2 != 0 {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(hex.len() / 2);
+    for i in (0..hex.len()).step_by(2) {
+        bytes.push(u8::from_str_radix(&hex[i..i + 2], 16).ok()?);
+    }
+    String::from_utf8(bytes).ok()
+}
+
+impl BlockStore {
+    /// Creates an empty store on a fresh disk of `sectors`.
+    pub fn format(sectors: u64) -> Self {
+        Self {
+            fs: JournaledFs::format(SimDisk::new(sectors)),
+        }
+    }
+
+    /// Recovers a store from a (possibly crashed) disk.
+    pub fn recover(disk: SimDisk) -> Self {
+        Self {
+            fs: JournaledFs::recover(disk),
+        }
+    }
+
+    /// Consumes the store, returning the disk (crash testing).
+    pub fn into_disk(self) -> SimDisk {
+        self.fs.into_disk()
+    }
+
+    /// Stores a block, verifying the client checksum first. One
+    /// committed transaction: after `Ok`, the block survives crashes.
+    pub fn put(&mut self, key: &str, data: &[u8], checksum: u64) -> Result<(), StoreError> {
+        if block_checksum(data) != checksum {
+            return Err(StoreError::ChecksumMismatch);
+        }
+        let path = key_path(key);
+        let exists = self
+            .fs
+            .fs
+            .lookup(&Path::parse(&path).expect("hex path"))
+            .is_ok();
+        if !exists {
+            self.fs
+                .apply(FsOp::Create(path.clone()))
+                .map_err(|e| StoreError::Fs(e.to_string()))?;
+        } else {
+            self.fs
+                .apply(FsOp::Truncate(path.clone(), 0))
+                .map_err(|e| StoreError::Fs(e.to_string()))?;
+        }
+        let mut payload = checksum.to_le_bytes().to_vec();
+        payload.extend_from_slice(data);
+        self.fs
+            .apply(FsOp::WriteAt(path, 0, payload))
+            .map_err(|e| StoreError::Fs(e.to_string()))?;
+        self.fs.commit().map_err(|e| StoreError::Fs(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Fetches a block and its stored checksum, verifying integrity.
+    pub fn get(&self, key: &str) -> Result<(Vec<u8>, u64), StoreError> {
+        let path = Path::parse(&key_path(key)).expect("hex path");
+        let raw = self.fs.fs.read_file(&path).map_err(|_| StoreError::NotFound)?;
+        if raw.len() < 8 {
+            return Err(StoreError::Corrupt);
+        }
+        let checksum = u64::from_le_bytes(raw[..8].try_into().expect("8 bytes"));
+        let data = raw[8..].to_vec();
+        if block_checksum(&data) != checksum {
+            return Err(StoreError::Corrupt);
+        }
+        Ok((data, checksum))
+    }
+
+    /// Deletes a block (committed transaction).
+    pub fn delete(&mut self, key: &str) -> Result<(), StoreError> {
+        let path = key_path(key);
+        self.fs
+            .apply(FsOp::Unlink(path))
+            .map_err(|_| StoreError::NotFound)?;
+        self.fs.commit().map_err(|e| StoreError::Fs(e.to_string()))?;
+        Ok(())
+    }
+
+    /// All keys, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .fs
+            .fs
+            .readdir(&Path::root())
+            .expect("root exists")
+            .iter()
+            .filter_map(|name| path_key(&format!("/{name}")))
+            .collect();
+        keys.sort();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip_with_checksums() {
+        let mut s = BlockStore::format(4096);
+        let data = b"the quick brown block".to_vec();
+        let ck = block_checksum(&data);
+        s.put("obj/1", &data, ck).unwrap();
+        let (got, got_ck) = s.get("obj/1").unwrap();
+        assert_eq!(got, data);
+        assert_eq!(got_ck, ck);
+    }
+
+    #[test]
+    fn wrong_checksum_rejected_before_storing() {
+        let mut s = BlockStore::format(4096);
+        assert_eq!(
+            s.put("k", b"data", 12345),
+            Err(StoreError::ChecksumMismatch)
+        );
+        assert_eq!(s.get("k"), Err(StoreError::NotFound));
+    }
+
+    #[test]
+    fn overwrite_replaces_contents() {
+        let mut s = BlockStore::format(4096);
+        s.put("k", b"longer first version", block_checksum(b"longer first version"))
+            .unwrap();
+        s.put("k", b"v2", block_checksum(b"v2")).unwrap();
+        assert_eq!(s.get("k").unwrap().0, b"v2");
+    }
+
+    #[test]
+    fn delete_then_not_found() {
+        let mut s = BlockStore::format(4096);
+        s.put("k", b"x", block_checksum(b"x")).unwrap();
+        s.delete("k").unwrap();
+        assert_eq!(s.get("k"), Err(StoreError::NotFound));
+        assert_eq!(s.delete("k"), Err(StoreError::NotFound));
+    }
+
+    #[test]
+    fn list_returns_original_keys() {
+        let mut s = BlockStore::format(4096);
+        for k in ["zeta", "alpha", "weird/key with spaces", "ütf8"] {
+            s.put(k, b"v", block_checksum(b"v")).unwrap();
+        }
+        assert_eq!(
+            s.list(),
+            vec!["alpha", "weird/key with spaces", "zeta", "ütf8"]
+        );
+    }
+
+    #[test]
+    fn acknowledged_puts_survive_crashes() {
+        let mut s = BlockStore::format(8192);
+        s.put("durable", b"yes", block_checksum(b"yes")).unwrap();
+        let mut disk = s.into_disk();
+        disk.crash_keep_prefix(0); // Drop all unflushed writes.
+        let s = BlockStore::recover(disk);
+        assert_eq!(s.get("durable").unwrap().0, b"yes");
+    }
+
+    #[test]
+    fn corruption_is_detected_on_read() {
+        let mut s = BlockStore::format(4096);
+        s.put("k", b"data", block_checksum(b"data")).unwrap();
+        // Corrupt the stored file behind the store's back.
+        let path = Path::parse(&key_path("k")).unwrap();
+        let ino = s.fs.fs.lookup(&path).unwrap();
+        s.fs.fs.write_at(ino, 9, b"X").unwrap();
+        assert_eq!(s.get("k"), Err(StoreError::Corrupt));
+    }
+}

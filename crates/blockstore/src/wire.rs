@@ -1,0 +1,381 @@
+//! The block-store protocol.
+//!
+//! Length-free tagged encoding (the transport delivers whole messages).
+//! Every message round-trips; corrupted tags decode to `None` rather
+//! than panicking. Data integrity is end-to-end: `Put` carries the
+//! client-computed checksum, the node verifies it before storing, and
+//! `GetOk` carries the stored checksum for the client to verify.
+
+use veros_spec::rng::fnv1a;
+
+/// A request from client to node (or primary to backup, with
+/// `replicate` cleared to stop forwarding loops).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Store a block.
+    Put {
+        /// Request id (echoed in the response).
+        id: u64,
+        /// Block key.
+        key: String,
+        /// Block contents.
+        data: Vec<u8>,
+        /// Client-computed checksum of `data`.
+        checksum: u64,
+        /// Whether the receiving node should replicate to its backup.
+        replicate: bool,
+    },
+    /// Fetch a block.
+    Get {
+        /// Request id.
+        id: u64,
+        /// Block key.
+        key: String,
+    },
+    /// Delete a block.
+    Delete {
+        /// Request id.
+        id: u64,
+        /// Block key.
+        key: String,
+        /// Whether to replicate the deletion.
+        replicate: bool,
+    },
+    /// List all keys.
+    List {
+        /// Request id.
+        id: u64,
+    },
+}
+
+/// A response from node to client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Block stored (and replicated, if requested).
+    PutOk {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Block contents with stored checksum.
+    GetOk {
+        /// Echoed request id.
+        id: u64,
+        /// The block.
+        data: Vec<u8>,
+        /// Stored checksum.
+        checksum: u64,
+    },
+    /// Key not present.
+    NotFound {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Deletion done.
+    DeleteOk {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// All keys, sorted.
+    Keys {
+        /// Echoed request id.
+        id: u64,
+        /// The keys.
+        keys: Vec<String>,
+    },
+    /// The request was rejected (bad checksum, storage failure).
+    Error {
+        /// Echoed request id.
+        id: u64,
+        /// Why.
+        reason: String,
+    },
+}
+
+/// Computes the protocol checksum of a block.
+pub fn block_checksum(data: &[u8]) -> u64 {
+    fnv1a(data)
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+struct Reader<'a>(&'a [u8], usize);
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.0.len() - self.1 < n {
+            return None;
+        }
+        let s = &self.0[self.1..self.1 + n];
+        self.1 += n;
+        Some(s)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn bytes(&mut self) -> Option<Vec<u8>> {
+        let len = u32::from_le_bytes(self.take(4)?.try_into().ok()?) as usize;
+        if len > (1 << 24) {
+            return None;
+        }
+        Some(self.take(len)?.to_vec())
+    }
+
+    fn string(&mut self) -> Option<String> {
+        String::from_utf8(self.bytes()?).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.1 == self.0.len()
+    }
+}
+
+impl Request {
+    /// Serializes the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Put {
+                id,
+                key,
+                data,
+                checksum,
+                replicate,
+            } => {
+                out.push(1);
+                out.extend_from_slice(&id.to_le_bytes());
+                put_str(&mut out, key);
+                put_bytes(&mut out, data);
+                out.extend_from_slice(&checksum.to_le_bytes());
+                out.push(*replicate as u8);
+            }
+            Request::Get { id, key } => {
+                out.push(2);
+                out.extend_from_slice(&id.to_le_bytes());
+                put_str(&mut out, key);
+            }
+            Request::Delete { id, key, replicate } => {
+                out.push(3);
+                out.extend_from_slice(&id.to_le_bytes());
+                put_str(&mut out, key);
+                out.push(*replicate as u8);
+            }
+            Request::List { id } => {
+                out.push(4);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a request; `None` on malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<Request> {
+        let mut r = Reader(bytes, 1);
+        let req = match bytes.first()? {
+            1 => Request::Put {
+                id: r.u64()?,
+                key: r.string()?,
+                data: r.bytes()?,
+                checksum: r.u64()?,
+                replicate: *r.take(1)?.first()? != 0,
+            },
+            2 => Request::Get {
+                id: r.u64()?,
+                key: r.string()?,
+            },
+            3 => Request::Delete {
+                id: r.u64()?,
+                key: r.string()?,
+                replicate: *r.take(1)?.first()? != 0,
+            },
+            4 => Request::List { id: r.u64()? },
+            _ => return None,
+        };
+        r.done().then_some(req)
+    }
+
+    /// The request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Put { id, .. }
+            | Request::Get { id, .. }
+            | Request::Delete { id, .. }
+            | Request::List { id } => *id,
+        }
+    }
+}
+
+impl Response {
+    /// Serializes the response.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::PutOk { id } => {
+                out.push(1);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+            Response::GetOk { id, data, checksum } => {
+                out.push(2);
+                out.extend_from_slice(&id.to_le_bytes());
+                put_bytes(&mut out, data);
+                out.extend_from_slice(&checksum.to_le_bytes());
+            }
+            Response::NotFound { id } => {
+                out.push(3);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+            Response::DeleteOk { id } => {
+                out.push(4);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+            Response::Keys { id, keys } => {
+                out.push(5);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+                for k in keys {
+                    put_str(&mut out, k);
+                }
+            }
+            Response::Error { id, reason } => {
+                out.push(6);
+                out.extend_from_slice(&id.to_le_bytes());
+                put_str(&mut out, reason);
+            }
+        }
+        out
+    }
+
+    /// Parses a response; `None` on malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<Response> {
+        let mut r = Reader(bytes, 1);
+        let resp = match bytes.first()? {
+            1 => Response::PutOk { id: r.u64()? },
+            2 => Response::GetOk {
+                id: r.u64()?,
+                data: r.bytes()?,
+                checksum: r.u64()?,
+            },
+            3 => Response::NotFound { id: r.u64()? },
+            4 => Response::DeleteOk { id: r.u64()? },
+            5 => {
+                let id = r.u64()?;
+                let n = u32::from_le_bytes(r.take(4)?.try_into().ok()?) as usize;
+                if n > (1 << 16) {
+                    return None;
+                }
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(r.string()?);
+                }
+                Response::Keys { id, keys }
+            }
+            6 => Response::Error {
+                id: r.u64()?,
+                reason: r.string()?,
+            },
+            _ => return None,
+        };
+        r.done().then_some(resp)
+    }
+
+    /// The echoed request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::PutOk { id }
+            | Response::GetOk { id, .. }
+            | Response::NotFound { id }
+            | Response::DeleteOk { id }
+            | Response::Keys { id, .. }
+            | Response::Error { id, .. } => *id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Put {
+                id: 7,
+                key: "blob-1".into(),
+                data: vec![1, 2, 3],
+                checksum: block_checksum(&[1, 2, 3]),
+                replicate: true,
+            },
+            Request::Get { id: 8, key: "k".into() },
+            Request::Delete {
+                id: 9,
+                key: "k".into(),
+                replicate: false,
+            },
+            Request::List { id: 10 },
+        ];
+        for r in reqs {
+            assert_eq!(Request::decode(&r.encode()), Some(r.clone()));
+            assert!(r.id() >= 7);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::PutOk { id: 1 },
+            Response::GetOk {
+                id: 2,
+                data: b"xyz".to_vec(),
+                checksum: 99,
+            },
+            Response::NotFound { id: 3 },
+            Response::DeleteOk { id: 4 },
+            Response::Keys {
+                id: 5,
+                keys: vec!["a".into(), "b".into()],
+            },
+            Response::Error {
+                id: 6,
+                reason: "bad checksum".into(),
+            },
+        ];
+        for r in resps {
+            assert_eq!(Response::decode(&r.encode()), Some(r.clone()));
+        }
+    }
+
+    #[test]
+    fn malformed_input_rejected_not_panicking() {
+        assert_eq!(Request::decode(&[]), None);
+        assert_eq!(Request::decode(&[99, 0, 0]), None);
+        assert_eq!(Response::decode(&[2, 1]), None);
+        // Truncations of a valid message all decode to None.
+        let full = Request::Put {
+            id: 1,
+            key: "k".into(),
+            data: vec![1; 16],
+            checksum: 0,
+            replicate: true,
+        }
+        .encode();
+        for cut in 1..full.len() {
+            assert_eq!(Request::decode(&full[..cut]), None, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = Request::List { id: 3 }.encode();
+        bytes.push(0);
+        assert_eq!(Request::decode(&bytes), None);
+    }
+}

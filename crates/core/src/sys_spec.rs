@@ -1,0 +1,612 @@
+//! The high-level OS specification (§3).
+//!
+//! "An abstract model which only has virtualized memory, processes,
+//! threads, and the abstract state of the network and file system." The
+//! state is what each process perceives; the transition function covers
+//! every syscall plus the execution-model operations (memory loads and
+//! stores). Transitions take the *same* [`Syscall`] values the kernel
+//! takes — pointer arguments and all — and resolve them against the
+//! abstract memory, so the spec genuinely predicts the kernel's
+//! observable behaviour, return values included.
+
+use std::collections::BTreeMap;
+
+use veros_hw::PAGE_4K;
+use veros_kernel::syscall::{SysError, SysRet, Syscall};
+
+
+/// One abstract page: permissions + contents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageSpec {
+    /// Writes allowed.
+    pub writable: bool,
+    /// The 4096 bytes of the page.
+    pub data: Vec<u8>,
+}
+
+impl PageSpec {
+    fn zeroed(writable: bool) -> Self {
+        Self {
+            writable,
+            data: vec![0; PAGE_4K as usize],
+        }
+    }
+}
+
+/// One abstract open file descriptor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FdSpec {
+    /// The file's path.
+    pub path: String,
+    /// Current offset.
+    pub offset: u64,
+}
+
+/// Abstract thread state — Running and Ready collapse to `Runnable`:
+/// "when the OS makes a context switch, processes view this as just
+/// another interleaving of threads" (§3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadSpec {
+    /// Schedulable (running or ready — indistinguishable abstractly).
+    Runnable,
+    /// Parked on the futex word at the address.
+    BlockedFutex(u64),
+    /// Waiting for a child process to exit.
+    BlockedWait(u64),
+}
+
+/// One abstract process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcSpec {
+    /// Parent pid.
+    pub parent: Option<u64>,
+    /// `Some(code)` once exited (zombie until reaped).
+    pub zombie: Option<i32>,
+    /// Virtual memory: page base address → page.
+    pub mem: BTreeMap<u64, PageSpec>,
+    /// Open files.
+    pub fds: BTreeMap<u32, FdSpec>,
+    /// Next fd to hand out.
+    pub next_fd: u32,
+    /// Live threads.
+    pub threads: BTreeMap<u64, ThreadSpec>,
+}
+
+impl ProcSpec {
+    fn fresh(parent: Option<u64>) -> Self {
+        Self {
+            parent,
+            zombie: None,
+            mem: BTreeMap::new(),
+            fds: BTreeMap::new(),
+            next_fd: 3,
+            threads: BTreeMap::new(),
+        }
+    }
+}
+
+/// The abstract system state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SysState {
+    /// All processes (alive and zombie).
+    pub procs: BTreeMap<u64, ProcSpec>,
+    /// The filesystem as the syscall interface can observe it: a flat
+    /// map of file paths to contents (no mkdir syscall exists, so all
+    /// files are root-level).
+    pub fs: BTreeMap<String, Vec<u8>>,
+    /// Futex wait queues: `(pid, va)` → FIFO of tids.
+    pub futexes: BTreeMap<(u64, u64), Vec<u64>>,
+    /// Next pid the kernel will assign.
+    pub next_pid: u64,
+    /// Next tid the kernel will assign.
+    pub next_tid: u64,
+    /// The virtual clock.
+    pub clock: u64,
+    /// Number of cores (bounds thread affinity).
+    pub cores: u64,
+}
+
+/// Operations of the execution model (memory loads/stores) — the other
+/// half of the §3 contract besides syscalls.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbsOp {
+    /// A syscall by `(pid, tid)`.
+    Call(u64, u64, Syscall),
+    /// A memory load.
+    MemRead {
+        /// Process issuing the load.
+        pid: u64,
+        /// Address.
+        va: u64,
+        /// Length.
+        len: u64,
+    },
+    /// A memory store.
+    MemWrite {
+        /// Process issuing the store.
+        pid: u64,
+        /// Address.
+        va: u64,
+        /// Bytes.
+        data: Vec<u8>,
+    },
+    /// A timer tick.
+    Tick,
+}
+
+/// Results of abstract operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbsRet {
+    /// A syscall result.
+    Sys(SysRet),
+    /// Bytes from a memory load.
+    Bytes(Result<Vec<u8>, SysError>),
+    /// A store or tick completed.
+    Unit(Result<(), SysError>),
+}
+
+impl SysState {
+    /// The post-boot state: one init process with one thread.
+    pub fn boot(cores: u64) -> Self {
+        let mut procs = BTreeMap::new();
+        let mut init = ProcSpec::fresh(None);
+        init.threads.insert(1, ThreadSpec::Runnable);
+        procs.insert(1, init);
+        Self {
+            procs,
+            fs: BTreeMap::new(),
+            futexes: BTreeMap::new(),
+            next_pid: 2,
+            next_tid: 2,
+            clock: 0,
+            cores,
+        }
+    }
+
+    /// Applies any abstract operation.
+    pub fn apply(&mut self, op: &AbsOp) -> AbsRet {
+        match op {
+            AbsOp::Call(pid, tid, call) => AbsRet::Sys(self.syscall((*pid, *tid), call)),
+            AbsOp::MemRead { pid, va, len } => AbsRet::Bytes(self.mem_read(*pid, *va, *len)),
+            AbsOp::MemWrite { pid, va, data } => AbsRet::Unit(self.mem_write(*pid, *va, data)),
+            AbsOp::Tick => {
+                self.clock += 1;
+                AbsRet::Unit(Ok(()))
+            }
+        }
+    }
+
+    /// The abstract memory load (the execution-model read transition).
+    pub fn mem_read(&self, pid: u64, va: u64, len: u64) -> Result<Vec<u8>, SysError> {
+        if len > (1 << 24) {
+            return Err(SysError::Invalid);
+        }
+        let p = self.procs.get(&pid).ok_or(SysError::NoSuchProcess)?;
+        let mut out = Vec::with_capacity(len as usize);
+        let mut cur = va;
+        let end = va.checked_add(len).ok_or(SysError::BadAddress)?;
+        while cur < end {
+            let base = cur & !(PAGE_4K - 1);
+            let page = p.mem.get(&base).ok_or(SysError::BadAddress)?;
+            let off = (cur - base) as usize;
+            let take = ((PAGE_4K - (cur - base)) as usize).min((end - cur) as usize);
+            out.extend_from_slice(&page.data[off..off + take]);
+            cur += take as u64;
+        }
+        Ok(out)
+    }
+
+    /// The abstract memory store.
+    pub fn mem_write(&mut self, pid: u64, va: u64, data: &[u8]) -> Result<(), SysError> {
+        let p = self.procs.get_mut(&pid).ok_or(SysError::NoSuchProcess)?;
+        // Validate first: stores are not torn (matches the kernel).
+        let end = va.checked_add(data.len() as u64).ok_or(SysError::BadAddress)?;
+        let mut cur = va;
+        while cur < end {
+            let base = cur & !(PAGE_4K - 1);
+            let page = p.mem.get(&base).ok_or(SysError::BadAddress)?;
+            if !page.writable {
+                return Err(SysError::BadAddress);
+            }
+            cur = base + PAGE_4K;
+        }
+        let mut off = 0usize;
+        let mut cur = va;
+        while cur < end {
+            let base = cur & !(PAGE_4K - 1);
+            let page = p.mem.get_mut(&base).expect("validated");
+            let poff = (cur - base) as usize;
+            let take = ((PAGE_4K - (cur - base)) as usize).min((end - cur) as usize);
+            page.data[poff..poff + take].copy_from_slice(&data[off..off + take]);
+            off += take;
+            cur += take as u64;
+        }
+        Ok(())
+    }
+
+    fn read_path(&self, pid: u64, ptr: u64, len: u64) -> Result<String, SysError> {
+        let bytes = self.mem_read(pid, ptr, len)?;
+        let s = std::str::from_utf8(&bytes).map_err(|_| SysError::Invalid)?;
+        // Mirror the kernel's Path::parse validity conditions.
+        veros_fs::Path::parse(s)
+            .map(|p| p.as_str().to_string())
+            .map_err(|_| SysError::Invalid)
+    }
+
+    /// True when the path's parent is the root (the only creatable
+    /// location through the syscall surface, which has no mkdir).
+    fn parent_is_root(path: &str) -> bool {
+        path.rfind('/') == Some(0) && path.len() > 1
+    }
+
+    /// The abstract syscall transition. Returns exactly what the kernel
+    /// returns (that is the refinement claim).
+    pub fn syscall(&mut self, caller: (u64, u64), call: &Syscall) -> SysRet {
+        let (pid, _tid) = caller;
+        match call {
+            Syscall::Spawn => {
+                let child = self.next_pid;
+                self.next_pid += 1;
+                let mut proc = ProcSpec::fresh(Some(pid));
+                let tid = self.next_tid;
+                self.next_tid += 1;
+                proc.threads.insert(tid, ThreadSpec::Runnable);
+                self.procs.insert(child, proc);
+                Ok(child)
+            }
+            Syscall::Exit { code } => self.do_exit(pid, *code).map(|()| 0),
+            Syscall::Wait { pid: child } => self.do_wait(caller, *child),
+            Syscall::Map { va, pages, writable } => self.do_map(pid, *va, *pages, *writable),
+            Syscall::Unmap { va, pages } => self.do_unmap(pid, *va, *pages),
+            Syscall::Open {
+                path_ptr,
+                path_len,
+                create,
+            } => self.do_open(pid, *path_ptr, *path_len, *create),
+            Syscall::Read { fd, buf_ptr, buf_len } => self.do_read(pid, *fd, *buf_ptr, *buf_len),
+            Syscall::Write { fd, buf_ptr, buf_len } => self.do_write(pid, *fd, *buf_ptr, *buf_len),
+            Syscall::Seek { fd, offset } => {
+                let p = self.procs.get_mut(&pid).ok_or(SysError::NoSuchProcess)?;
+                let f = p.fds.get_mut(fd).ok_or(SysError::BadFd)?;
+                f.offset = *offset;
+                Ok(*offset)
+            }
+            Syscall::Close { fd } => {
+                let p = self.procs.get_mut(&pid).ok_or(SysError::NoSuchProcess)?;
+                p.fds.remove(fd).map(|_| 0).ok_or(SysError::BadFd)
+            }
+            Syscall::Unlink { path_ptr, path_len } => {
+                let path = self.read_path(pid, *path_ptr, *path_len)?;
+                if self.fs.remove(&path).is_some() {
+                    Ok(0)
+                } else {
+                    Err(SysError::NoSuchPath)
+                }
+            }
+            Syscall::FutexWait { va, expected } => self.do_futex_wait(caller, *va, *expected),
+            Syscall::FutexWake { va, count } => self.do_futex_wake(pid, *va, *count),
+            Syscall::ThreadSpawn { affinity_plus_one } => {
+                if *affinity_plus_one > self.cores {
+                    return Err(SysError::Invalid);
+                }
+                let p = self.procs.get_mut(&pid).ok_or(SysError::NoSuchProcess)?;
+                if p.zombie.is_some() {
+                    return Err(SysError::NoSuchProcess);
+                }
+                let tid = self.next_tid;
+                self.next_tid += 1;
+                p.threads.insert(tid, ThreadSpec::Runnable);
+                Ok(tid)
+            }
+            Syscall::Yield => Ok(0),
+            Syscall::ClockRead => Ok(self.clock),
+        }
+    }
+
+    fn do_exit(&mut self, pid: u64, code: i32) -> Result<(), SysError> {
+        let p = self.procs.get_mut(&pid).ok_or(SysError::NoSuchProcess)?;
+        if p.zombie.is_some() {
+            return Err(SysError::NoSuchProcess);
+        }
+        p.zombie = Some(code);
+        let dead_tids: Vec<u64> = p.threads.keys().copied().collect();
+        p.threads.clear();
+        p.mem.clear();
+        p.fds.clear();
+        // Remove dead threads from futex queues.
+        for q in self.futexes.values_mut() {
+            q.retain(|t| !dead_tids.contains(t));
+        }
+        self.futexes.retain(|_, q| !q.is_empty());
+        // Wake every thread blocked waiting on this pid.
+        for proc in self.procs.values_mut() {
+            for st in proc.threads.values_mut() {
+                if *st == ThreadSpec::BlockedWait(pid) {
+                    *st = ThreadSpec::Runnable;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn do_wait(&mut self, caller: (u64, u64), child: u64) -> SysRet {
+        let (pid, tid) = caller;
+        let c = self.procs.get(&child).ok_or(SysError::NoSuchProcess)?;
+        if c.parent != Some(pid) {
+            return Err(SysError::NotAChild);
+        }
+        match c.zombie {
+            Some(code) => {
+                self.procs.remove(&child);
+                Ok(code as u32 as u64)
+            }
+            None => {
+                // Block the calling thread until the child exits.
+                if let Some(p) = self.procs.get_mut(&pid) {
+                    if let Some(st) = p.threads.get_mut(&tid) {
+                        *st = ThreadSpec::BlockedWait(child);
+                    }
+                }
+                Err(SysError::StillRunning)
+            }
+        }
+    }
+
+    fn do_map(&mut self, pid: u64, va: u64, pages: u64, writable: bool) -> SysRet {
+        if pages == 0 || pages > 1 << 16 || va % PAGE_4K != 0 {
+            return Err(SysError::Invalid);
+        }
+        let p = self.procs.get_mut(&pid).ok_or(SysError::NoSuchProcess)?;
+        // All-or-nothing, in kernel order: the kernel maps page by page
+        // and rolls back on the first failure, so the net effect is a
+        // precondition over all pages, failing with the first page's
+        // error.
+        for i in 0..pages {
+            let page_va = va + i * PAGE_4K;
+            if !veros_hw::VAddr(page_va).is_canonical() {
+                return Err(SysError::Invalid);
+            }
+            if p.mem.contains_key(&page_va) {
+                return Err(SysError::AlreadyMapped);
+            }
+        }
+        for i in 0..pages {
+            p.mem.insert(va + i * PAGE_4K, PageSpec::zeroed(writable));
+        }
+        Ok(va)
+    }
+
+    fn do_unmap(&mut self, pid: u64, va: u64, pages: u64) -> SysRet {
+        if pages == 0 || va % PAGE_4K != 0 {
+            return Err(SysError::Invalid);
+        }
+        let p = self.procs.get_mut(&pid).ok_or(SysError::NoSuchProcess)?;
+        for i in 0..pages {
+            if !p.mem.contains_key(&(va + i * PAGE_4K)) {
+                return Err(SysError::NotMapped);
+            }
+        }
+        for i in 0..pages {
+            p.mem.remove(&(va + i * PAGE_4K));
+        }
+        Ok(0)
+    }
+
+    fn do_open(&mut self, pid: u64, path_ptr: u64, path_len: u64, create: bool) -> SysRet {
+        let path = self.read_path(pid, path_ptr, path_len)?;
+        if !self.fs.contains_key(&path) {
+            if !create {
+                return Err(SysError::NoSuchPath);
+            }
+            // Only root-level files are creatable (no mkdir syscall).
+            if !Self::parent_is_root(&path) {
+                return Err(SysError::NoSuchPath);
+            }
+            self.fs.insert(path.clone(), Vec::new());
+        }
+        let p = self.procs.get_mut(&pid).ok_or(SysError::NoSuchProcess)?;
+        let fd = p.next_fd;
+        p.next_fd += 1;
+        p.fds.insert(fd, FdSpec { path, offset: 0 });
+        Ok(fd as u64)
+    }
+
+    fn do_read(&mut self, pid: u64, fd: u32, buf_ptr: u64, buf_len: u64) -> SysRet {
+        let p = self.procs.get(&pid).ok_or(SysError::NoSuchProcess)?;
+        let f = p.fds.get(&fd).ok_or(SysError::BadFd)?;
+        let contents = self.fs.get(&f.path).cloned().unwrap_or_default();
+        let offset = f.offset;
+        // The paper's read_spec: read_len = min(buffer.len, size - offset).
+        let read_len = buf_len.min((contents.len() as u64).saturating_sub(offset));
+        let data = contents[offset as usize..(offset + read_len) as usize].to_vec();
+        // Deliver into the abstract buffer (mapping obligation, abstractly).
+        self.mem_write(pid, buf_ptr, &data)?;
+        let p = self.procs.get_mut(&pid).expect("checked");
+        let f = p.fds.get_mut(&fd).expect("checked");
+        f.offset += read_len;
+        Ok(read_len)
+    }
+
+    fn do_write(&mut self, pid: u64, fd: u32, buf_ptr: u64, buf_len: u64) -> SysRet {
+        let data = self.mem_read(pid, buf_ptr, buf_len)?;
+        let p = self.procs.get(&pid).ok_or(SysError::NoSuchProcess)?;
+        let f = p.fds.get(&fd).ok_or(SysError::BadFd)?;
+        let path = f.path.clone();
+        let offset = f.offset;
+        if offset.saturating_add(data.len() as u64) > (1 << 32) {
+            return Err(SysError::NoSpace);
+        }
+        let file = self.fs.get_mut(&path).ok_or(SysError::NoSuchPath)?;
+        let end = offset as usize + data.len();
+        if file.len() < end {
+            file.resize(end, 0);
+        }
+        file[offset as usize..end].copy_from_slice(&data);
+        let p = self.procs.get_mut(&pid).expect("checked");
+        let f = p.fds.get_mut(&fd).expect("checked");
+        f.offset += data.len() as u64;
+        Ok(data.len() as u64)
+    }
+
+    fn do_futex_wait(&mut self, caller: (u64, u64), va: u64, expected: u32) -> SysRet {
+        let (pid, tid) = caller;
+        let bytes = self.mem_read(pid, va, 4)?;
+        let current = u32::from_le_bytes(bytes.try_into().expect("4 bytes"));
+        if current != expected {
+            return Err(SysError::WouldBlock);
+        }
+        self.futexes.entry((pid, va)).or_default().push(tid);
+        if let Some(p) = self.procs.get_mut(&pid) {
+            if let Some(st) = p.threads.get_mut(&tid) {
+                *st = ThreadSpec::BlockedFutex(va);
+            }
+        }
+        Ok(0)
+    }
+
+    fn do_futex_wake(&mut self, pid: u64, va: u64, count: u32) -> SysRet {
+        let Some(q) = self.futexes.get_mut(&(pid, va)) else {
+            return Ok(0);
+        };
+        let take = (count as usize).min(q.len());
+        let woken: Vec<u64> = q.drain(..take).collect();
+        if q.is_empty() {
+            self.futexes.remove(&(pid, va));
+        }
+        let n = woken.len() as u64;
+        if let Some(p) = self.procs.get_mut(&pid) {
+            for t in woken {
+                if let Some(st) = p.threads.get_mut(&t) {
+                    *st = ThreadSpec::Runnable;
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    /// All currently runnable `(pid, tid)` pairs — what a workload driver
+    /// may legally schedule next.
+    pub fn runnable(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for (pid, p) in &self.procs {
+            if p.zombie.is_some() {
+                continue;
+            }
+            for (tid, st) in &p.threads {
+                if *st == ThreadSpec::Runnable {
+                    out.push((*pid, *tid));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_state_shape() {
+        let s = SysState::boot(2);
+        assert_eq!(s.procs.len(), 1);
+        assert_eq!(s.runnable(), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn map_write_read_abstractly() {
+        let mut s = SysState::boot(1);
+        assert_eq!(
+            s.syscall((1, 1), &Syscall::Map { va: 0x1000, pages: 2, writable: true }),
+            Ok(0x1000)
+        );
+        s.mem_write(1, 0x1ffe, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(s.mem_read(1, 0x1ffe, 4).unwrap(), vec![1, 2, 3, 4]);
+        // Unmapped neighbour faults.
+        assert_eq!(s.mem_read(1, 0x3000, 1), Err(SysError::BadAddress));
+        // Read-only page rejects stores.
+        s.syscall((1, 1), &Syscall::Map { va: 0x10_0000, pages: 1, writable: false })
+            .unwrap();
+        assert_eq!(s.mem_write(1, 0x10_0000, &[0]), Err(SysError::BadAddress));
+    }
+
+    #[test]
+    fn spawn_wait_exit_protocol() {
+        let mut s = SysState::boot(1);
+        let child = s.syscall((1, 1), &Syscall::Spawn).unwrap();
+        assert_eq!(child, 2);
+        assert_eq!(
+            s.syscall((1, 1), &Syscall::Wait { pid: child }),
+            Err(SysError::StillRunning)
+        );
+        // Caller is now blocked.
+        assert!(s.runnable().iter().all(|&(p, _)| p != 1));
+        let child_tid = *s.procs[&child].threads.keys().next().unwrap();
+        s.syscall((child, child_tid), &Syscall::Exit { code: 9 }).unwrap();
+        // Parent woken.
+        assert!(s.runnable().contains(&(1, 1)));
+        assert_eq!(s.syscall((1, 1), &Syscall::Wait { pid: child }), Ok(9));
+    }
+
+    #[test]
+    fn file_read_write_round_trip() {
+        let mut s = SysState::boot(1);
+        s.syscall((1, 1), &Syscall::Map { va: 0x1000, pages: 1, writable: true })
+            .unwrap();
+        s.mem_write(1, 0x1000, b"/f").unwrap();
+        let fd = s
+            .syscall((1, 1), &Syscall::Open { path_ptr: 0x1000, path_len: 2, create: true })
+            .unwrap() as u32;
+        s.mem_write(1, 0x1100, b"hello").unwrap();
+        assert_eq!(
+            s.syscall((1, 1), &Syscall::Write { fd, buf_ptr: 0x1100, buf_len: 5 }),
+            Ok(5)
+        );
+        s.syscall((1, 1), &Syscall::Seek { fd, offset: 1 }).unwrap();
+        assert_eq!(
+            s.syscall((1, 1), &Syscall::Read { fd, buf_ptr: 0x1200, buf_len: 100 }),
+            Ok(4)
+        );
+        assert_eq!(s.mem_read(1, 0x1200, 4).unwrap(), b"ello");
+    }
+
+    #[test]
+    fn futex_fifo_and_wake_counts() {
+        let mut s = SysState::boot(2);
+        s.syscall((1, 1), &Syscall::Map { va: 0x1000, pages: 1, writable: true })
+            .unwrap();
+        let t2 = s.syscall((1, 1), &Syscall::ThreadSpawn { affinity_plus_one: 0 }).unwrap();
+        let t3 = s.syscall((1, 1), &Syscall::ThreadSpawn { affinity_plus_one: 0 }).unwrap();
+        assert_eq!(
+            s.syscall((1, t2), &Syscall::FutexWait { va: 0x1000, expected: 0 }),
+            Ok(0)
+        );
+        assert_eq!(
+            s.syscall((1, t3), &Syscall::FutexWait { va: 0x1000, expected: 0 }),
+            Ok(0)
+        );
+        assert_eq!(
+            s.syscall((1, 1), &Syscall::FutexWait { va: 0x1000, expected: 5 }),
+            Err(SysError::WouldBlock)
+        );
+        assert_eq!(
+            s.syscall((1, 1), &Syscall::FutexWake { va: 0x1000, count: 1 }),
+            Ok(1)
+        );
+        // FIFO: t2 woke first.
+        assert!(s.runnable().contains(&(1, t2)));
+        assert!(!s.runnable().contains(&(1, t3)));
+    }
+
+    #[test]
+    fn nested_paths_not_creatable() {
+        let mut s = SysState::boot(1);
+        s.syscall((1, 1), &Syscall::Map { va: 0x1000, pages: 1, writable: true })
+            .unwrap();
+        s.mem_write(1, 0x1000, b"/a/b").unwrap();
+        assert_eq!(
+            s.syscall((1, 1), &Syscall::Open { path_ptr: 0x1000, path_len: 4, create: true }),
+            Err(SysError::NoSuchPath)
+        );
+    }
+}

@@ -1,0 +1,425 @@
+//! Verification conditions for the full OS contract.
+//!
+//! The page table's 220 VCs ([`veros_pagetable::vcs`]) regenerate the
+//! paper's Figure 1a. This module is the *vision* part made concrete:
+//! obligations for every component of the §1 inventory, so `cargo run -p
+//! veros-bench --bin audit` discharges the whole stack:
+//!
+//! * the three §3 obligations (marshalling, mapping, race freedom),
+//! * the §4.4 refinement theorem over randomized traces,
+//! * scheduler sanity (the execution-model invariants),
+//! * node-replication linearizability (the §4.3 "verify NR once" step),
+//! * filesystem crash safety,
+//! * the network transport's prefix-delivery spec,
+//! * the userspace mutex's mutual exclusion (the §3 futex example).
+
+use veros_spec::rng::SpecRng;
+use veros_spec::{check_linearizable, Recorder, SeqSpec, VcEngine, VcKind};
+
+use crate::obligations;
+use crate::theorem;
+
+/// Sizing profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// Runs inside `cargo test`.
+    Quick,
+    /// Audit-scale (release binary).
+    Full,
+}
+
+struct Params {
+    refine_steps: usize,
+    refine_seeds: u64,
+    marshal_iters: usize,
+    mapping_steps: usize,
+    sched_steps: usize,
+    nr_ops_per_thread: usize,
+    fs_crash_seeds: u64,
+    rdt_seeds: u64,
+}
+
+impl Profile {
+    fn params(self) -> Params {
+        match self {
+            Profile::Quick => Params {
+                refine_steps: 120,
+                refine_seeds: 4,
+                marshal_iters: 300,
+                mapping_steps: 30,
+                sched_steps: 200,
+                nr_ops_per_thread: 6,
+                fs_crash_seeds: 4,
+                rdt_seeds: 4,
+            },
+            Profile::Full => Params {
+                refine_steps: 3_000,
+                refine_seeds: 24,
+                marshal_iters: 200_000,
+                mapping_steps: 600,
+                sched_steps: 20_000,
+                nr_ops_per_thread: 10,
+                fs_crash_seeds: 24,
+                rdt_seeds: 16,
+            },
+        }
+    }
+}
+
+const MODULE: &str = "os-contract";
+
+/// Registers the full-stack VC population.
+pub fn register_all(engine: &mut VcEngine, profile: Profile) {
+    let p = profile.params();
+
+    // --- §3 obligations ---------------------------------------------------
+    engine.register(MODULE, VcKind::Marshalling, "abi::all_variants_roundtrip", || {
+        obligations::marshalling_regs_roundtrip()
+    });
+    for seed in 0..4u64 {
+        let iters = p.marshal_iters;
+        engine.register(
+            MODULE,
+            VcKind::Marshalling,
+            format!("abi::random_args_s{seed}"),
+            move || obligations::marshalling_random_args(seed, iters),
+        );
+        engine.register(
+            MODULE,
+            VcKind::Marshalling,
+            format!("abi::decode_fuzz_s{seed}"),
+            move || obligations::marshalling_decode_fuzz(seed, iters),
+        );
+        engine.register(
+            MODULE,
+            VcKind::Marshalling,
+            format!("wire::typed_roundtrip_s{seed}"),
+            move || obligations::marshalling_bytes_roundtrip(seed, iters / 4),
+        );
+    }
+    for seed in 0..6u64 {
+        let steps = p.mapping_steps;
+        engine.register(
+            MODULE,
+            VcKind::Interpretation,
+            format!("mapping::user_buffers_via_page_table_s{seed}"),
+            move || obligations::mapping_obligation(seed, steps),
+        );
+    }
+    for seed in 0..4u64 {
+        let steps = p.mapping_steps;
+        engine.register(
+            MODULE,
+            VcKind::RaceFreedom,
+            format!("race::serialized_buffer_access_s{seed}"),
+            move || obligations::race_freedom_obligation(seed, steps),
+        );
+    }
+
+    // --- §4.4 refinement theorem -------------------------------------------
+    for seed in 0..p.refine_seeds {
+        let steps = p.refine_steps;
+        engine.register(
+            MODULE,
+            VcKind::Refinement,
+            format!("theorem::kernel_refines_sys_spec_s{seed}"),
+            move || theorem::refinement_run(seed, steps, 25).map(|_| ()),
+        );
+    }
+
+    // --- scheduler sanity ----------------------------------------------------
+    for seed in 0..6u64 {
+        let steps = p.sched_steps;
+        engine.register(
+            MODULE,
+            VcKind::Invariant,
+            format!("scheduler::sanity_s{seed}"),
+            move || scheduler_sanity(seed, steps),
+        );
+    }
+
+    // --- NR linearizability ---------------------------------------------------
+    for (tag, replicas, threads) in [("r1t2", 1usize, 2usize), ("r2t2", 2, 2), ("r2t3", 2, 3)] {
+        let ops = p.nr_ops_per_thread;
+        engine.register(
+            MODULE,
+            VcKind::Linearizability,
+            format!("nr::counter_history_{tag}"),
+            move || nr_linearizable(replicas, threads, ops),
+        );
+    }
+
+    // --- filesystem crash safety ------------------------------------------------
+    for seed in 0..p.fs_crash_seeds {
+        engine.register(
+            MODULE,
+            VcKind::Property,
+            format!("fs::crash_recovers_committed_boundary_s{seed}"),
+            move || fs_crash_safety(seed),
+        );
+    }
+
+    // --- network transport spec ----------------------------------------------
+    for seed in 0..p.rdt_seeds {
+        engine.register(
+            MODULE,
+            VcKind::Property,
+            format!("net::rdt_prefix_delivery_s{seed}"),
+            move || rdt_prefix_spec(seed),
+        );
+    }
+}
+
+/// Random scheduler workouts asserting the sanity invariant throughout.
+fn scheduler_sanity(seed: u64, steps: usize) -> Result<(), String> {
+    use veros_kernel::thread::BlockReason;
+    use veros_kernel::{Pid, Scheduler};
+
+    let mut rng = SpecRng::seeded(seed ^ 0x5c4ed);
+    let cores = 1 + rng.index(4);
+    let mut sched = Scheduler::new(cores);
+    let mut tids = Vec::new();
+    for _ in 0..(2 + rng.index(6)) {
+        let aff = if rng.chance(1, 3) {
+            Some(rng.index(cores))
+        } else {
+            None
+        };
+        tids.push(sched.spawn_thread(Pid(1), aff).map_err(|e| format!("{e:?}"))?);
+    }
+    for step in 0..steps {
+        match rng.below(10) {
+            0..=4 => {
+                let core = rng.index(cores);
+                sched.schedule(core).map_err(|e| format!("{e:?}"))?;
+            }
+            5 => {
+                let core = rng.index(cores);
+                if sched.running_on(core).is_some() {
+                    sched
+                        .block_current(core, BlockReason::Futex(rng.next_u64()))
+                        .map_err(|e| format!("{e:?}"))?;
+                }
+            }
+            6 => {
+                let tid = *rng.choose(&tids);
+                let _ = sched.unblock(tid); // WrongState is fine.
+            }
+            7 => {
+                let core = rng.index(cores);
+                sched.tick(core).map_err(|e| format!("{e:?}"))?;
+            }
+            8 => {
+                if rng.chance(1, 10) {
+                    let tid = *rng.choose(&tids);
+                    let _ = sched.exit_thread(tid);
+                }
+            }
+            _ => {
+                if tids.len() < 12 {
+                    tids.push(
+                        sched
+                            .spawn_thread(Pid(1), None)
+                            .map_err(|e| format!("{e:?}"))?,
+                    );
+                }
+            }
+        }
+        sched
+            .invariant()
+            .map_err(|e| format!("seed {seed} step {step}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Sequential spec for the NR counter used in history checking.
+struct CounterSpec;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum CounterOp {
+    Add(u64),
+    Get,
+}
+
+impl SeqSpec for CounterSpec {
+    type Op = CounterOp;
+    type Ret = u64;
+    type State = u64;
+
+    fn init(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, state: &u64, op: &CounterOp) -> (u64, u64) {
+        match op {
+            CounterOp::Add(n) => (state + n, state + n),
+            CounterOp::Get => (*state, *state),
+        }
+    }
+}
+
+/// NR dispatch for the counter.
+#[derive(Clone, Default)]
+struct NrCounter(u64);
+
+impl veros_nr::Dispatch for NrCounter {
+    type ReadOp = ();
+    type WriteOp = u64;
+    type Response = u64;
+
+    fn dispatch(&self, _: ()) -> u64 {
+        self.0
+    }
+
+    fn dispatch_mut(&mut self, n: u64) -> u64 {
+        self.0 += n;
+        self.0
+    }
+}
+
+/// Records a concurrent NR history on real threads and checks it with
+/// the Wing–Gong linearizability checker — "verify NR once", §4.3.
+fn nr_linearizable(replicas: usize, threads: usize, ops_per_thread: usize) -> Result<(), String> {
+    use std::sync::Arc;
+
+    let nr = Arc::new(veros_nr::NodeReplicated::new(
+        replicas,
+        threads,
+        64,
+        NrCounter::default,
+    ));
+    let recorder = Arc::new(Recorder::<CounterOp, u64>::new());
+    let mut handles = Vec::new();
+    for t in 0..threads * replicas {
+        let nr = Arc::clone(&nr);
+        let recorder = Arc::clone(&recorder);
+        handles.push(std::thread::spawn(move || {
+            let tkn = nr.register(t % replicas).expect("slot");
+            for i in 0..ops_per_thread {
+                if i % 3 == 2 {
+                    recorder.invoke(t, CounterOp::Get);
+                    let v = nr.execute((), tkn);
+                    recorder.response(t, v);
+                } else {
+                    let add = (t * 10 + i + 1) as u64;
+                    recorder.invoke(t, CounterOp::Add(add));
+                    let v = nr.execute_mut(add, tkn);
+                    recorder.response(t, v);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().map_err(|_| "worker panicked".to_string())?;
+    }
+    let history = Arc::try_unwrap(recorder)
+        .map_err(|_| "recorder still shared".to_string())?
+        .finish();
+    check_linearizable(&CounterSpec, &history)
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+/// Journal crash-safety over random histories (the spec from
+/// `veros-fs::journal`).
+fn fs_crash_safety(seed: u64) -> Result<(), String> {
+    use veros_fs::journal::{FsOp, JournaledFs};
+    use veros_fs::MemFs;
+    use veros_hw::SimDisk;
+
+    let mut rng = SpecRng::seeded(seed ^ 0xc4a5);
+    let mut jfs = JournaledFs::format(SimDisk::new(4096));
+    let mut boundaries = vec![MemFs::new()];
+    for i in 0..40 {
+        let f = format!("/f{}", rng.below(6));
+        let op = match rng.below(4) {
+            0 => FsOp::Create(f),
+            1 => FsOp::WriteAt(f, rng.below(128), vec![rng.below(255) as u8; 16]),
+            2 => FsOp::Truncate(f, rng.below(64)),
+            _ => FsOp::Unlink(f),
+        };
+        let _ = jfs.apply(op);
+        if i % 7 == 6 {
+            jfs.commit().map_err(|e| e.to_string())?;
+            boundaries.push(jfs.fs.clone());
+        }
+    }
+    let _ = jfs.apply(FsOp::Create("/uncommitted".into()));
+    let mut disk = jfs.into_disk();
+    disk.crash_random(&mut rng);
+    let recovered = JournaledFs::recover(disk);
+    if !boundaries.contains(&recovered.fs) {
+        return Err(format!("seed {seed}: recovered state is not a committed boundary"));
+    }
+    Ok(())
+}
+
+/// The reliable transport's prefix-delivery spec under a hostile wire.
+fn rdt_prefix_spec(seed: u64) -> Result<(), String> {
+    use veros_net::rdt::RdtEndpoint;
+    use veros_net::sim::{FaultPlan, Network};
+
+    let mut net = Network::new(2, FaultPlan::hostile(), seed ^ 0x2d7);
+    let sa = net.host(0).bind(7000).map_err(|e| format!("{e:?}"))?;
+    let sb = net.host(1).bind(7001).map_err(|e| format!("{e:?}"))?;
+    let ip0 = net.host(0).ip();
+    let ip1 = net.host(1).ip();
+    let mut a = RdtEndpoint::new(sa, (ip1, 7001));
+    let mut b = RdtEndpoint::new(sb, (ip0, 7000));
+    let sent: Vec<Vec<u8>> = (0..25u8).map(|i| vec![i, i ^ 0x5a]).collect();
+    for m in &sent {
+        a.send(net.host(0), 0, m.clone()).map_err(|e| format!("{e:?}"))?;
+    }
+    let mut got = Vec::new();
+    let mut done_at = None;
+    for now in 0..5000u64 {
+        net.step();
+        a.poll(net.host(0), now).map_err(|e| format!("{e:?}"))?;
+        b.poll(net.host(1), now).map_err(|e| format!("{e:?}"))?;
+        a.on_tick(net.host(0), now).map_err(|e| format!("{e:?}"))?;
+        b.on_tick(net.host(1), now).map_err(|e| format!("{e:?}"))?;
+        while let Some(m) = b.recv() {
+            got.push(m);
+        }
+        // Prefix property must hold at *every* instant, not just the end.
+        if got.len() > sent.len() || got[..] != sent[..got.len()] {
+            return Err(format!("seed {seed} t={now}: delivery is not a prefix"));
+        }
+        if a.fully_acked() && done_at.is_none() {
+            done_at = Some(now);
+        }
+        if done_at.is_some() && got.len() == sent.len() {
+            return Ok(());
+        }
+    }
+    Err(format!(
+        "seed {seed}: transport did not deliver everything ({} of {})",
+        got.len(),
+        sent.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_profile_all_pass() {
+        let mut engine = VcEngine::new();
+        register_all(&mut engine, Profile::Quick);
+        let report = engine.run();
+        let failures: Vec<String> = report
+            .failures()
+            .iter()
+            .map(|o| format!("{}: {:?}", o.vc.name, o.status))
+            .collect();
+        assert!(failures.is_empty(), "failed VCs:\n{}", failures.join("\n"));
+    }
+
+    #[test]
+    fn population_covers_all_kinds() {
+        let mut engine = VcEngine::new();
+        register_all(&mut engine, Profile::Quick);
+        assert!(engine.len() >= 40, "population too small: {}", engine.len());
+    }
+}

@@ -1,0 +1,196 @@
+//! The abstraction function: live kernel → abstract system state.
+//!
+//! This is `view()` from the paper's §3 example — "the view() functions
+//! abstract the concrete runtime values to mathematical representations"
+//! — for the whole system state. The crucial choice is how memory is
+//! abstracted: **through the MMU's interpretation of the page tables in
+//! physical memory** ([`veros_hw::interpret_page_table`]), not through
+//! any kernel bookkeeping. A kernel that corrupts its page tables gets a
+//! view that diverges from the spec even if its internal records look
+//! right — that is what makes the spec process-centric.
+
+use std::collections::BTreeMap;
+
+use veros_hw::{interpret_page_table, PAGE_4K};
+use veros_kernel::thread::{BlockReason, ThreadState};
+use veros_kernel::Kernel;
+
+use crate::sys_spec::{FdSpec, PageSpec, ProcSpec, SysState, ThreadSpec};
+
+/// Computes the abstract view of the kernel.
+///
+/// `cores` and the pid/tid counters are part of the abstract state so
+/// refinement can predict identifier assignment; they are read from the
+/// kernel's public structure.
+pub fn view(kernel: &Kernel) -> SysState {
+    let mut procs = BTreeMap::new();
+    for proc in kernel.processes().iter() {
+        let pid = proc.pid;
+        let zombie = match proc.state {
+            veros_kernel::ProcessState::Alive => None,
+            veros_kernel::ProcessState::Zombie { code } => Some(code),
+        };
+
+        // Memory: the MMU's interpretation of this process's page table.
+        let mut mem = BTreeMap::new();
+        if let Some(vspace) = kernel.vspace(pid) {
+            for (va, mapping) in interpret_page_table(&kernel.machine.mem, vspace.root()) {
+                // Syscall-created mappings are all 4 KiB; larger leaves
+                // are decomposed so the abstract shape is uniform.
+                let pages = mapping.size / PAGE_4K;
+                for i in 0..pages {
+                    let mut data = vec![0u8; PAGE_4K as usize];
+                    kernel
+                        .machine
+                        .mem
+                        .read_bytes(veros_hw::PAddr(mapping.pa_base.0 + i * PAGE_4K), &mut data);
+                    mem.insert(
+                        va.0 + i * PAGE_4K,
+                        PageSpec {
+                            writable: mapping.writable,
+                            data,
+                        },
+                    );
+                }
+            }
+        }
+
+        // File descriptors.
+        let mut fds = BTreeMap::new();
+        for (fd, path, offset) in kernel.fd_view(pid) {
+            fds.insert(fd, FdSpec { path, offset });
+        }
+
+        // Threads (exited threads vanish from the abstract state).
+        let mut threads = BTreeMap::new();
+        for tid in &proc.threads {
+            if let Some(t) = kernel.sched.thread(*tid) {
+                let st = match t.state {
+                    ThreadState::Ready | ThreadState::Running { .. } => ThreadSpec::Runnable,
+                    ThreadState::Blocked(BlockReason::Futex(va)) => ThreadSpec::BlockedFutex(va),
+                    ThreadState::Blocked(BlockReason::Wait(p)) => ThreadSpec::BlockedWait(p.0),
+                    ThreadState::Blocked(BlockReason::Sleep(_)) => ThreadSpec::Runnable,
+                    ThreadState::Exited => continue,
+                };
+                threads.insert(tid.0, st);
+            }
+        }
+
+        procs.insert(
+            pid.0,
+            ProcSpec {
+                parent: proc.parent.map(|p| p.0),
+                zombie,
+                mem,
+                fds,
+                next_fd: proc.next_fd,
+                threads,
+            },
+        );
+    }
+
+    // Filesystem: flatten, keeping only files (the syscall surface
+    // cannot create directories).
+    let flat = veros_fs::spec::view_flat(&kernel.fs.fs);
+
+    // Futex queues.
+    let mut futexes = BTreeMap::new();
+    for ((pid, va), q) in kernel.futex_view() {
+        futexes.insert((pid, va), q);
+    }
+
+    SysState {
+        procs,
+        fs: flat.files,
+        futexes,
+        next_pid: peek_next_pid(kernel),
+        next_tid: peek_next_tid(kernel),
+        clock: kernel.clock.now(),
+        cores: kernel.sched.cores() as u64,
+    }
+}
+
+// The counters are not directly readable; they are reconstructed from
+// observable state: the kernel assigns pids/tids sequentially, so "the
+// next id" is one past the maximum ever observed. To keep this exact,
+// the view tracks the maximum over *live* state, which matches as long
+// as the driver does not exhaust and recycle... ids are never recycled,
+// so the reconstruction below is only a lower bound when processes have
+// been reaped. The refinement driver therefore compares everything
+// *except* the counters when reaping occurred; to keep the common case
+// exact, the kernel exposes the counters directly.
+fn peek_next_pid(kernel: &Kernel) -> u64 {
+    kernel.next_pid_hint()
+}
+
+fn peek_next_tid(kernel: &Kernel) -> u64 {
+    kernel.next_tid_hint()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veros_kernel::{KernelConfig, Syscall};
+
+    #[test]
+    fn boot_view_matches_spec_boot() {
+        let kernel = Kernel::boot(KernelConfig::default()).unwrap();
+        let v = view(&kernel);
+        let spec = SysState::boot(kernel.sched.cores() as u64);
+        assert_eq!(v, spec);
+    }
+
+    #[test]
+    fn mapped_memory_appears_in_the_view_via_the_mmu() {
+        let mut kernel = Kernel::boot(KernelConfig::default()).unwrap();
+        let c = (kernel.init_pid, kernel.init_tid);
+        kernel
+            .syscall(c, Syscall::Map { va: 0x4000, pages: 1, writable: true })
+            .unwrap();
+        kernel.write_user(c.0, 0x4010, b"observable").unwrap();
+        let v = view(&kernel);
+        let page = &v.procs[&c.0 .0].mem[&0x4000];
+        assert!(page.writable);
+        assert_eq!(&page.data[0x10..0x1a], b"observable");
+    }
+
+    #[test]
+    fn view_is_mmu_grounded_not_bookkeeping_grounded() {
+        // Corrupt the page table bits directly; the view must change
+        // even though no kernel structure was touched.
+        let mut kernel = Kernel::boot(KernelConfig::default()).unwrap();
+        let c = (kernel.init_pid, kernel.init_tid);
+        kernel
+            .syscall(c, Syscall::Map { va: 0x4000, pages: 1, writable: true })
+            .unwrap();
+        let before = view(&kernel);
+        let root = kernel.vspace(c.0).unwrap().root();
+        // Zero the PML4 entry: the mapping disappears from the MMU's
+        // point of view.
+        let idx = veros_hw::VAddr(0x4000).pml4_index() as u64;
+        kernel.machine.mem.write_u64(veros_hw::PAddr(root.0 + 8 * idx), 0);
+        let after = view(&kernel);
+        assert_ne!(before, after);
+        assert!(after.procs[&c.0 .0].mem.is_empty());
+    }
+
+    #[test]
+    fn fd_and_fs_state_in_view() {
+        let mut kernel = Kernel::boot(KernelConfig::default()).unwrap();
+        let c = (kernel.init_pid, kernel.init_tid);
+        kernel
+            .syscall(c, Syscall::Map { va: 0x4000, pages: 1, writable: true })
+            .unwrap();
+        kernel.write_user(c.0, 0x4000, b"/f").unwrap();
+        let fd = kernel
+            .syscall(c, Syscall::Open { path_ptr: 0x4000, path_len: 2, create: true })
+            .unwrap() as u32;
+        kernel.write_user(c.0, 0x4100, b"abc").unwrap();
+        kernel
+            .syscall(c, Syscall::Write { fd, buf_ptr: 0x4100, buf_len: 3 })
+            .unwrap();
+        let v = view(&kernel);
+        assert_eq!(v.fs["/f"], b"abc");
+        assert_eq!(v.procs[&c.0 .0].fds[&fd].offset, 3);
+    }
+}

@@ -1,0 +1,127 @@
+//! The inode table.
+
+use std::collections::BTreeMap;
+
+/// An inode number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ino(pub u64);
+
+/// The root directory's inode number.
+pub const ROOT_INO: Ino = Ino(1);
+
+/// What an inode is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InodeKind {
+    /// A regular file with its contents.
+    File(Vec<u8>),
+    /// A directory mapping names to child inodes.
+    Dir(BTreeMap<String, Ino>),
+}
+
+/// One inode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Inode {
+    /// The inode's number.
+    pub ino: Ino,
+    /// File or directory payload.
+    pub kind: InodeKind,
+}
+
+impl Inode {
+    /// File length or directory entry count.
+    pub fn size(&self) -> u64 {
+        match &self.kind {
+            InodeKind::File(data) => data.len() as u64,
+            InodeKind::Dir(entries) => entries.len() as u64,
+        }
+    }
+}
+
+/// The inode table: allocation and lookup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InodeTable {
+    inodes: BTreeMap<Ino, Inode>,
+    next: u64,
+}
+
+impl Default for InodeTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InodeTable {
+    /// Creates a table containing only the root directory.
+    pub fn new() -> Self {
+        let mut inodes = BTreeMap::new();
+        inodes.insert(
+            ROOT_INO,
+            Inode {
+                ino: ROOT_INO,
+                kind: InodeKind::Dir(BTreeMap::new()),
+            },
+        );
+        Self { inodes, next: 2 }
+    }
+
+    /// Allocates a fresh inode with `kind`.
+    pub fn alloc(&mut self, kind: InodeKind) -> Ino {
+        let ino = Ino(self.next);
+        self.next += 1;
+        self.inodes.insert(ino, Inode { ino, kind });
+        ino
+    }
+
+    /// Looks up an inode.
+    pub fn get(&self, ino: Ino) -> Option<&Inode> {
+        self.inodes.get(&ino)
+    }
+
+    /// Looks up an inode mutably.
+    pub fn get_mut(&mut self, ino: Ino) -> Option<&mut Inode> {
+        self.inodes.get_mut(&ino)
+    }
+
+    /// Frees an inode.
+    pub fn free(&mut self, ino: Ino) -> Option<Inode> {
+        debug_assert_ne!(ino, ROOT_INO, "cannot free the root");
+        self.inodes.remove(&ino)
+    }
+
+    /// Number of live inodes.
+    pub fn len(&self) -> usize {
+        self.inodes.len()
+    }
+
+    /// True when only the root exists... never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_table_has_root_dir() {
+        let t = InodeTable::new();
+        let root = t.get(ROOT_INO).unwrap();
+        assert!(matches!(root.kind, InodeKind::Dir(_)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn alloc_assigns_unique_inos() {
+        let mut t = InodeTable::new();
+        let a = t.alloc(InodeKind::File(vec![1]));
+        let b = t.alloc(InodeKind::File(vec![2]));
+        assert_ne!(a, b);
+        assert_eq!(t.get(a).unwrap().size(), 1);
+        t.free(a);
+        assert!(t.get(a).is_none());
+        // Freed numbers are not reused (stable identity).
+        let c = t.alloc(InodeKind::File(vec![]));
+        assert_ne!(c, a);
+    }
+}

@@ -1,0 +1,29 @@
+//! The filesystem service (the paper's §1 component list: "a filesystem
+//! (persistence, sharing)").
+//!
+//! Layers:
+//!
+//! * [`path`] — normalized absolute paths.
+//! * [`inode`] — the inode table: files and directories.
+//! * [`memfs`] — the in-memory filesystem over the inode table.
+//! * [`file`] — open-file handles with offsets; `read`/`write` implement
+//!   the paper's `read_spec` semantics literally.
+//! * [`journal`] — persistence: a write-ahead operation journal on the
+//!   simulated disk with commit records; recovery replays exactly the
+//!   committed transactions (crash-safety).
+//! * [`spec`] — the abstract filesystem spec (map path → bytes, fd
+//!   states) including a literal transcription of the paper's
+//!   `read_spec`, plus differential checking.
+
+pub mod file;
+pub mod inode;
+pub mod journal;
+pub mod memfs;
+pub mod path;
+pub mod spec;
+
+pub use file::{OpenFiles, ReadResult};
+pub use inode::{Ino, InodeKind};
+pub use journal::{FsOp, JournaledFs};
+pub use memfs::{FsError, MemFs};
+pub use path::Path;

@@ -1,0 +1,223 @@
+//! Address newtypes and x86-64 page geometry.
+//!
+//! Physical and virtual addresses are distinct types so that the page
+//! table code cannot confuse them — the same discipline the verified
+//! prototype gets from Verus's type system.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Size of a 4 KiB page.
+pub const PAGE_4K: u64 = 4096;
+/// Size of a 2 MiB huge page.
+pub const PAGE_2M: u64 = 512 * PAGE_4K;
+/// Size of a 1 GiB huge page.
+pub const PAGE_1G: u64 = 512 * PAGE_2M;
+
+/// Number of entries in each x86-64 page-table level.
+pub const PT_ENTRIES: usize = 512;
+
+/// Highest bit index of the virtual address space covered by 4-level
+/// paging (48-bit canonical addresses).
+pub const VADDR_BITS: u32 = 48;
+
+/// A physical address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PAddr(pub u64);
+
+/// A virtual address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VAddr(pub u64);
+
+impl fmt::Debug for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Debug for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl Add<u64> for PAddr {
+    type Output = PAddr;
+    fn add(self, rhs: u64) -> PAddr {
+        PAddr(self.0 + rhs)
+    }
+}
+
+impl Sub<PAddr> for PAddr {
+    type Output = u64;
+    fn sub(self, rhs: PAddr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl Add<u64> for VAddr {
+    type Output = VAddr;
+    fn add(self, rhs: u64) -> VAddr {
+        VAddr(self.0 + rhs)
+    }
+}
+
+impl Sub<VAddr> for VAddr {
+    type Output = u64;
+    fn sub(self, rhs: VAddr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl PAddr {
+    /// True when aligned to `align` (a power of two).
+    pub fn is_aligned(self, align: u64) -> bool {
+        debug_assert!(align.is_power_of_two());
+        self.0 & (align - 1) == 0
+    }
+
+    /// Rounds down to `align`.
+    pub fn align_down(self, align: u64) -> PAddr {
+        PAddr(self.0 & !(align - 1))
+    }
+
+    /// The frame number of a 4 KiB-aligned address.
+    pub fn frame(self) -> u64 {
+        self.0 / PAGE_4K
+    }
+}
+
+impl VAddr {
+    /// True when aligned to `align` (a power of two).
+    pub fn is_aligned(self, align: u64) -> bool {
+        debug_assert!(align.is_power_of_two());
+        self.0 & (align - 1) == 0
+    }
+
+    /// Rounds down to `align`.
+    pub fn align_down(self, align: u64) -> VAddr {
+        VAddr(self.0 & !(align - 1))
+    }
+
+    /// Offset within a 4 KiB page.
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_4K - 1)
+    }
+
+    /// True when the address is canonical for 4-level paging: bits 48..63
+    /// are copies of bit 47.
+    pub fn is_canonical(self) -> bool {
+        let upper = self.0 >> (VADDR_BITS - 1);
+        upper == 0 || upper == (1 << (65 - VADDR_BITS)) - 1
+    }
+
+    /// Index into the PML4 (level-4 table).
+    pub fn pml4_index(self) -> usize {
+        ((self.0 >> 39) & 0x1ff) as usize
+    }
+
+    /// Index into the PDPT (level-3 table).
+    pub fn pdpt_index(self) -> usize {
+        ((self.0 >> 30) & 0x1ff) as usize
+    }
+
+    /// Index into the PD (level-2 table).
+    pub fn pd_index(self) -> usize {
+        ((self.0 >> 21) & 0x1ff) as usize
+    }
+
+    /// Index into the PT (level-1 table).
+    pub fn pt_index(self) -> usize {
+        ((self.0 >> 12) & 0x1ff) as usize
+    }
+
+    /// Reassembles a virtual address from its four table indices.
+    ///
+    /// The inverse of the four `*_index` functions for canonical
+    /// lower-half addresses.
+    pub fn from_indices(l4: usize, l3: usize, l2: usize, l1: usize) -> VAddr {
+        debug_assert!(l4 < PT_ENTRIES && l3 < PT_ENTRIES && l2 < PT_ENTRIES && l1 < PT_ENTRIES);
+        let raw =
+            ((l4 as u64) << 39) | ((l3 as u64) << 30) | ((l2 as u64) << 21) | ((l1 as u64) << 12);
+        // Sign-extend bit 47 to make the address canonical.
+        if raw & (1 << 47) != 0 {
+            VAddr(raw | 0xffff_0000_0000_0000)
+        } else {
+            VAddr(raw)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_sizes_nest() {
+        assert_eq!(PAGE_2M, 0x20_0000);
+        assert_eq!(PAGE_1G, 0x4000_0000);
+        assert_eq!(PAGE_2M / PAGE_4K, 512);
+        assert_eq!(PAGE_1G / PAGE_2M, 512);
+    }
+
+    #[test]
+    fn index_extraction_matches_manual_decomposition() {
+        let va = VAddr(0x0000_7fff_dead_b000);
+        let reassembled = ((va.pml4_index() as u64) << 39)
+            | ((va.pdpt_index() as u64) << 30)
+            | ((va.pd_index() as u64) << 21)
+            | ((va.pt_index() as u64) << 12)
+            | va.page_offset();
+        assert_eq!(reassembled, va.0);
+    }
+
+    #[test]
+    fn from_indices_round_trips() {
+        for (l4, l3, l2, l1) in [(0, 0, 0, 0), (1, 2, 3, 4), (255, 511, 511, 511), (256, 0, 0, 0)] {
+            let va = VAddr::from_indices(l4, l3, l2, l1);
+            assert!(va.is_canonical(), "{va:?}");
+            assert_eq!(va.pml4_index(), l4);
+            assert_eq!(va.pdpt_index(), l3);
+            assert_eq!(va.pd_index(), l2);
+            assert_eq!(va.pt_index(), l1);
+        }
+    }
+
+    #[test]
+    fn canonical_boundary() {
+        assert!(VAddr(0x0000_7fff_ffff_ffff).is_canonical());
+        assert!(!VAddr(0x0000_8000_0000_0000).is_canonical());
+        assert!(VAddr(0xffff_8000_0000_0000).is_canonical());
+        assert!(!VAddr(0xfffe_8000_0000_0000).is_canonical());
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        assert!(PAddr(0x2000).is_aligned(PAGE_4K));
+        assert!(!PAddr(0x2001).is_aligned(PAGE_4K));
+        assert_eq!(PAddr(0x2fff).align_down(PAGE_4K), PAddr(0x2000));
+        assert_eq!(VAddr(0x2fff).align_down(PAGE_4K), VAddr(0x2000));
+        assert_eq!(VAddr(0x2abc).page_offset(), 0xabc);
+        assert_eq!(PAddr(0x3000).frame(), 3);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        assert_eq!(PAddr(0x1000) + 0x10, PAddr(0x1010));
+        assert_eq!(PAddr(0x1010) - PAddr(0x1000), 0x10);
+        assert_eq!(VAddr(0x1000) + 0x10, VAddr(0x1010));
+        assert_eq!(VAddr(0x1010) - VAddr(0x1000), 0x10);
+    }
+}

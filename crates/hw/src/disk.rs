@@ -1,0 +1,237 @@
+//! Simulated block device with a volatile write cache and crash injection.
+//!
+//! The filesystem's crash-safety spec ("committed operations survive a
+//! crash") is only meaningful against a disk model in which un-flushed
+//! writes can be lost, and lost *out of order* — real drives reorder
+//! cached writes. [`SimDisk`] therefore keeps a persistent array plus an
+//! ordered cache of pending sector writes; a crash keeps an arbitrary
+//! subset of the cache chosen by the injected RNG (or a prefix, for
+//! deterministic tests), and `flush` creates a barrier by draining it.
+
+use veros_spec::rng::SpecRng;
+
+/// Sector size in bytes.
+pub const SECTOR_SIZE: usize = 512;
+
+/// Errors from disk operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskError {
+    /// Sector index beyond the device capacity.
+    OutOfRange {
+        /// The offending sector.
+        sector: u64,
+    },
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::OutOfRange { sector } => write!(f, "sector {sector} out of range"),
+        }
+    }
+}
+
+/// A pending (cached, not yet durable) sector write.
+#[derive(Clone)]
+struct Pending {
+    sector: u64,
+    data: Box<[u8; SECTOR_SIZE]>,
+}
+
+/// A simulated disk.
+pub struct SimDisk {
+    sectors: u64,
+    persistent: Vec<Option<Box<[u8; SECTOR_SIZE]>>>,
+    cache: Vec<Pending>,
+    writes: u64,
+    flushes: u64,
+}
+
+impl SimDisk {
+    /// Creates a disk with `sectors` zeroed sectors.
+    pub fn new(sectors: u64) -> Self {
+        Self {
+            sectors,
+            persistent: (0..sectors).map(|_| None).collect(),
+            cache: Vec::new(),
+            writes: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Device capacity in sectors.
+    pub fn sectors(&self) -> u64 {
+        self.sectors
+    }
+
+    /// Reads a sector. Reads observe the cache (the drive returns the
+    /// latest written data whether or not it is durable yet).
+    pub fn read(&self, sector: u64, buf: &mut [u8; SECTOR_SIZE]) -> Result<(), DiskError> {
+        self.check(sector)?;
+        // Latest cached write wins.
+        if let Some(p) = self.cache.iter().rev().find(|p| p.sector == sector) {
+            buf.copy_from_slice(&p.data[..]);
+            return Ok(());
+        }
+        match &self.persistent[sector as usize] {
+            Some(d) => buf.copy_from_slice(&d[..]),
+            None => buf.fill(0),
+        }
+        Ok(())
+    }
+
+    /// Writes a sector into the volatile cache.
+    pub fn write(&mut self, sector: u64, data: &[u8; SECTOR_SIZE]) -> Result<(), DiskError> {
+        self.check(sector)?;
+        self.writes += 1;
+        self.cache.push(Pending {
+            sector,
+            data: Box::new(*data),
+        });
+        Ok(())
+    }
+
+    /// Flush barrier: makes every cached write durable, in order.
+    pub fn flush(&mut self) {
+        self.flushes += 1;
+        for p in self.cache.drain(..) {
+            self.persistent[p.sector as usize] = Some(p.data);
+        }
+    }
+
+    /// Number of cached (not yet durable) writes.
+    pub fn dirty(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// `(writes, flushes)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.writes, self.flushes)
+    }
+
+    /// Crash keeping only the first `n` cached writes (deterministic).
+    pub fn crash_keep_prefix(&mut self, n: usize) {
+        let keep: Vec<Pending> = self.cache.drain(..).take(n).collect();
+        for p in keep {
+            self.persistent[p.sector as usize] = Some(p.data);
+        }
+        self.cache.clear();
+    }
+
+    /// Crash keeping an arbitrary subset of cached writes, in order —
+    /// modelling drive-internal reordering at sector granularity. Later
+    /// kept writes to the same sector still win (ordering per sector is
+    /// preserved, which matches single-queue drives).
+    pub fn crash_random(&mut self, rng: &mut SpecRng) {
+        let pending: Vec<Pending> = self.cache.drain(..).collect();
+        for p in pending {
+            if rng.chance(1, 2) {
+                self.persistent[p.sector as usize] = Some(p.data);
+            }
+        }
+    }
+
+    fn check(&self, sector: u64) -> Result<(), DiskError> {
+        if sector < self.sectors {
+            Ok(())
+        } else {
+            Err(DiskError::OutOfRange { sector })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sec(byte: u8) -> [u8; SECTOR_SIZE] {
+        [byte; SECTOR_SIZE]
+    }
+
+    #[test]
+    fn read_sees_cached_write() {
+        let mut d = SimDisk::new(8);
+        d.write(3, &sec(7)).unwrap();
+        let mut buf = sec(0);
+        d.read(3, &mut buf).unwrap();
+        assert_eq!(buf, sec(7));
+        assert_eq!(d.dirty(), 1);
+    }
+
+    #[test]
+    fn unflushed_write_lost_on_crash() {
+        let mut d = SimDisk::new(8);
+        d.write(3, &sec(7)).unwrap();
+        d.crash_keep_prefix(0);
+        let mut buf = sec(1);
+        d.read(3, &mut buf).unwrap();
+        assert_eq!(buf, sec(0), "write was volatile");
+    }
+
+    #[test]
+    fn flushed_write_survives_crash() {
+        let mut d = SimDisk::new(8);
+        d.write(3, &sec(7)).unwrap();
+        d.flush();
+        d.crash_keep_prefix(0);
+        let mut buf = sec(0);
+        d.read(3, &mut buf).unwrap();
+        assert_eq!(buf, sec(7));
+        assert_eq!(d.dirty(), 0);
+    }
+
+    #[test]
+    fn prefix_crash_keeps_only_early_writes() {
+        let mut d = SimDisk::new(8);
+        d.write(1, &sec(1)).unwrap();
+        d.write(2, &sec(2)).unwrap();
+        d.write(3, &sec(3)).unwrap();
+        d.crash_keep_prefix(2);
+        let mut buf = sec(0);
+        d.read(1, &mut buf).unwrap();
+        assert_eq!(buf, sec(1));
+        d.read(2, &mut buf).unwrap();
+        assert_eq!(buf, sec(2));
+        d.read(3, &mut buf).unwrap();
+        assert_eq!(buf, sec(0));
+    }
+
+    #[test]
+    fn latest_cached_write_wins_reads() {
+        let mut d = SimDisk::new(4);
+        d.write(0, &sec(1)).unwrap();
+        d.write(0, &sec(2)).unwrap();
+        let mut buf = sec(9);
+        d.read(0, &mut buf).unwrap();
+        assert_eq!(buf, sec(2));
+    }
+
+    #[test]
+    fn random_crash_keeps_subset() {
+        let mut d = SimDisk::new(16);
+        for s in 0..16 {
+            d.write(s, &sec(s as u8 + 1)).unwrap();
+        }
+        let mut rng = SpecRng::seeded(99);
+        d.crash_random(&mut rng);
+        let mut survived = 0;
+        for s in 0..16 {
+            let mut buf = sec(0);
+            d.read(s, &mut buf).unwrap();
+            if buf == sec(s as u8 + 1) {
+                survived += 1;
+            } else {
+                assert_eq!(buf, sec(0), "must be old or new, never torn");
+            }
+        }
+        assert!(survived > 0 && survived < 16, "seed 99 keeps a strict subset");
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let mut d = SimDisk::new(2);
+        assert!(d.write(2, &sec(0)).is_err());
+        let mut buf = sec(0);
+        assert_eq!(d.read(9, &mut buf), Err(DiskError::OutOfRange { sector: 9 }));
+    }
+}

@@ -1,0 +1,126 @@
+//! Simulated network interface.
+//!
+//! A NIC here is a pair of frame queues with a MAC address; the wire
+//! itself (delivery, loss, duplication, reordering) is modelled by
+//! `veros-net`'s simulator, which moves frames between NICs. Keeping the
+//! device dumb matches real hardware and keeps the driver boundary clean.
+
+use std::collections::VecDeque;
+
+/// Maximum frame size accepted by the device (standard Ethernet MTU plus
+/// header slack).
+pub const MAX_FRAME: usize = 1536;
+
+/// A simulated network interface card.
+#[derive(Clone, Debug)]
+pub struct SimNic {
+    mac: [u8; 6],
+    tx: VecDeque<Vec<u8>>,
+    rx: VecDeque<Vec<u8>>,
+    tx_count: u64,
+    rx_count: u64,
+    dropped_oversize: u64,
+}
+
+impl SimNic {
+    /// Creates a NIC with the given MAC address.
+    pub fn new(mac: [u8; 6]) -> Self {
+        Self {
+            mac,
+            tx: VecDeque::new(),
+            rx: VecDeque::new(),
+            tx_count: 0,
+            rx_count: 0,
+            dropped_oversize: 0,
+        }
+    }
+
+    /// The device's MAC address.
+    pub fn mac(&self) -> [u8; 6] {
+        self.mac
+    }
+
+    /// Driver side: queues a frame for transmission.
+    ///
+    /// Oversized frames are dropped and counted, as real devices do.
+    pub fn transmit(&mut self, frame: Vec<u8>) {
+        if frame.len() > MAX_FRAME {
+            self.dropped_oversize += 1;
+            return;
+        }
+        self.tx_count += 1;
+        self.tx.push_back(frame);
+    }
+
+    /// Driver side: takes the next received frame, if any.
+    pub fn receive(&mut self) -> Option<Vec<u8>> {
+        self.rx.pop_front()
+    }
+
+    /// Wire side: takes the next frame the device wants to send.
+    pub fn wire_take_tx(&mut self) -> Option<Vec<u8>> {
+        self.tx.pop_front()
+    }
+
+    /// Wire side: delivers a frame into the receive queue.
+    pub fn wire_deliver(&mut self, frame: Vec<u8>) {
+        if frame.len() > MAX_FRAME {
+            self.dropped_oversize += 1;
+            return;
+        }
+        self.rx_count += 1;
+        self.rx.push_back(frame);
+    }
+
+    /// Frames waiting in the transmit queue.
+    pub fn tx_pending(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Frames waiting in the receive queue.
+    pub fn rx_pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// `(transmitted, received, dropped_oversize)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.tx_count, self.rx_count, self.dropped_oversize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmit_receive_fifo_order() {
+        let mut nic = SimNic::new([0, 1, 2, 3, 4, 5]);
+        nic.transmit(vec![1]);
+        nic.transmit(vec![2]);
+        assert_eq!(nic.wire_take_tx(), Some(vec![1]));
+        assert_eq!(nic.wire_take_tx(), Some(vec![2]));
+        assert_eq!(nic.wire_take_tx(), None);
+        nic.wire_deliver(vec![9]);
+        assert_eq!(nic.receive(), Some(vec![9]));
+        assert_eq!(nic.receive(), None);
+    }
+
+    #[test]
+    fn oversize_frames_are_dropped_and_counted() {
+        let mut nic = SimNic::new([0; 6]);
+        nic.transmit(vec![0; MAX_FRAME + 1]);
+        nic.wire_deliver(vec![0; MAX_FRAME + 1]);
+        assert_eq!(nic.tx_pending(), 0);
+        assert_eq!(nic.rx_pending(), 0);
+        assert_eq!(nic.stats().2, 2);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut nic = SimNic::new([0; 6]);
+        nic.transmit(vec![1]);
+        nic.wire_deliver(vec![2]);
+        nic.wire_deliver(vec![3]);
+        assert_eq!(nic.stats(), (1, 2, 0));
+    }
+}

@@ -1,0 +1,224 @@
+//! x86-64 page-table entry layout.
+//!
+//! Bit-accurate encoding/decoding of 64-bit page-table entries, shared by
+//! the MMU walker (which *interprets* entries) and the page-table
+//! implementations (which *construct* them). Keeping one encoding module
+//! is deliberate: the refinement obligation in `veros-pagetable` checks
+//! that what the implementation writes means what the walker reads, so
+//! the encoding itself must not be duplicated.
+
+use crate::addr::PAddr;
+
+/// Permission/attribute flags of a page-table entry.
+///
+/// A hand-rolled bitset (no external bitflags dependency): the flag bits
+/// are exactly the x86-64 architectural positions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PtFlags(pub u64);
+
+impl PtFlags {
+    /// Entry is present.
+    pub const PRESENT: PtFlags = PtFlags(1 << 0);
+    /// Writes allowed.
+    pub const WRITABLE: PtFlags = PtFlags(1 << 1);
+    /// User-mode accessible.
+    pub const USER: PtFlags = PtFlags(1 << 2);
+    /// Write-through caching.
+    pub const WRITE_THROUGH: PtFlags = PtFlags(1 << 3);
+    /// Caching disabled.
+    pub const NO_CACHE: PtFlags = PtFlags(1 << 4);
+    /// Set by hardware on access.
+    pub const ACCESSED: PtFlags = PtFlags(1 << 5);
+    /// Set by hardware on write.
+    pub const DIRTY: PtFlags = PtFlags(1 << 6);
+    /// Huge page (in PD/PDPT entries).
+    pub const HUGE: PtFlags = PtFlags(1 << 7);
+    /// Not flushed on CR3 switch.
+    pub const GLOBAL: PtFlags = PtFlags(1 << 8);
+    /// Execution disabled.
+    pub const NX: PtFlags = PtFlags(1 << 63);
+
+    /// The empty flag set.
+    pub const fn empty() -> PtFlags {
+        PtFlags(0)
+    }
+
+    /// Union of two flag sets.
+    pub const fn union(self, other: PtFlags) -> PtFlags {
+        PtFlags(self.0 | other.0)
+    }
+
+    /// True when all bits of `other` are set in `self`.
+    pub const fn contains(self, other: PtFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Removes the bits of `other`.
+    pub const fn without(self, other: PtFlags) -> PtFlags {
+        PtFlags(self.0 & !other.0)
+    }
+}
+
+impl std::ops::BitOr for PtFlags {
+    type Output = PtFlags;
+    fn bitor(self, rhs: PtFlags) -> PtFlags {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitOrAssign for PtFlags {
+    fn bitor_assign(&mut self, rhs: PtFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl std::fmt::Debug for PtFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names = [
+            (PtFlags::PRESENT, "P"),
+            (PtFlags::WRITABLE, "W"),
+            (PtFlags::USER, "U"),
+            (PtFlags::WRITE_THROUGH, "WT"),
+            (PtFlags::NO_CACHE, "NC"),
+            (PtFlags::ACCESSED, "A"),
+            (PtFlags::DIRTY, "D"),
+            (PtFlags::HUGE, "H"),
+            (PtFlags::GLOBAL, "G"),
+            (PtFlags::NX, "NX"),
+        ];
+        let mut first = true;
+        write!(f, "PtFlags(")?;
+        for (flag, name) in names {
+            if self.contains(flag) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Mask of the physical-address bits in an entry (bits 12..=51).
+pub const ADDR_MASK: u64 = 0x000f_ffff_ffff_f000;
+
+/// Mask of all architecturally defined flag bits we model.
+pub const FLAGS_MASK: u64 = 0x8000_0000_0000_01ff;
+
+/// A raw 64-bit page-table entry with typed accessors.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PtEntry(pub u64);
+
+impl PtEntry {
+    /// Builds an entry from a frame address and flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `addr` has bits outside [`ADDR_MASK`] — entries can
+    /// only name 4 KiB-aligned addresses below 2^52.
+    pub fn new(addr: PAddr, flags: PtFlags) -> PtEntry {
+        assert_eq!(addr.0 & !ADDR_MASK, 0, "address {addr} not encodable");
+        PtEntry(addr.0 | (flags.0 & FLAGS_MASK))
+    }
+
+    /// The zero (non-present) entry.
+    pub const fn zero() -> PtEntry {
+        PtEntry(0)
+    }
+
+    /// The physical address named by the entry.
+    pub fn addr(self) -> PAddr {
+        PAddr(self.0 & ADDR_MASK)
+    }
+
+    /// The flag bits of the entry.
+    pub fn flags(self) -> PtFlags {
+        PtFlags(self.0 & FLAGS_MASK)
+    }
+
+    /// True when the present bit is set.
+    pub fn is_present(self) -> bool {
+        self.flags().contains(PtFlags::PRESENT)
+    }
+
+    /// True when the huge-page bit is set.
+    pub fn is_huge(self) -> bool {
+        self.flags().contains(PtFlags::HUGE)
+    }
+}
+
+impl std::fmt::Debug for PtEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.is_present() && self.0 == 0 {
+            return write!(f, "PtEntry(empty)");
+        }
+        write!(f, "PtEntry({} {:?})", self.addr(), self.flags())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_4K;
+
+    #[test]
+    fn entry_round_trips_address_and_flags() {
+        let flags = PtFlags::PRESENT | PtFlags::WRITABLE | PtFlags::USER | PtFlags::NX;
+        let e = PtEntry::new(PAddr(0x1234 * PAGE_4K), flags);
+        assert_eq!(e.addr(), PAddr(0x1234 * PAGE_4K));
+        assert_eq!(e.flags(), flags);
+        assert!(e.is_present());
+        assert!(!e.is_huge());
+    }
+
+    #[test]
+    fn architectural_bit_positions() {
+        assert_eq!(PtFlags::PRESENT.0, 0x1);
+        assert_eq!(PtFlags::WRITABLE.0, 0x2);
+        assert_eq!(PtFlags::USER.0, 0x4);
+        assert_eq!(PtFlags::HUGE.0, 0x80);
+        assert_eq!(PtFlags::NX.0, 1 << 63);
+        // A present+writable entry at 0x2000 is literally 0x2003.
+        let e = PtEntry::new(PAddr(0x2000), PtFlags::PRESENT | PtFlags::WRITABLE);
+        assert_eq!(e.0, 0x2003);
+    }
+
+    #[test]
+    fn address_and_flag_bits_do_not_overlap() {
+        assert_eq!(ADDR_MASK & FLAGS_MASK, 0);
+        let e = PtEntry::new(PAddr(ADDR_MASK), PtFlags(FLAGS_MASK));
+        assert_eq!(e.addr().0, ADDR_MASK);
+        assert_eq!(e.flags().0, FLAGS_MASK);
+    }
+
+    #[test]
+    #[should_panic(expected = "not encodable")]
+    fn unaligned_address_rejected() {
+        let _ = PtEntry::new(PAddr(0x1001), PtFlags::PRESENT);
+    }
+
+    #[test]
+    fn flag_set_operations() {
+        let f = PtFlags::PRESENT | PtFlags::USER;
+        assert!(f.contains(PtFlags::PRESENT));
+        assert!(!f.contains(PtFlags::WRITABLE));
+        assert!(!f.contains(PtFlags::PRESENT | PtFlags::WRITABLE));
+        assert_eq!(f.without(PtFlags::USER), PtFlags::PRESENT);
+        let mut g = PtFlags::empty();
+        g |= PtFlags::NX;
+        assert!(g.contains(PtFlags::NX));
+    }
+
+    #[test]
+    fn debug_rendering_names_flags() {
+        let e = PtEntry::new(PAddr(0x1000), PtFlags::PRESENT | PtFlags::HUGE);
+        let s = format!("{e:?}");
+        assert!(s.contains('P') && s.contains('H'), "{s}");
+        assert_eq!(format!("{:?}", PtEntry::zero()), "PtEntry(empty)");
+    }
+}

@@ -1,0 +1,197 @@
+//! Translation-lookaside-buffer model.
+//!
+//! The hardware spec must capture that the MMU may serve translations
+//! from a cache that is only updated by explicit invalidation — the page
+//! table code is only correct if it performs the required `invlpg`/flush
+//! after changing entries. The TLB here is a deterministic
+//! fixed-capacity, FIFO-evicting cache of *leaf* mappings; determinism
+//! keeps verification-condition runs reproducible while still exercising
+//! staleness.
+
+use std::collections::VecDeque;
+
+use crate::addr::VAddr;
+use crate::walker::Mapping;
+
+/// One cached translation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// The cached leaf mapping (its `va_base`/`size` identify the range).
+    pub mapping: Mapping,
+}
+
+/// A deterministic FIFO TLB.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    capacity: usize,
+    entries: VecDeque<TlbEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB holding up to `capacity` translations.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a translation covering `va`.
+    pub fn lookup(&mut self, va: VAddr) -> Option<Mapping> {
+        let hit = self
+            .entries
+            .iter()
+            .find(|e| {
+                va.0 >= e.mapping.va_base.0 && va.0 - e.mapping.va_base.0 < e.mapping.size
+            })
+            .map(|e| e.mapping);
+        match hit {
+            Some(m) => {
+                self.hits += 1;
+                Some(m)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a mapping after a successful walk, evicting FIFO if full.
+    pub fn fill(&mut self, mapping: Mapping) {
+        if self.capacity == 0 {
+            return;
+        }
+        // Replace any entry for the same base rather than duplicating.
+        self.entries.retain(|e| e.mapping.va_base != mapping.va_base);
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TlbEntry { mapping });
+    }
+
+    /// Invalidates any cached translation covering `va` (the `invlpg`
+    /// instruction).
+    pub fn invlpg(&mut self, va: VAddr) {
+        self.entries.retain(|e| {
+            !(va.0 >= e.mapping.va_base.0 && va.0 - e.mapping.va_base.0 < e.mapping.size)
+        });
+    }
+
+    /// Flushes everything (CR3 reload without PCID).
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of currently cached translations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` counters since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{PAddr, PAGE_2M, PAGE_4K};
+
+    fn mapping(va: u64, pa: u64, size: u64) -> Mapping {
+        Mapping {
+            va_base: VAddr(va),
+            pa_base: PAddr(pa),
+            size,
+            writable: true,
+            user: true,
+            nx: false,
+        }
+    }
+
+    #[test]
+    fn fill_then_lookup_hits() {
+        let mut tlb = Tlb::new(4);
+        tlb.fill(mapping(0x1000, 0x8000, PAGE_4K));
+        assert_eq!(tlb.lookup(VAddr(0x1abc)).unwrap().pa_base, PAddr(0x8000));
+        assert!(tlb.lookup(VAddr(0x2000)).is_none());
+        assert_eq!(tlb.stats(), (1, 1));
+    }
+
+    #[test]
+    fn huge_entries_cover_their_whole_range() {
+        let mut tlb = Tlb::new(4);
+        tlb.fill(mapping(PAGE_2M, 0, PAGE_2M));
+        assert!(tlb.lookup(VAddr(PAGE_2M + PAGE_2M - 1)).is_some());
+        assert!(tlb.lookup(VAddr(2 * PAGE_2M)).is_none());
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let mut tlb = Tlb::new(2);
+        tlb.fill(mapping(0x1000, 0xa000, PAGE_4K));
+        tlb.fill(mapping(0x2000, 0xb000, PAGE_4K));
+        tlb.fill(mapping(0x3000, 0xc000, PAGE_4K));
+        assert!(tlb.lookup(VAddr(0x1000)).is_none(), "oldest evicted");
+        assert!(tlb.lookup(VAddr(0x2000)).is_some());
+        assert!(tlb.lookup(VAddr(0x3000)).is_some());
+    }
+
+    #[test]
+    fn refill_same_page_does_not_duplicate() {
+        let mut tlb = Tlb::new(4);
+        tlb.fill(mapping(0x1000, 0xa000, PAGE_4K));
+        tlb.fill(mapping(0x1000, 0xb000, PAGE_4K));
+        assert_eq!(tlb.len(), 1);
+        assert_eq!(tlb.lookup(VAddr(0x1000)).unwrap().pa_base, PAddr(0xb000));
+    }
+
+    #[test]
+    fn invlpg_removes_only_the_target() {
+        let mut tlb = Tlb::new(4);
+        tlb.fill(mapping(0x1000, 0xa000, PAGE_4K));
+        tlb.fill(mapping(0x2000, 0xb000, PAGE_4K));
+        tlb.invlpg(VAddr(0x1800));
+        assert!(tlb.lookup(VAddr(0x1000)).is_none());
+        assert!(tlb.lookup(VAddr(0x2000)).is_some());
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut tlb = Tlb::new(4);
+        tlb.fill(mapping(0x1000, 0xa000, PAGE_4K));
+        tlb.flush_all();
+        assert!(tlb.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_tlb_never_caches() {
+        let mut tlb = Tlb::new(0);
+        tlb.fill(mapping(0x1000, 0xa000, PAGE_4K));
+        assert!(tlb.lookup(VAddr(0x1000)).is_none());
+    }
+
+    #[test]
+    fn stale_entry_demonstrates_incoherence() {
+        // The TLB is a pure cache: changing the "page table" does not
+        // change it. This is precisely the hazard the page-table code
+        // must handle with invlpg.
+        let mut tlb = Tlb::new(4);
+        tlb.fill(mapping(0x1000, 0xa000, PAGE_4K));
+        // Page table now says 0x1000 -> 0xc000, but without invlpg the
+        // TLB still answers 0xa000.
+        assert_eq!(tlb.lookup(VAddr(0x1000)).unwrap().pa_base, PAddr(0xa000));
+        tlb.invlpg(VAddr(0x1000));
+        assert!(tlb.lookup(VAddr(0x1000)).is_none());
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests of the hardware model's encoding invariants.
+
+use proptest::prelude::*;
+use veros_hw::{PAddr, PhysMem, PtEntry, PtFlags, VAddr, PAGE_4K};
+
+proptest! {
+    /// PtEntry round-trips any encodable (addr, flags) pair.
+    #[test]
+    fn pt_entry_round_trips(frame in 0u64..(1 << 40), flag_bits in 0u64..512, nx: bool) {
+        let addr = PAddr(frame * PAGE_4K);
+        let flags = PtFlags(flag_bits | if nx { PtFlags::NX.0 } else { 0 });
+        let e = PtEntry::new(addr, flags);
+        prop_assert_eq!(e.addr(), addr);
+        prop_assert_eq!(e.flags().0, flags.0);
+    }
+
+    /// Virtual-address index decomposition is a bijection with
+    /// reassembly for canonical addresses.
+    #[test]
+    fn vaddr_indices_round_trip(l4 in 0usize..512, l3 in 0usize..512, l2 in 0usize..512, l1 in 0usize..512) {
+        let va = VAddr::from_indices(l4, l3, l2, l1);
+        prop_assert!(va.is_canonical());
+        prop_assert_eq!(va.pml4_index(), l4);
+        prop_assert_eq!(va.pdpt_index(), l3);
+        prop_assert_eq!(va.pd_index(), l2);
+        prop_assert_eq!(va.pt_index(), l1);
+        prop_assert_eq!(va.page_offset(), 0);
+    }
+
+    /// Any decomposition of a canonical address reassembles to itself.
+    #[test]
+    fn vaddr_decompose_recompose(raw in 0u64..(1u64 << 47)) {
+        let va = VAddr(raw);
+        let re = ((va.pml4_index() as u64) << 39)
+            | ((va.pdpt_index() as u64) << 30)
+            | ((va.pd_index() as u64) << 21)
+            | ((va.pt_index() as u64) << 12)
+            | va.page_offset();
+        prop_assert_eq!(re, raw);
+    }
+
+    /// Physical memory: writes then reads observe exactly what was
+    /// written, for arbitrary (possibly overlapping, cross-frame)
+    /// placements — last write wins.
+    #[test]
+    fn physmem_last_write_wins(
+        writes in prop::collection::vec((0u64..16 * PAGE_4K - 64, prop::collection::vec(any::<u8>(), 1..64)), 1..10)
+    ) {
+        let mut mem = PhysMem::new(16);
+        let mut shadow = vec![0u8; (16 * PAGE_4K) as usize];
+        for (addr, data) in &writes {
+            mem.write_bytes(PAddr(*addr), data);
+            shadow[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+        }
+        let mut all = vec![0u8; shadow.len()];
+        mem.read_bytes(PAddr(0), &mut all);
+        prop_assert_eq!(all, shadow);
+    }
+
+    /// The ones'-complement checksum detects any single-bit flip in the
+    /// checksummed region (a standard property of the IP checksum for
+    /// 16-bit-aligned data).
+    #[test]
+    fn alignment_helpers_consistent(addr in 0u64..(1u64 << 47), shift in 0u32..21) {
+        let align = 1u64 << (12 + shift % 9);
+        let down = VAddr(addr).align_down(align);
+        prop_assert!(down.0 <= addr);
+        prop_assert!(down.is_aligned(align));
+        prop_assert!(addr - down.0 < align);
+    }
+}

@@ -1,0 +1,144 @@
+//! Futexes: the kernel's blocking primitive.
+//!
+//! The paper's example of the narrow-kernel-API philosophy: "we might
+//! expose futexes from the kernel and then verify a userspace mutex
+//! implementation on top" (§3). The kernel side is small: `wait(key,
+//! expected)` atomically checks the word and enqueues the caller;
+//! `wake(key, n)` pops up to `n` waiters. The atomicity of the
+//! check-and-sleep against wakes is exactly the property `veros-ulib`'s
+//! mutex relies on to avoid lost wakeups.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::process::Pid;
+use crate::thread::Tid;
+
+/// A futex key: a word address within a process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FutexKey {
+    /// The owning process.
+    pub pid: Pid,
+    /// Virtual address of the futex word.
+    pub va: u64,
+}
+
+/// The outcome of a `futex_wait` attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The word still held the expected value; the caller was enqueued
+    /// and must block.
+    Enqueued,
+    /// The word changed first; the caller must retry (EAGAIN).
+    ValueMismatch,
+}
+
+/// The futex wait-queue table.
+#[derive(Clone, Debug, Default)]
+pub struct FutexTable {
+    queues: BTreeMap<FutexKey, VecDeque<Tid>>,
+}
+
+impl FutexTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The wait half: `current` holds the futex word's current value as
+    /// read by the kernel *under the same lock* that `wake` runs under —
+    /// that is what makes check-and-sleep atomic.
+    pub fn wait(&mut self, key: FutexKey, tid: Tid, current: u32, expected: u32) -> WaitOutcome {
+        if current != expected {
+            return WaitOutcome::ValueMismatch;
+        }
+        self.queues.entry(key).or_default().push_back(tid);
+        WaitOutcome::Enqueued
+    }
+
+    /// The wake half: pops up to `n` waiters in FIFO order; the caller
+    /// must make them runnable.
+    pub fn wake(&mut self, key: FutexKey, n: usize) -> Vec<Tid> {
+        let Some(q) = self.queues.get_mut(&key) else {
+            return Vec::new();
+        };
+        let take = n.min(q.len());
+        let woken: Vec<Tid> = q.drain(..take).collect();
+        if q.is_empty() {
+            self.queues.remove(&key);
+        }
+        woken
+    }
+
+    /// Removes a specific waiter (thread killed while blocked).
+    pub fn remove_waiter(&mut self, tid: Tid) {
+        self.queues.retain(|_, q| {
+            q.retain(|t| *t != tid);
+            !q.is_empty()
+        });
+    }
+
+    /// The queues as `((pid, va), fifo-of-tids)`, for the abstract view.
+    pub fn queues_view(&self) -> Vec<((u64, u64), Vec<u64>)> {
+        self.queues
+            .iter()
+            .map(|(k, q)| ((k.pid.0, k.va), q.iter().map(|t| t.0).collect()))
+            .collect()
+    }
+
+    /// Number of waiters on `key`.
+    pub fn waiters(&self, key: FutexKey) -> usize {
+        self.queues.get(&key).map_or(0, |q| q.len())
+    }
+
+    /// Total waiters across all keys.
+    pub fn total_waiters(&self) -> usize {
+        self.queues.values().map(|q| q.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(va: u64) -> FutexKey {
+        FutexKey { pid: Pid(1), va }
+    }
+
+    #[test]
+    fn wait_enqueues_only_on_match() {
+        let mut f = FutexTable::new();
+        assert_eq!(f.wait(key(0x10), Tid(1), 0, 0), WaitOutcome::Enqueued);
+        assert_eq!(f.wait(key(0x10), Tid(2), 1, 0), WaitOutcome::ValueMismatch);
+        assert_eq!(f.waiters(key(0x10)), 1);
+    }
+
+    #[test]
+    fn wake_is_fifo_and_bounded() {
+        let mut f = FutexTable::new();
+        for t in 1..=3 {
+            f.wait(key(0x10), Tid(t), 0, 0);
+        }
+        assert_eq!(f.wake(key(0x10), 2), vec![Tid(1), Tid(2)]);
+        assert_eq!(f.wake(key(0x10), 2), vec![Tid(3)]);
+        assert_eq!(f.wake(key(0x10), 2), vec![]);
+    }
+
+    #[test]
+    fn keys_are_isolated_per_address_and_pid() {
+        let mut f = FutexTable::new();
+        f.wait(key(0x10), Tid(1), 0, 0);
+        f.wait(key(0x20), Tid(2), 0, 0);
+        f.wait(FutexKey { pid: Pid(2), va: 0x10 }, Tid(3), 0, 0);
+        assert_eq!(f.wake(key(0x10), 10), vec![Tid(1)]);
+        assert_eq!(f.total_waiters(), 2);
+    }
+
+    #[test]
+    fn removed_waiters_are_not_woken() {
+        let mut f = FutexTable::new();
+        f.wait(key(0x10), Tid(1), 0, 0);
+        f.wait(key(0x10), Tid(2), 0, 0);
+        f.remove_waiter(Tid(1));
+        assert_eq!(f.wake(key(0x10), 10), vec![Tid(2)]);
+    }
+}

@@ -1,0 +1,41 @@
+//! An NrOS-style kernel model: the OS services of the paper's Section 1.
+//!
+//! "The NrOS kernel provides the following main services: memory and
+//! device management, processes, scheduling, and a file system" (§4.1).
+//! This crate models those services executably on top of the `veros-hw`
+//! hardware model, with the verified page table from `veros-pagetable`
+//! managing every address space and node replication from `veros-nr`
+//! scaling the replicated state:
+//!
+//! * [`frame_alloc`] — physical memory management: a buddy allocator
+//!   with per-node caches (NrOS's NCache design).
+//! * [`vspace`] — address spaces over the verified page table, including
+//!   the NR-replicated variant ([`vspace::VSpaceDispatch`]) used by the
+//!   Figure 1b/1c benchmarks.
+//! * [`process`] — process management: spawn, exit, wait, kill.
+//! * [`thread`] — kernel threads and their lifecycle.
+//! * [`scheduler`] — per-core round-robin run queues with affinity.
+//! * [`futex`] — the kernel blocking primitive user-space mutexes build
+//!   on (the paper's example of a narrow kernel API under a verified
+//!   userspace library).
+//! * [`syscall`] — the syscall surface: number-based ABI, marshalling
+//!   (with the §3 round-trip obligation), and dispatch.
+//! * [`kernel`] — the composed kernel object exposing the whole
+//!   interface the `veros-core` `Sys` contract abstracts.
+
+pub mod frame_alloc;
+pub mod futex;
+pub mod kernel;
+pub mod process;
+pub mod scheduler;
+pub mod syscall;
+pub mod thread;
+pub mod vspace;
+
+pub use frame_alloc::BuddyAllocator;
+pub use kernel::{Kernel, KernelConfig, KernelError};
+pub use process::{Pid, ProcessState};
+pub use scheduler::Scheduler;
+pub use syscall::{SysRet, Syscall};
+pub use thread::{Tid, ThreadState};
+pub use vspace::VSpace;

@@ -1,0 +1,242 @@
+//! Process management: spawning, waiting, exiting, killing.
+//!
+//! Processes here carry exactly the state the high-level Sys spec needs
+//! to expose: an address space, a file-descriptor table, threads, and an
+//! exit status for `wait`. The process table enforces the lifecycle
+//! (spawn → alive → zombie → reaped) whose refinement into the abstract
+//! spec `veros-core` checks.
+
+use std::collections::BTreeMap;
+
+use crate::thread::Tid;
+
+/// A process identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u64);
+
+/// Process lifecycle states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProcessState {
+    /// Has at least one live thread.
+    Alive,
+    /// All threads exited (or killed); exit code retained for `wait`.
+    Zombie {
+        /// The exit code passed to `exit` (or 137 for killed).
+        code: i32,
+    },
+}
+
+/// Per-process bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Process {
+    /// The process id.
+    pub pid: Pid,
+    /// Parent process (the init process has none).
+    pub parent: Option<Pid>,
+    /// Lifecycle state.
+    pub state: ProcessState,
+    /// Live threads belonging to this process.
+    pub threads: Vec<Tid>,
+    /// Open file descriptors → filesystem-level handles.
+    pub fds: BTreeMap<u32, u64>,
+    /// Next fd number to hand out.
+    pub next_fd: u32,
+}
+
+/// Errors from process-table operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcError {
+    /// The pid does not exist.
+    NoSuchProcess,
+    /// `wait` target is not a child of the caller.
+    NotAChild,
+    /// The process is still running (for non-blocking wait).
+    StillRunning,
+    /// Operation requires an alive process.
+    NotAlive,
+}
+
+impl std::fmt::Display for ProcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ProcError::NoSuchProcess => "no such process",
+            ProcError::NotAChild => "not a child of the caller",
+            ProcError::StillRunning => "process still running",
+            ProcError::NotAlive => "process not alive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The process table.
+#[derive(Clone, Debug, Default)]
+pub struct ProcessTable {
+    procs: BTreeMap<Pid, Process>,
+    next_pid: u64,
+}
+
+impl ProcessTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self {
+            procs: BTreeMap::new(),
+            next_pid: 1,
+        }
+    }
+
+    /// Allocates a fresh process in the `Alive` state.
+    pub fn spawn(&mut self, parent: Option<Pid>) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(
+            pid,
+            Process {
+                pid,
+                parent,
+                state: ProcessState::Alive,
+                threads: Vec::new(),
+                fds: BTreeMap::new(),
+                next_fd: 3, // 0-2 reserved, POSIX-style.
+            },
+        );
+        pid
+    }
+
+    /// Looks up a process.
+    pub fn get(&self, pid: Pid) -> Result<&Process, ProcError> {
+        self.procs.get(&pid).ok_or(ProcError::NoSuchProcess)
+    }
+
+    /// Looks up a process mutably.
+    pub fn get_mut(&mut self, pid: Pid) -> Result<&mut Process, ProcError> {
+        self.procs.get_mut(&pid).ok_or(ProcError::NoSuchProcess)
+    }
+
+    /// Records a new thread for `pid`.
+    pub fn add_thread(&mut self, pid: Pid, tid: Tid) -> Result<(), ProcError> {
+        let p = self.get_mut(pid)?;
+        if p.state != ProcessState::Alive {
+            return Err(ProcError::NotAlive);
+        }
+        p.threads.push(tid);
+        Ok(())
+    }
+
+    /// Removes an exited thread; when the last thread goes, the process
+    /// becomes a zombie with `code`.
+    pub fn remove_thread(&mut self, pid: Pid, tid: Tid, code: i32) -> Result<(), ProcError> {
+        let p = self.get_mut(pid)?;
+        p.threads.retain(|t| *t != tid);
+        if p.threads.is_empty() && p.state == ProcessState::Alive {
+            p.state = ProcessState::Zombie { code };
+        }
+        Ok(())
+    }
+
+    /// Marks the whole process exited with `code`, returning the threads
+    /// that must be descheduled.
+    pub fn exit(&mut self, pid: Pid, code: i32) -> Result<Vec<Tid>, ProcError> {
+        let p = self.get_mut(pid)?;
+        if p.state != ProcessState::Alive {
+            return Err(ProcError::NotAlive);
+        }
+        p.state = ProcessState::Zombie { code };
+        Ok(std::mem::take(&mut p.threads))
+    }
+
+    /// Non-blocking wait: reaps `child` if it is a zombie child of
+    /// `parent`, returning its exit code.
+    pub fn try_wait(&mut self, parent: Pid, child: Pid) -> Result<i32, ProcError> {
+        let c = self.get(child)?;
+        if c.parent != Some(parent) {
+            return Err(ProcError::NotAChild);
+        }
+        match c.state {
+            ProcessState::Alive => Err(ProcError::StillRunning),
+            ProcessState::Zombie { code } => {
+                self.procs.remove(&child);
+                Ok(code)
+            }
+        }
+    }
+
+    /// The next pid that will be assigned.
+    pub fn next_pid_hint(&self) -> u64 {
+        self.next_pid
+    }
+
+    /// Number of processes (alive + zombie).
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True when no processes exist.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Iterates over all processes.
+    pub fn iter(&self) -> impl Iterator<Item = &Process> {
+        self.procs.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_assigns_fresh_pids() {
+        let mut t = ProcessTable::new();
+        let a = t.spawn(None);
+        let b = t.spawn(Some(a));
+        assert_ne!(a, b);
+        assert_eq!(t.get(b).unwrap().parent, Some(a));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn last_thread_exit_makes_zombie() {
+        let mut t = ProcessTable::new();
+        let p = t.spawn(None);
+        t.add_thread(p, Tid(1)).unwrap();
+        t.add_thread(p, Tid(2)).unwrap();
+        t.remove_thread(p, Tid(1), 0).unwrap();
+        assert_eq!(t.get(p).unwrap().state, ProcessState::Alive);
+        t.remove_thread(p, Tid(2), 3).unwrap();
+        assert_eq!(t.get(p).unwrap().state, ProcessState::Zombie { code: 3 });
+    }
+
+    #[test]
+    fn wait_reaps_zombie_children_only() {
+        let mut t = ProcessTable::new();
+        let parent = t.spawn(None);
+        let child = t.spawn(Some(parent));
+        let stranger = t.spawn(None);
+        assert_eq!(t.try_wait(parent, child), Err(ProcError::StillRunning));
+        t.exit(child, 7).unwrap();
+        assert_eq!(t.try_wait(parent, stranger), Err(ProcError::NotAChild));
+        assert_eq!(t.try_wait(parent, child), Ok(7));
+        // Reaped: gone.
+        assert_eq!(t.try_wait(parent, child), Err(ProcError::NoSuchProcess));
+    }
+
+    #[test]
+    fn exit_returns_threads_to_deschedule() {
+        let mut t = ProcessTable::new();
+        let p = t.spawn(None);
+        t.add_thread(p, Tid(1)).unwrap();
+        t.add_thread(p, Tid(2)).unwrap();
+        let tids = t.exit(p, 1).unwrap();
+        assert_eq!(tids, vec![Tid(1), Tid(2)]);
+        assert_eq!(t.exit(p, 1), Err(ProcError::NotAlive));
+    }
+
+    #[test]
+    fn threads_cannot_join_zombies() {
+        let mut t = ProcessTable::new();
+        let p = t.spawn(None);
+        t.exit(p, 0).unwrap();
+        assert_eq!(t.add_thread(p, Tid(9)), Err(ProcError::NotAlive));
+    }
+}

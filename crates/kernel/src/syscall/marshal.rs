@@ -1,0 +1,249 @@
+//! Byte-level marshalling across the user/kernel boundary.
+//!
+//! "The marshalling obligation is guaranteeing that calling read results
+//! in its parameters and return values being correctly marshalled across
+//! the user- and kernel-space boundary. We can prove that values
+//! correctly round-trip through serialization and deserialization so
+//! that syscall arguments are consistent between user-space and
+//! kernel-space" (§3).
+//!
+//! This is that serialization library: a little-endian, length-prefixed
+//! wire format with no self-description (both sides know the schema —
+//! they are compiled from the same `Syscall` type). The round-trip
+//! obligation is discharged in `veros-core`'s marshalling VCs and by the
+//! property tests here.
+
+/// Marshalling errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MarshalError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// A length prefix exceeded the sanity bound.
+    LengthOverflow,
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// Trailing bytes remained after decoding finished.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for MarshalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MarshalError::Truncated => "input truncated",
+            MarshalError::LengthOverflow => "length prefix too large",
+            MarshalError::BadUtf8 => "invalid utf-8 in string",
+            MarshalError::TrailingBytes => "trailing bytes after value",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Maximum length accepted for a counted field (defense against
+/// corrupted length prefixes reading gigabytes).
+pub const MAX_FIELD: usize = 1 << 24;
+
+/// Appends values to a byte buffer.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the encoder, returning the wire bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u8(v as u8)
+    }
+
+    /// Appends length-prefixed bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        debug_assert!(v.len() <= MAX_FIELD);
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+}
+
+/// Reads values back out of a byte buffer.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless everything was consumed — catches schema drift where
+    /// the encoder wrote more fields than the decoder read.
+    pub fn finish(self) -> Result<(), MarshalError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(MarshalError::TrailingBytes)
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MarshalError> {
+        if self.remaining() < n {
+            return Err(MarshalError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, MarshalError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, MarshalError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, MarshalError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self) -> Result<i64, MarshalError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a bool.
+    pub fn bool(&mut self) -> Result<bool, MarshalError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Reads length-prefixed bytes.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, MarshalError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FIELD {
+            return Err(MarshalError::LengthOverflow);
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, MarshalError> {
+        String::from_utf8(self.bytes()?).map_err(|_| MarshalError::BadUtf8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut e = Encoder::new();
+        e.u8(7).u32(0xdead_beef).u64(u64::MAX).i64(-42).bool(true);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert!(d.bool().unwrap());
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn bytes_and_strings_round_trip() {
+        let mut e = Encoder::new();
+        e.bytes(b"\x00\xff\x42").str("grüße / 你好").bytes(b"");
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.bytes().unwrap(), b"\x00\xff\x42");
+        assert_eq!(d.str().unwrap(), "grüße / 你好");
+        assert_eq!(d.bytes().unwrap(), b"");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_detected_not_panicking() {
+        let mut e = Encoder::new();
+        e.u64(1).bytes(b"hello");
+        let bytes = e.finish();
+        for cut in 0..bytes.len() {
+            let mut d = Decoder::new(&bytes[..cut]);
+            let r = d.u64().and_then(|_| d.bytes());
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_bounded() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.bytes(), Err(MarshalError::LengthOverflow));
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut e = Encoder::new();
+        e.u32(1).u8(9);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        d.u32().unwrap();
+        assert_eq!(d.finish(), Err(MarshalError::TrailingBytes));
+    }
+
+    #[test]
+    fn bad_utf8_is_an_error() {
+        let mut e = Encoder::new();
+        e.bytes(&[0xff, 0xfe]);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.str(), Err(MarshalError::BadUtf8));
+    }
+}

@@ -1,0 +1,207 @@
+//! The syscall surface.
+//!
+//! Three layers, mirroring §3 of the paper:
+//!
+//! 1. [`Syscall`] — the typed operation the kernel dispatches. Buffer
+//!    arguments are `(pointer, length)` pairs into the calling process's
+//!    address space; the kernel resolves them through the page table
+//!    (the *mapping obligation*).
+//! 2. [`abi`] — the register-level encoding (`[u64; 6]`): what an
+//!    unverified assembly shim would deliver. The *marshalling
+//!    obligation* is that encode/decode round-trips.
+//! 3. [`marshal`] — the byte-level serializer used for structured
+//!    payloads (paths) and by higher layers (the network protocol of the
+//!    block store).
+
+pub mod abi;
+pub mod marshal;
+
+/// Errors returned by syscalls, stable across the ABI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum SysError {
+    /// A pointer argument did not resolve through the page table with
+    /// the required permissions.
+    BadAddress = 1,
+    /// Unknown file descriptor.
+    BadFd = 2,
+    /// Path does not exist.
+    NoSuchPath = 3,
+    /// Path already exists (create-exclusive).
+    AlreadyExists = 4,
+    /// Out of physical memory.
+    NoMem = 5,
+    /// No such process.
+    NoSuchProcess = 6,
+    /// `wait` target is not a child.
+    NotAChild = 7,
+    /// `wait` target still running.
+    StillRunning = 8,
+    /// Futex value mismatch (EAGAIN).
+    WouldBlock = 9,
+    /// Virtual range already mapped.
+    AlreadyMapped = 10,
+    /// Virtual range not mapped.
+    NotMapped = 11,
+    /// Malformed argument.
+    Invalid = 12,
+    /// Target is a directory.
+    IsDirectory = 13,
+    /// Component of the path is not a directory.
+    NotDirectory = 14,
+    /// Unknown syscall number.
+    BadSyscall = 15,
+    /// Filesystem is out of space.
+    NoSpace = 16,
+}
+
+impl SysError {
+    /// Decodes the numeric representation.
+    pub fn from_code(code: u32) -> Option<SysError> {
+        use SysError::*;
+        Some(match code {
+            1 => BadAddress,
+            2 => BadFd,
+            3 => NoSuchPath,
+            4 => AlreadyExists,
+            5 => NoMem,
+            6 => NoSuchProcess,
+            7 => NotAChild,
+            8 => StillRunning,
+            9 => WouldBlock,
+            10 => AlreadyMapped,
+            11 => NotMapped,
+            12 => Invalid,
+            13 => IsDirectory,
+            14 => NotDirectory,
+            15 => BadSyscall,
+            16 => NoSpace,
+            _ => return None,
+        })
+    }
+}
+
+/// The result of a syscall: a 64-bit value or an error.
+pub type SysRet = Result<u64, SysError>;
+
+/// The typed syscall interface (the paper's `Sys` operations at the
+/// kernel boundary). Pointers refer to the calling process's virtual
+/// address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Syscall {
+    /// Create a new (empty) child process; returns its pid.
+    Spawn,
+    /// Terminate the calling process with `code`.
+    Exit {
+        /// Exit code reported to the parent.
+        code: i32,
+    },
+    /// Reap a zombie child; returns its exit code (as u64).
+    Wait {
+        /// Child pid.
+        pid: u64,
+    },
+    /// Map `pages` fresh zeroed pages at `va`; returns `va`.
+    Map {
+        /// Virtual base, 4 KiB aligned.
+        va: u64,
+        /// Number of 4 KiB pages.
+        pages: u64,
+        /// Writable mapping.
+        writable: bool,
+    },
+    /// Unmap `pages` pages starting at `va`.
+    Unmap {
+        /// Virtual base.
+        va: u64,
+        /// Number of pages.
+        pages: u64,
+    },
+    /// Open (optionally creating) the file at the path stored in user
+    /// memory; returns an fd.
+    Open {
+        /// User pointer to the path bytes.
+        path_ptr: u64,
+        /// Path length in bytes.
+        path_len: u64,
+        /// Create the file if missing.
+        create: bool,
+    },
+    /// Read from `fd` into a user buffer; returns bytes read. This is
+    /// the paper's worked example (`read_spec`).
+    Read {
+        /// File descriptor.
+        fd: u32,
+        /// User buffer pointer.
+        buf_ptr: u64,
+        /// User buffer length.
+        buf_len: u64,
+    },
+    /// Write a user buffer to `fd`; returns bytes written.
+    Write {
+        /// File descriptor.
+        fd: u32,
+        /// User buffer pointer.
+        buf_ptr: u64,
+        /// User buffer length.
+        buf_len: u64,
+    },
+    /// Set the file offset.
+    Seek {
+        /// File descriptor.
+        fd: u32,
+        /// New absolute offset.
+        offset: u64,
+    },
+    /// Close an fd.
+    Close {
+        /// File descriptor.
+        fd: u32,
+    },
+    /// Remove a file.
+    Unlink {
+        /// User pointer to the path bytes.
+        path_ptr: u64,
+        /// Path length.
+        path_len: u64,
+    },
+    /// Block until the futex word at `va` is woken, provided it still
+    /// equals `expected`.
+    FutexWait {
+        /// Futex word address.
+        va: u64,
+        /// Expected value.
+        expected: u32,
+    },
+    /// Wake up to `count` waiters at `va`; returns the number woken.
+    FutexWake {
+        /// Futex word address.
+        va: u64,
+        /// Maximum waiters to wake.
+        count: u32,
+    },
+    /// Create another thread in the calling process; returns its tid.
+    ThreadSpawn {
+        /// Core affinity + 1 (0 = unpinned) — kept numeric for the ABI.
+        affinity_plus_one: u64,
+    },
+    /// Yield the core.
+    Yield,
+    /// Read the virtual clock.
+    ClockRead,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in 1..=16u32 {
+            let e = SysError::from_code(code).expect("defined");
+            assert_eq!(e as u32, code);
+        }
+        assert_eq!(SysError::from_code(0), None);
+        assert_eq!(SysError::from_code(999), None);
+    }
+}

@@ -1,0 +1,93 @@
+//! Kernel threads.
+
+use crate::process::Pid;
+
+/// A thread identifier, unique for the lifetime of the kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tid(pub u64);
+
+/// Why a thread is blocked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BlockReason {
+    /// Blocked in `futex_wait` on `(pid, vaddr)`.
+    Futex(u64),
+    /// Waiting for a child process to exit.
+    Wait(Pid),
+    /// Sleeping until the given virtual-clock tick.
+    Sleep(u64),
+}
+
+/// Thread lifecycle states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ThreadState {
+    /// Runnable, sitting in a run queue.
+    Ready,
+    /// Currently on a core.
+    Running {
+        /// The core executing the thread.
+        core: usize,
+    },
+    /// Not runnable until an event occurs.
+    Blocked(BlockReason),
+    /// Finished; awaiting reaping alongside its process.
+    Exited,
+}
+
+/// A kernel thread: the scheduler's unit of execution.
+#[derive(Clone, Debug)]
+pub struct Thread {
+    /// The thread's id.
+    pub tid: Tid,
+    /// The owning process.
+    pub pid: Pid,
+    /// Lifecycle state.
+    pub state: ThreadState,
+    /// Core affinity: `None` means any core.
+    pub affinity: Option<usize>,
+    /// Ticks consumed (for scheduler accounting and tests).
+    pub runtime: u64,
+}
+
+impl Thread {
+    /// Creates a ready thread.
+    pub fn new(tid: Tid, pid: Pid, affinity: Option<usize>) -> Self {
+        Self {
+            tid,
+            pid,
+            state: ThreadState::Ready,
+            affinity,
+            runtime: 0,
+        }
+    }
+
+    /// True when the thread can be placed on a run queue.
+    pub fn is_ready(&self) -> bool {
+        self.state == ThreadState::Ready
+    }
+
+    /// True when the thread currently occupies a core.
+    pub fn is_running(&self) -> bool {
+        matches!(self.state, ThreadState::Running { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_threads_are_ready() {
+        let t = Thread::new(Tid(1), Pid(1), None);
+        assert!(t.is_ready());
+        assert!(!t.is_running());
+    }
+
+    #[test]
+    fn state_predicates() {
+        let mut t = Thread::new(Tid(1), Pid(1), Some(2));
+        t.state = ThreadState::Running { core: 2 };
+        assert!(t.is_running());
+        t.state = ThreadState::Blocked(BlockReason::Futex(0x1000));
+        assert!(!t.is_running() && !t.is_ready());
+    }
+}

@@ -1,0 +1,333 @@
+//! Address spaces over the verified page table.
+//!
+//! [`VSpace`] is the kernel's per-process view: page table plus frame
+//! accounting, with operations that allocate backing frames and map
+//! them. [`VSpaceDispatch`] wraps a complete per-replica memory system
+//! (physical memory + allocator + page table) as a `veros-nr`
+//! [`Dispatch`], exactly how NrOS replicates its address-space state per
+//! NUMA node — this is the structure the Figure 1b/1c benchmarks drive.
+
+use veros_hw::{FrameSource, PAddr, PhysMem, VAddr, PAGE_4K};
+use veros_nr::Dispatch;
+use veros_pagetable::{
+    MapFlags, MapRequest, PageSize, PageTableOps, PtError, ResolveAnswer, UnverifiedPageTable,
+    VerifiedPageTable,
+};
+
+/// Which page-table implementation backs an address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PtKind {
+    /// The layered implementation with ghost state available.
+    Verified,
+    /// The NrOS-style baseline.
+    Unverified,
+}
+
+enum Table {
+    Verified(VerifiedPageTable),
+    Unverified(UnverifiedPageTable),
+}
+
+impl Table {
+    fn as_ops(&mut self) -> &mut dyn PageTableOps {
+        match self {
+            Table::Verified(t) => t,
+            Table::Unverified(t) => t,
+        }
+    }
+
+    fn as_ops_ref(&self) -> &dyn PageTableOps {
+        match self {
+            Table::Verified(t) => t,
+            Table::Unverified(t) => t,
+        }
+    }
+}
+
+/// A process address space.
+pub struct VSpace {
+    table: Table,
+    /// Frames allocated as mapping backings (so exit can free them).
+    owned_frames: Vec<(PAddr, PageSize)>,
+    mapped_bytes: u64,
+}
+
+impl VSpace {
+    /// Creates an empty address space.
+    pub fn new(
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        kind: PtKind,
+    ) -> Result<Self, PtError> {
+        let table = match kind {
+            PtKind::Verified => Table::Verified(VerifiedPageTable::new(mem, alloc, false)?),
+            PtKind::Unverified => Table::Unverified(UnverifiedPageTable::new(mem, alloc)?),
+        };
+        Ok(Self {
+            table,
+            owned_frames: Vec::new(),
+            mapped_bytes: 0,
+        })
+    }
+
+    /// The page-table root.
+    pub fn root(&self) -> PAddr {
+        self.table.as_ops_ref().root()
+    }
+
+    /// Total bytes currently mapped.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.mapped_bytes
+    }
+
+    /// Maps an existing physical range (e.g. shared or device memory).
+    pub fn map_existing(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        req: MapRequest,
+    ) -> Result<(), PtError> {
+        self.table.as_ops().map_frame(mem, alloc, req)?;
+        self.mapped_bytes += req.size.bytes();
+        Ok(())
+    }
+
+    /// Allocates a zeroed backing frame and maps it at `va`.
+    ///
+    /// This is the syscall-level `vspace_map` operation: the caller names
+    /// only the virtual placement; physical placement is the kernel's.
+    pub fn map_new(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        va: VAddr,
+        flags: MapFlags,
+    ) -> Result<PAddr, PtError> {
+        let frame = alloc.alloc_frame().ok_or(PtError::OutOfMemory)?;
+        mem.zero_frame(frame);
+        let req = MapRequest {
+            va,
+            pa: frame,
+            size: PageSize::Size4K,
+            flags,
+        };
+        match self.table.as_ops().map_frame(mem, alloc, req) {
+            Ok(()) => {
+                self.owned_frames.push((frame, PageSize::Size4K));
+                self.mapped_bytes += PAGE_4K;
+                Ok(frame)
+            }
+            Err(e) => {
+                alloc.free_frame(frame);
+                Err(e)
+            }
+        }
+    }
+
+    /// Unmaps the mapping based at `va`; owned backing frames go back to
+    /// the allocator.
+    pub fn unmap(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        va: VAddr,
+    ) -> Result<(), PtError> {
+        let mapping = self.table.as_ops().unmap_frame(mem, alloc, va)?;
+        self.mapped_bytes -= mapping.size.bytes();
+        let pa = PAddr(mapping.pa);
+        if let Some(pos) = self
+            .owned_frames
+            .iter()
+            .position(|(f, s)| *f == pa && *s == mapping.size)
+        {
+            self.owned_frames.swap_remove(pos);
+            alloc.free_frame(pa);
+        }
+        Ok(())
+    }
+
+    /// Resolves a virtual address.
+    pub fn resolve(&self, mem: &PhysMem, va: VAddr) -> Result<ResolveAnswer, PtError> {
+        self.table.as_ops_ref().resolve(mem, va)
+    }
+
+    /// Tears down the address space: frees owned backing frames and all
+    /// directory frames.
+    pub fn destroy(self, mem: &mut PhysMem, alloc: &mut dyn FrameSource) {
+        for (frame, _size) in &self.owned_frames {
+            alloc.free_frame(*frame);
+        }
+        match self.table {
+            Table::Verified(t) => t.destroy(mem, alloc),
+            Table::Unverified(t) => t.destroy(mem, alloc),
+        }
+    }
+}
+
+// --- the NR-replicated memory system (Fig 1b/1c workload) ----------------
+
+/// Operations on a replicated address space.
+#[derive(Clone, Copy, Debug)]
+pub enum VSpaceWriteOp {
+    /// Map a fresh kernel-allocated frame at the address.
+    MapNew {
+        /// Virtual base (4 KiB aligned).
+        va: u64,
+    },
+    /// Unmap the mapping based at the address.
+    Unmap {
+        /// Virtual base.
+        va: u64,
+    },
+}
+
+/// Read-only operations on a replicated address space.
+#[derive(Clone, Copy, Debug)]
+pub enum VSpaceReadOp {
+    /// Resolve an address to its physical translation.
+    Resolve {
+        /// The address to translate.
+        va: u64,
+    },
+    /// Total mapped bytes.
+    MappedBytes,
+}
+
+/// The response type of replicated address-space operations.
+pub type VSpaceResponse = Result<u64, PtError>;
+
+/// One replica's complete memory system: its own physical memory, frame
+/// allocator, and page table — replicated per node as in NrOS, kept
+/// consistent by replaying the same operation log.
+pub struct VSpaceDispatch {
+    mem: PhysMem,
+    alloc: crate::frame_alloc::BuddyAllocator,
+    vspace: VSpace,
+}
+
+impl VSpaceDispatch {
+    /// Creates a replica with `frames` frames of simulated memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `frames` is too small to host an allocator region
+    /// (< 32 frames).
+    pub fn new(frames: usize, kind: PtKind) -> Self {
+        assert!(frames >= 32);
+        let mut mem = PhysMem::new(frames);
+        // Reserve the low 16 frames (as a real kernel reserves low
+        // memory), manage the rest.
+        let mut alloc =
+            crate::frame_alloc::BuddyAllocator::new(PAddr(16 * PAGE_4K), frames - 16);
+        let vspace = VSpace::new(&mut mem, &mut alloc, kind).expect("root frame");
+        Self { mem, alloc, vspace }
+    }
+}
+
+impl Dispatch for VSpaceDispatch {
+    type ReadOp = VSpaceReadOp;
+    type WriteOp = VSpaceWriteOp;
+    type Response = VSpaceResponse;
+
+    fn dispatch(&self, op: VSpaceReadOp) -> VSpaceResponse {
+        match op {
+            VSpaceReadOp::Resolve { va } => self
+                .vspace
+                .resolve(&self.mem, VAddr(va))
+                .map(|r| r.pa.0),
+            VSpaceReadOp::MappedBytes => Ok(self.vspace.mapped_bytes()),
+        }
+    }
+
+    fn dispatch_mut(&mut self, op: VSpaceWriteOp) -> VSpaceResponse {
+        match op {
+            VSpaceWriteOp::MapNew { va } => self
+                .vspace
+                .map_new(
+                    &mut self.mem,
+                    &mut self.alloc,
+                    VAddr(va),
+                    MapFlags::user_rw(),
+                )
+                .map(|pa| pa.0),
+            VSpaceWriteOp::Unmap { va } => self
+                .vspace
+                .unmap(&mut self.mem, &mut self.alloc, VAddr(va))
+                .map(|()| 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame_alloc::BuddyAllocator;
+    use veros_nr::NodeReplicated;
+
+    fn setup(kind: PtKind) -> (PhysMem, BuddyAllocator, VSpace) {
+        let mut mem = PhysMem::new(512);
+        let mut alloc = BuddyAllocator::new(PAddr(16 * PAGE_4K), 256);
+        let v = VSpace::new(&mut mem, &mut alloc, kind).unwrap();
+        (mem, alloc, v)
+    }
+
+    #[test]
+    fn map_new_allocates_and_maps() {
+        for kind in [PtKind::Verified, PtKind::Unverified] {
+            let (mut mem, mut alloc, mut v) = setup(kind);
+            let pa = v.map_new(&mut mem, &mut alloc, VAddr(0x4000), MapFlags::user_rw()).unwrap();
+            let r = v.resolve(&mem, VAddr(0x4010)).unwrap();
+            assert_eq!(r.pa, PAddr(pa.0 + 0x10));
+            assert_eq!(v.mapped_bytes(), PAGE_4K);
+        }
+    }
+
+    #[test]
+    fn unmap_returns_owned_frames() {
+        let (mut mem, mut alloc, mut v) = setup(PtKind::Verified);
+        let before = alloc.allocated_frames();
+        v.map_new(&mut mem, &mut alloc, VAddr(0x4000), MapFlags::user_rw()).unwrap();
+        v.unmap(&mut mem, &mut alloc, VAddr(0x4000)).unwrap();
+        assert_eq!(alloc.allocated_frames(), before, "backing + dirs freed");
+        assert_eq!(v.mapped_bytes(), 0);
+    }
+
+    #[test]
+    fn destroy_frees_everything() {
+        let (mut mem, mut alloc, mut v) = setup(PtKind::Verified);
+        for i in 0..20u64 {
+            v.map_new(&mut mem, &mut alloc, VAddr(0x10_0000 + i * PAGE_4K), MapFlags::user_rw())
+                .unwrap();
+        }
+        v.destroy(&mut mem, &mut alloc);
+        assert_eq!(alloc.allocated_frames(), 0);
+    }
+
+    #[test]
+    fn double_map_fails_cleanly() {
+        let (mut mem, mut alloc, mut v) = setup(PtKind::Verified);
+        v.map_new(&mut mem, &mut alloc, VAddr(0x4000), MapFlags::user_rw()).unwrap();
+        let held = alloc.allocated_frames();
+        assert_eq!(
+            v.map_new(&mut mem, &mut alloc, VAddr(0x4000), MapFlags::user_rw()),
+            Err(PtError::AlreadyMapped)
+        );
+        assert_eq!(alloc.allocated_frames(), held, "failed map leaks nothing");
+    }
+
+    #[test]
+    fn replicated_vspace_basic() {
+        let nr = NodeReplicated::new(2, 2, 64, || VSpaceDispatch::new(512, PtKind::Verified));
+        let t0 = nr.register(0).unwrap();
+        let t1 = nr.register(1).unwrap();
+        let pa0 = nr.execute_mut(VSpaceWriteOp::MapNew { va: 0x4000 }, t0).unwrap();
+        // Replica 1 sees the same mapping at the same physical address —
+        // replicas replay identical logs over identical initial states,
+        // so they converge exactly.
+        let pa1 = nr.execute(VSpaceReadOp::Resolve { va: 0x4000 }, t1).unwrap();
+        assert_eq!(pa0, pa1);
+        nr.execute_mut(VSpaceWriteOp::Unmap { va: 0x4000 }, t1).unwrap();
+        assert!(nr.execute(VSpaceReadOp::Resolve { va: 0x4000 }, t0).is_err());
+        assert_eq!(nr.execute(VSpaceReadOp::MappedBytes, t0), Ok(0));
+    }
+}

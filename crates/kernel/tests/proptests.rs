@@ -1,0 +1,89 @@
+//! Property-based tests of the syscall marshalling layer — the §3
+//! marshalling obligation as proptest properties.
+
+use proptest::prelude::*;
+use veros_kernel::syscall::{abi, marshal, SysError, Syscall};
+
+fn syscall_strategy() -> impl Strategy<Value = Syscall> {
+    prop_oneof![
+        Just(Syscall::Spawn),
+        any::<i32>().prop_map(|code| Syscall::Exit { code }),
+        any::<u64>().prop_map(|pid| Syscall::Wait { pid }),
+        (any::<u64>(), any::<u64>(), any::<bool>())
+            .prop_map(|(va, pages, writable)| Syscall::Map { va, pages, writable }),
+        (any::<u64>(), any::<u64>()).prop_map(|(va, pages)| Syscall::Unmap { va, pages }),
+        (any::<u64>(), any::<u64>(), any::<bool>())
+            .prop_map(|(path_ptr, path_len, create)| Syscall::Open { path_ptr, path_len, create }),
+        (any::<u32>(), any::<u64>(), any::<u64>())
+            .prop_map(|(fd, buf_ptr, buf_len)| Syscall::Read { fd, buf_ptr, buf_len }),
+        (any::<u32>(), any::<u64>(), any::<u64>())
+            .prop_map(|(fd, buf_ptr, buf_len)| Syscall::Write { fd, buf_ptr, buf_len }),
+        (any::<u32>(), any::<u64>()).prop_map(|(fd, offset)| Syscall::Seek { fd, offset }),
+        any::<u32>().prop_map(|fd| Syscall::Close { fd }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(path_ptr, path_len)| Syscall::Unlink { path_ptr, path_len }),
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(va, expected)| Syscall::FutexWait { va, expected }),
+        (any::<u64>(), any::<u32>()).prop_map(|(va, count)| Syscall::FutexWake { va, count }),
+        any::<u64>().prop_map(|a| Syscall::ThreadSpawn { affinity_plus_one: a }),
+        Just(Syscall::Yield),
+        Just(Syscall::ClockRead),
+    ]
+}
+
+proptest! {
+    /// Every well-formed syscall round-trips through the register ABI.
+    #[test]
+    fn regs_round_trip(call in syscall_strategy()) {
+        let regs = abi::encode_regs(&call);
+        prop_assert_eq!(abi::decode_regs(&regs), Ok(call));
+    }
+
+    /// Decoding arbitrary registers never panics; when it succeeds,
+    /// re-encoding reproduces a decodable value (decode is a partial
+    /// inverse of encode).
+    #[test]
+    fn decode_total_and_stable(regs in any::<[u64; 6]>()) {
+        if let Ok(call) = abi::decode_regs(&regs) {
+            let re = abi::encode_regs(&call);
+            prop_assert_eq!(abi::decode_regs(&re), Ok(call));
+        }
+    }
+
+    /// Return values round-trip, and decode of arbitrary pairs never
+    /// panics.
+    #[test]
+    fn rets_round_trip(ok in any::<bool>(), value in any::<u64>(), code in 1u32..17) {
+        let ret = if ok {
+            Ok(value)
+        } else {
+            Err(SysError::from_code(code).unwrap())
+        };
+        let (s, v) = abi::encode_ret(ret);
+        prop_assert_eq!(abi::decode_ret(s, v), Ok(ret));
+    }
+
+    /// The byte-level serializer: bytes and strings survive arbitrary
+    /// content, and truncated input is always an error (never a panic,
+    /// never a bogus success for scalar-prefix payloads).
+    #[test]
+    fn marshal_bytes_round_trip(data in prop::collection::vec(any::<u8>(), 0..256), s in "\\PC*") {
+        let mut e = marshal::Encoder::new();
+        e.bytes(&data).str(&s).u64(data.len() as u64);
+        let wire = e.finish();
+        let mut d = marshal::Decoder::new(&wire);
+        prop_assert_eq!(d.bytes().unwrap(), data.clone());
+        prop_assert_eq!(d.str().unwrap(), s);
+        prop_assert_eq!(d.u64().unwrap(), data.len() as u64);
+        d.finish().unwrap();
+        // Any strict prefix fails to decode fully.
+        if !wire.is_empty() {
+            let mut d = marshal::Decoder::new(&wire[..wire.len() - 1]);
+            let r = d
+                .bytes()
+                .and_then(|_| d.str())
+                .and_then(|_| d.u64());
+            prop_assert!(r.is_err());
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Ethernet-style framing.
+
+/// A MAC address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Mac(pub [u8; 6]);
+
+impl Mac {
+    /// The broadcast address.
+    pub const BROADCAST: Mac = Mac([0xff; 6]);
+
+    /// A deterministic MAC for host `n` (test/simulation convenience).
+    pub fn host(n: u8) -> Mac {
+        Mac([0x02, 0x00, 0x00, 0x00, 0x00, n])
+    }
+}
+
+/// Payload type carried by a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EtherType {
+    /// An IP packet.
+    Ip,
+    /// Anything else (dropped by the stack).
+    Unknown(u16),
+}
+
+impl EtherType {
+    fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ip => 0x0800,
+            EtherType::Unknown(v) => v,
+        }
+    }
+
+    fn from_u16(v: u16) -> EtherType {
+        match v {
+            0x0800 => EtherType::Ip,
+            other => EtherType::Unknown(other),
+        }
+    }
+}
+
+/// An Ethernet-style frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EthFrame {
+    /// Destination MAC.
+    pub dst: Mac,
+    /// Source MAC.
+    pub src: Mac,
+    /// Payload type.
+    pub ethertype: EtherType,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Frame header length in bytes.
+pub const ETH_HEADER: usize = 14;
+
+impl EthFrame {
+    /// Serializes the frame to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ETH_HEADER + self.payload.len());
+        out.extend_from_slice(&self.dst.0);
+        out.extend_from_slice(&self.src.0);
+        out.extend_from_slice(&self.ethertype.to_u16().to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses wire bytes; `None` when shorter than a header.
+    pub fn decode(bytes: &[u8]) -> Option<EthFrame> {
+        if bytes.len() < ETH_HEADER {
+            return None;
+        }
+        Some(EthFrame {
+            dst: Mac(bytes[0..6].try_into().expect("6 bytes")),
+            src: Mac(bytes[6..12].try_into().expect("6 bytes")),
+            ethertype: EtherType::from_u16(u16::from_be_bytes(
+                bytes[12..14].try_into().expect("2 bytes"),
+            )),
+            payload: bytes[14..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let f = EthFrame {
+            dst: Mac::host(2),
+            src: Mac::host(1),
+            ethertype: EtherType::Ip,
+            payload: vec![1, 2, 3, 4],
+        };
+        assert_eq!(EthFrame::decode(&f.encode()), Some(f));
+    }
+
+    #[test]
+    fn short_frames_rejected() {
+        assert_eq!(EthFrame::decode(&[0u8; 13]), None);
+        assert!(EthFrame::decode(&[0u8; 14]).is_some());
+    }
+
+    #[test]
+    fn unknown_ethertype_preserved() {
+        let f = EthFrame {
+            dst: Mac::BROADCAST,
+            src: Mac::host(1),
+            ethertype: EtherType::Unknown(0x1234),
+            payload: vec![],
+        };
+        let d = EthFrame::decode(&f.encode()).unwrap();
+        assert_eq!(d.ethertype, EtherType::Unknown(0x1234));
+    }
+}

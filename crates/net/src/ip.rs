@@ -1,0 +1,180 @@
+//! A minimal IP layer.
+//!
+//! 32-bit addresses, a protocol field, a TTL, and a 16-bit ones'-
+//! complement header checksum (the real IPv4 algorithm, so corruption
+//! detection is faithful).
+
+/// An IPv4-style address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IpAddr(pub u32);
+
+impl IpAddr {
+    /// Address `10.0.0.n` for host `n`.
+    pub fn host(n: u8) -> IpAddr {
+        IpAddr(0x0a00_0000 | n as u32)
+    }
+}
+
+impl std::fmt::Display for IpAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0.to_be_bytes();
+        write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+}
+
+/// Transport protocol numbers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Proto {
+    /// UDP (17).
+    Udp,
+    /// Unknown protocol.
+    Unknown(u8),
+}
+
+impl Proto {
+    fn to_u8(self) -> u8 {
+        match self {
+            Proto::Udp => 17,
+            Proto::Unknown(v) => v,
+        }
+    }
+
+    fn from_u8(v: u8) -> Proto {
+        match v {
+            17 => Proto::Udp,
+            other => Proto::Unknown(other),
+        }
+    }
+}
+
+/// An IP packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IpPacket {
+    /// Source address.
+    pub src: IpAddr,
+    /// Destination address.
+    pub dst: IpAddr,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload.
+    pub payload: Vec<u8>,
+}
+
+/// Header length in bytes: src(4) dst(4) proto(1) ttl(1) len(2) cksum(2).
+pub const IP_HEADER: usize = 14;
+
+/// RFC 1071 ones'-complement checksum over 16-bit words.
+pub fn checksum(bytes: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = bytes.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        sum += u16::from_be_bytes([*last, 0]) as u32;
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+impl IpPacket {
+    /// Serializes the packet, computing the header checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(IP_HEADER + self.payload.len());
+        out.extend_from_slice(&self.src.0.to_be_bytes());
+        out.extend_from_slice(&self.dst.0.to_be_bytes());
+        out.push(self.proto.to_u8());
+        out.push(self.ttl);
+        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // Checksum placeholder.
+        let ck = checksum(&out[..IP_HEADER]);
+        out[12..14].copy_from_slice(&ck.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses and validates (length + checksum); `None` on corruption.
+    pub fn decode(bytes: &[u8]) -> Option<IpPacket> {
+        if bytes.len() < IP_HEADER {
+            return None;
+        }
+        let header = &bytes[..IP_HEADER];
+        // A valid header checksums to zero with the checksum field
+        // included.
+        if checksum(header) != 0 {
+            return None;
+        }
+        let len = u16::from_be_bytes(header[10..12].try_into().expect("2")) as usize;
+        if bytes.len() != IP_HEADER + len {
+            return None;
+        }
+        Some(IpPacket {
+            src: IpAddr(u32::from_be_bytes(header[0..4].try_into().expect("4"))),
+            dst: IpAddr(u32::from_be_bytes(header[4..8].try_into().expect("4"))),
+            proto: Proto::from_u8(header[8]),
+            ttl: header[9],
+            payload: bytes[IP_HEADER..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet() -> IpPacket {
+        IpPacket {
+            src: IpAddr::host(1),
+            dst: IpAddr::host(2),
+            proto: Proto::Udp,
+            ttl: 64,
+            payload: b"payload".to_vec(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = packet();
+        assert_eq!(IpPacket::decode(&p.encode()), Some(p));
+    }
+
+    #[test]
+    fn corrupted_header_rejected() {
+        let mut bytes = packet().encode();
+        for i in 0..IP_HEADER {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            assert_eq!(IpPacket::decode(&corrupt), None, "flip at {i} undetected");
+        }
+        // Truncation.
+        bytes.pop();
+        assert_eq!(IpPacket::decode(&bytes), None);
+    }
+
+    #[test]
+    fn checksum_reference_properties() {
+        // Checksum of a block including its own checksum is zero.
+        let p = packet().encode();
+        assert_eq!(checksum(&p[..IP_HEADER]), 0);
+        // Odd-length input is handled.
+        assert_ne!(checksum(&[1, 2, 3]), checksum(&[1, 2, 4]));
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let p = IpPacket {
+            payload: vec![],
+            ..packet()
+        };
+        assert_eq!(IpPacket::decode(&p.encode()), Some(p));
+    }
+
+    #[test]
+    fn display_formats_dotted_quad() {
+        assert_eq!(IpAddr::host(7).to_string(), "10.0.0.7");
+    }
+}

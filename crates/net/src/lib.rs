@@ -1,0 +1,35 @@
+//! The network stack (the paper's §1 component list: "some network stack
+//! for communication"; §6 names "a verified high-performance network
+//! stack" as an open artifact).
+//!
+//! A small but complete stack over the simulated NIC:
+//!
+//! * [`frame`] — Ethernet-style framing (dst/src MAC + ethertype).
+//! * [`ip`] — a minimal IP layer: 32-bit addresses, protocol numbers,
+//!   TTL, and a header checksum.
+//! * [`udp`] — datagrams with ports.
+//! * [`rdt`] — reliable data transfer over UDP: go-back-N with
+//!   cumulative acks and virtual-clock retransmission. Its spec is the
+//!   classic one: *the receiver delivers a prefix of the sender's
+//!   stream, in order, without duplicates* — checked under loss,
+//!   duplication, and reordering injected by the wire simulator.
+//! * [`socket`] — a UDP socket table (bind / send_to / recv_from).
+//! * [`stack`] — one host's stack: NIC ↔ IP demux ↔ sockets.
+//! * [`sim`] — the wire: moves frames between NICs with deterministic
+//!   fault injection.
+
+pub mod frame;
+pub mod ip;
+pub mod rdt;
+pub mod sim;
+pub mod socket;
+pub mod stack;
+pub mod udp;
+
+pub use frame::{EthFrame, EtherType, Mac};
+pub use ip::{IpAddr, IpPacket, Proto};
+pub use rdt::{RdtEndpoint, RdtEvent};
+pub use sim::{FaultPlan, Network};
+pub use socket::SocketId;
+pub use stack::NetStack;
+pub use udp::UdpDatagram;

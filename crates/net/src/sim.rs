@@ -1,0 +1,217 @@
+//! The wire: a simulated network connecting host stacks.
+//!
+//! Frames move between NICs with deterministic fault injection — loss,
+//! duplication, and reordering — driven by a seeded RNG. The transport's
+//! reliability spec is only meaningful against this adversary.
+
+use veros_spec::rng::SpecRng;
+
+use crate::frame::{EthFrame, Mac};
+use crate::ip::IpAddr;
+use crate::stack::NetStack;
+
+/// Fault injection parameters (probabilities as `num/denom`).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Probability a frame is dropped.
+    pub loss: (u32, u32),
+    /// Probability a frame is duplicated.
+    pub duplicate: (u32, u32),
+    /// Shuffle in-flight frames each step.
+    pub reorder: bool,
+}
+
+impl FaultPlan {
+    /// A perfect wire.
+    pub fn reliable() -> Self {
+        Self {
+            loss: (0, 1),
+            duplicate: (0, 1),
+            reorder: false,
+        }
+    }
+
+    /// A hostile wire: 20% loss, 10% duplication, reordering.
+    pub fn hostile() -> Self {
+        Self {
+            loss: (1, 5),
+            duplicate: (1, 10),
+            reorder: true,
+        }
+    }
+}
+
+/// The simulated network: hosts + the wire between them.
+pub struct Network {
+    hosts: Vec<NetStack>,
+    plan: FaultPlan,
+    rng: SpecRng,
+    in_flight: Vec<Vec<u8>>,
+    delivered_frames: u64,
+    dropped_frames: u64,
+}
+
+impl Network {
+    /// Creates a network of `n` hosts (host `i` gets `Mac::host(i)` and
+    /// `IpAddr::host(i)`), with full neighbour tables.
+    pub fn new(n: u8, plan: FaultPlan, seed: u64) -> Self {
+        let mut hosts: Vec<NetStack> = (0..n)
+            .map(|i| NetStack::new(Mac::host(i), IpAddr::host(i)))
+            .collect();
+        for i in 0..n as usize {
+            for j in 0..n as usize {
+                if i != j {
+                    let (ip, mac) = (hosts[j].ip(), hosts[j].mac());
+                    hosts[i].add_neighbor(ip, mac);
+                }
+            }
+        }
+        Self {
+            hosts,
+            plan,
+            rng: SpecRng::seeded(seed),
+            in_flight: Vec::new(),
+            delivered_frames: 0,
+            dropped_frames: 0,
+        }
+    }
+
+    /// Access a host's stack.
+    pub fn host(&mut self, i: usize) -> &mut NetStack {
+        &mut self.hosts[i]
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// `(delivered, dropped)` frame counters.
+    pub fn wire_stats(&self) -> (u64, u64) {
+        (self.delivered_frames, self.dropped_frames)
+    }
+
+    /// One wire step: collect transmissions, apply faults, deliver, then
+    /// let every stack demultiplex.
+    pub fn step(&mut self) {
+        // Collect.
+        for h in &mut self.hosts {
+            while let Some(f) = h.nic.wire_take_tx() {
+                self.in_flight.push(f);
+            }
+        }
+        // Faults.
+        let mut surviving = Vec::with_capacity(self.in_flight.len());
+        for f in self.in_flight.drain(..) {
+            if self.rng.chance(self.plan.loss.0, self.plan.loss.1) {
+                self.dropped_frames += 1;
+                continue;
+            }
+            if self.rng.chance(self.plan.duplicate.0, self.plan.duplicate.1) {
+                surviving.push(f.clone());
+            }
+            surviving.push(f);
+        }
+        if self.plan.reorder {
+            // Fisher–Yates with the deterministic RNG.
+            for i in (1..surviving.len()).rev() {
+                let j = self.rng.index(i + 1);
+                surviving.swap(i, j);
+            }
+        }
+        // Deliver by destination MAC (broadcast goes everywhere except
+        // the sender's own queue — we do not track sender, so everywhere).
+        for f in surviving {
+            let Some(frame) = EthFrame::decode(&f) else {
+                self.dropped_frames += 1;
+                continue;
+            };
+            let mut hit = false;
+            for h in &mut self.hosts {
+                if frame.dst == h.mac() || frame.dst == Mac::BROADCAST {
+                    h.nic.wire_deliver(f.clone());
+                    hit = true;
+                }
+            }
+            if hit {
+                self.delivered_frames += 1;
+            } else {
+                self.dropped_frames += 1;
+            }
+        }
+        // Demux.
+        for h in &mut self.hosts {
+            h.poll();
+        }
+    }
+
+    /// Runs `n` wire steps.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_wire_delivers_everything() {
+        let mut net = Network::new(3, FaultPlan::reliable(), 1);
+        let s0 = net.host(0).bind(100).unwrap();
+        let s2 = net.host(2).bind(200).unwrap();
+        let dst = net.host(2).ip();
+        for i in 0..10u8 {
+            net.host(0).send_to(s0, dst, 200, vec![i]).unwrap();
+        }
+        net.run(3);
+        let mut got = Vec::new();
+        while let Some((_, _, d)) = net.host(2).recv_from(s2).unwrap() {
+            got.push(d[0]);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn hostile_wire_loses_some_but_not_all() {
+        let mut net = Network::new(2, FaultPlan::hostile(), 7);
+        let s0 = net.host(0).bind(100).unwrap();
+        let s1 = net.host(1).bind(200).unwrap();
+        let dst = net.host(1).ip();
+        for i in 0..100u8 {
+            net.host(0).send_to(s0, dst, 200, vec![i]).unwrap();
+        }
+        net.run(5);
+        let mut got = 0;
+        while net.host(1).recv_from(s1).unwrap().is_some() {
+            got += 1;
+        }
+        assert!(got > 20, "wire ate almost everything: {got}");
+        assert!(got != 100 || net.wire_stats().1 == 0, "no loss observed");
+        let (_, dropped) = net.wire_stats();
+        assert!(dropped > 0, "hostile plan must drop something over 100 frames");
+    }
+
+    #[test]
+    fn same_seed_same_behaviour() {
+        let run = |seed| {
+            let mut net = Network::new(2, FaultPlan::hostile(), seed);
+            let s0 = net.host(0).bind(100).unwrap();
+            let s1 = net.host(1).bind(200).unwrap();
+            let dst = net.host(1).ip();
+            for i in 0..50u8 {
+                net.host(0).send_to(s0, dst, 200, vec![i]).unwrap();
+            }
+            net.run(4);
+            let mut got = Vec::new();
+            while let Some((_, _, d)) = net.host(1).recv_from(s1).unwrap() {
+                got.push(d[0]);
+            }
+            got
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should differ");
+    }
+}

@@ -1,0 +1,71 @@
+//! UDP-style datagrams.
+
+/// A UDP datagram (ports + payload; the IP layer carries addresses).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload.
+    pub payload: Vec<u8>,
+}
+
+/// Header length: src(2) dst(2) len(2).
+pub const UDP_HEADER: usize = 6;
+
+impl UdpDatagram {
+    /// Serializes the datagram.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(UDP_HEADER + self.payload.len());
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses; `None` on truncation or length mismatch.
+    pub fn decode(bytes: &[u8]) -> Option<UdpDatagram> {
+        if bytes.len() < UDP_HEADER {
+            return None;
+        }
+        let len = u16::from_be_bytes(bytes[4..6].try_into().expect("2")) as usize;
+        if bytes.len() != UDP_HEADER + len {
+            return None;
+        }
+        Some(UdpDatagram {
+            src_port: u16::from_be_bytes(bytes[0..2].try_into().expect("2")),
+            dst_port: u16::from_be_bytes(bytes[2..4].try_into().expect("2")),
+            payload: bytes[UDP_HEADER..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let d = UdpDatagram {
+            src_port: 1234,
+            dst_port: 80,
+            payload: b"dns? never heard of it".to_vec(),
+        };
+        assert_eq!(UdpDatagram::decode(&d.encode()), Some(d));
+    }
+
+    #[test]
+    fn bad_lengths_rejected() {
+        assert_eq!(UdpDatagram::decode(&[0; 5]), None);
+        let d = UdpDatagram {
+            src_port: 1,
+            dst_port: 2,
+            payload: vec![9; 4],
+        };
+        let mut bytes = d.encode();
+        bytes.push(0); // Trailing garbage.
+        assert_eq!(UdpDatagram::decode(&bytes), None);
+    }
+}

@@ -1,0 +1,106 @@
+//! The sequential data-structure interface node replication replicates.
+
+/// A sequential data structure, split into read and write operations.
+///
+/// This is the entire contract a kernel subsystem implements to become a
+/// scalable concurrent structure: NrOS "was constructed primarily with
+/// sequential logic and sequential data structures, which are scaled
+/// across cores and nodes using node replication". Implementations must
+/// be deterministic — every replica applies the same log and must reach
+/// the same state.
+pub trait Dispatch {
+    /// A read-only operation.
+    type ReadOp: Clone + Send + std::fmt::Debug;
+    /// A mutating operation.
+    type WriteOp: Clone + Send + std::fmt::Debug;
+    /// The response type shared by both kinds of operation.
+    type Response: Clone + Send + std::fmt::Debug;
+
+    /// Executes a read-only operation.
+    fn dispatch(&self, op: Self::ReadOp) -> Self::Response;
+
+    /// Executes a mutating operation.
+    ///
+    /// Must be deterministic: the same op applied to the same state
+    /// yields the same state and response on every replica.
+    fn dispatch_mut(&mut self, op: Self::WriteOp) -> Self::Response;
+}
+
+#[cfg(test)]
+pub(crate) mod test_structs {
+    use super::Dispatch;
+    use std::collections::BTreeMap;
+
+    /// A counter for smoke tests.
+    #[derive(Clone, Debug, Default)]
+    pub struct Counter {
+        pub value: u64,
+    }
+
+    #[derive(Clone, Debug)]
+    pub enum CounterRead {
+        Get,
+    }
+
+    #[derive(Clone, Debug)]
+    pub enum CounterWrite {
+        Add(u64),
+    }
+
+    impl Dispatch for Counter {
+        type ReadOp = CounterRead;
+        type WriteOp = CounterWrite;
+        type Response = u64;
+
+        fn dispatch(&self, _op: CounterRead) -> u64 {
+            self.value
+        }
+
+        fn dispatch_mut(&mut self, op: CounterWrite) -> u64 {
+            match op {
+                CounterWrite::Add(n) => {
+                    self.value += n;
+                    self.value
+                }
+            }
+        }
+    }
+
+    /// A map for richer tests.
+    #[derive(Clone, Debug, Default)]
+    pub struct KvMap {
+        pub map: BTreeMap<u64, u64>,
+    }
+
+    #[derive(Clone, Debug)]
+    pub enum KvRead {
+        Get(u64),
+        Len,
+    }
+
+    #[derive(Clone, Debug)]
+    pub enum KvWrite {
+        Put(u64, u64),
+        Del(u64),
+    }
+
+    impl Dispatch for KvMap {
+        type ReadOp = KvRead;
+        type WriteOp = KvWrite;
+        type Response = Option<u64>;
+
+        fn dispatch(&self, op: KvRead) -> Option<u64> {
+            match op {
+                KvRead::Get(k) => self.map.get(&k).copied(),
+                KvRead::Len => Some(self.map.len() as u64),
+            }
+        }
+
+        fn dispatch_mut(&mut self, op: KvWrite) -> Option<u64> {
+            match op {
+                KvWrite::Put(k, v) => self.map.insert(k, v),
+                KvWrite::Del(k) => self.map.remove(&k),
+            }
+        }
+    }
+}

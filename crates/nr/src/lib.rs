@@ -1,0 +1,42 @@
+//! Node replication — NrOS's concurrency backbone, reproduced.
+//!
+//! "NR replicates sequential code and its data structures on each NUMA
+//! node and maintains consistency through an operation log. It achieves
+//! read-concurrency with a readers-writer lock and write-concurrency
+//! through flat combining, which batches operations from multiple threads
+//! and logs them atomically" (Section 4.1).
+//!
+//! The pieces, mirroring the open-source `node-replication` crate the
+//! paper builds on:
+//!
+//! * [`Dispatch`] — the sequential data structure interface: read
+//!   operations against `&self`, write operations against `&mut self`.
+//! * [`Log`] — the shared circular operation log with per-replica
+//!   consumption tails and tail-min garbage collection.
+//! * [`DistRwLock`] — the distributed readers-writer lock guarding each
+//!   replica (per-reader flags, so uncontended readers never write to
+//!   shared cache lines).
+//! * [`Replica`] — one replica: a copy of the data structure, a flat
+//!   combining context per registered thread, and the apply loop.
+//! * [`NodeReplicated`] — the top-level API: register threads, then
+//!   `execute` (read) / `execute_mut` (write) with linearizable
+//!   semantics.
+//!
+//! The correctness claim — a sequential structure replicated with NR
+//! remains linearizable — is what IronSync proved and what this
+//! workspace checks dynamically with the Wing–Gong checker in
+//! `veros-spec` (see this crate's `tests` and `veros-core`'s
+//! linearizability VCs).
+
+pub mod backoff;
+pub mod dispatch;
+pub mod log;
+pub mod replica;
+pub mod replicated;
+pub mod rwlock;
+
+pub use dispatch::Dispatch;
+pub use log::{Log, LogEntry};
+pub use replica::Replica;
+pub use replicated::{NodeReplicated, ThreadToken};
+pub use rwlock::DistRwLock;

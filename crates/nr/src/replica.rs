@@ -1,0 +1,79 @@
+//! A single NR replica: data copy, flat-combining contexts, apply loop.
+
+use parking_lot::Mutex;
+
+use crate::dispatch::Dispatch;
+use crate::log::{Log, LogEntry};
+use crate::rwlock::DistRwLock;
+
+/// Per-thread flat-combining context: an operation slot the thread
+/// fills and a response slot the combiner fills.
+pub(crate) struct Context<D: Dispatch> {
+    pub(crate) op: Mutex<Option<D::WriteOp>>,
+    pub(crate) resp: Mutex<Option<D::Response>>,
+}
+
+impl<D: Dispatch> Default for Context<D> {
+    fn default() -> Self {
+        Self {
+            op: Mutex::new(None),
+            resp: Mutex::new(None),
+        }
+    }
+}
+
+/// One replica of the data structure.
+///
+/// The replica's data sits behind a [`DistRwLock`]; the write side doubles
+/// as the flat-combining combiner lock, exactly as in NR: whoever holds
+/// it collects the pending operations of all threads registered on this
+/// replica, appends them to the shared log as one batch, and applies the
+/// log to the local copy.
+pub struct Replica<D: Dispatch> {
+    pub(crate) id: usize,
+    pub(crate) data: DistRwLock<D>,
+    pub(crate) contexts: Vec<Context<D>>,
+}
+
+impl<D: Dispatch> Replica<D> {
+    /// Creates replica `id` with `threads` context slots.
+    pub fn new(id: usize, threads: usize, data: D) -> Self {
+        Self {
+            id,
+            data: DistRwLock::new(threads, data),
+            contexts: (0..threads).map(|_| Context::default()).collect(),
+        }
+    }
+
+    /// Maximum number of threads registerable on this replica.
+    pub fn max_threads(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Collects every pending operation into a batch of tagged entries.
+    pub(crate) fn collect(&self) -> Vec<LogEntry<D::WriteOp>> {
+        let mut batch = Vec::new();
+        for (t, ctx) in self.contexts.iter().enumerate() {
+            if let Some(op) = ctx.op.lock().take() {
+                batch.push(LogEntry {
+                    op,
+                    replica: self.id,
+                    thread: t,
+                });
+            }
+        }
+        batch
+    }
+
+    /// Applies all outstanding log entries to `data` (the caller holds
+    /// this replica's write lock), routing responses for locally issued
+    /// entries into their threads' contexts.
+    pub(crate) fn apply_log(&self, log: &Log<D::WriteOp>, data: &mut D) -> usize {
+        log.exec(self.id, |entry| {
+            let resp = data.dispatch_mut(entry.op.clone());
+            if entry.replica == self.id {
+                *self.contexts[entry.thread].resp.lock() = Some(resp);
+            }
+        })
+    }
+}

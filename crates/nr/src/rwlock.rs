@@ -1,0 +1,247 @@
+//! The distributed readers-writer lock guarding each replica.
+//!
+//! NR "achieves read-concurrency with a readers-writer lock": readers
+//! announce themselves in per-reader (cache-line padded) flags and check
+//! a single writer flag, so concurrent readers never contend on a shared
+//! cache line; the writer raises its flag and waits for every reader slot
+//! to drain. This is the classic "big reader" lock NrOS uses per replica.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+/// A distributed readers-writer lock over `T`.
+pub struct DistRwLock<T> {
+    writer: CachePadded<AtomicBool>,
+    readers: Vec<CachePadded<AtomicUsize>>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: The lock protocol guarantees exclusive access for writers and
+// shared access for readers (proven by the `mutual_exclusion` stress
+// test below): `&mut T` is only produced while `writer` is held and all
+// reader slots are zero; `&T` only while the caller's reader slot is
+// nonzero and the writer flag was observed clear after publication.
+unsafe impl<T: Send> Send for DistRwLock<T> {}
+// SAFETY: See above; concurrent `&T` access requires `T: Sync`, and the
+// writer path moves `&mut T` across threads, requiring `T: Send`.
+unsafe impl<T: Send + Sync> Sync for DistRwLock<T> {}
+
+/// Shared-access guard returned by [`DistRwLock::read`].
+pub struct ReadGuard<'a, T> {
+    lock: &'a DistRwLock<T>,
+    slot: usize,
+}
+
+/// Exclusive-access guard returned by [`DistRwLock::write`].
+pub struct WriteGuard<'a, T> {
+    lock: &'a DistRwLock<T>,
+}
+
+impl<T> DistRwLock<T> {
+    /// Creates a lock with `reader_slots` dedicated reader slots (one per
+    /// thread that will read; readers pass their slot index).
+    pub fn new(reader_slots: usize, data: T) -> Self {
+        Self {
+            writer: CachePadded::new(AtomicBool::new(false)),
+            readers: (0..reader_slots.max(1))
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect(),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    /// Acquires shared access using the caller's dedicated `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot` is out of range or already held (the slot is a
+    /// per-thread resource; re-entrant reads are a caller bug).
+    pub fn read(&self, slot: usize) -> ReadGuard<'_, T> {
+        let me = &self.readers[slot];
+        assert_eq!(me.load(Ordering::Relaxed), 0, "reader slot {slot} re-entered");
+        loop {
+            // Publish intent, then check the writer flag. SeqCst on both
+            // sides forbids the store-load reordering that would let a
+            // reader and the writer both believe they hold the lock.
+            me.store(1, Ordering::SeqCst);
+            if !self.writer.load(Ordering::SeqCst) {
+                return ReadGuard { lock: self, slot };
+            }
+            // A writer is active or arriving: back off and retry.
+            me.store(0, Ordering::SeqCst);
+            let mut backoff = crate::backoff::Backoff::new();
+            while self.writer.load(Ordering::Relaxed) {
+                backoff.wait();
+            }
+        }
+    }
+
+    /// Tries to acquire exclusive access without blocking: fails when
+    /// another writer holds the lock *or* any reader is active (so a
+    /// thread that holds a read guard can safely call this without
+    /// deadlocking itself).
+    pub fn try_write(&self) -> Option<WriteGuard<'_, T>> {
+        if self
+            .writer
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return None;
+        }
+        // One pass over the reader slots; any active reader aborts the
+        // attempt. New readers cannot slip in: they check the writer
+        // flag (already set) after publishing their slot.
+        for r in &self.readers {
+            if r.load(Ordering::SeqCst) != 0 {
+                self.writer.store(false, Ordering::SeqCst);
+                return None;
+            }
+        }
+        Some(WriteGuard { lock: self })
+    }
+
+    /// Acquires exclusive access with writer priority: holds the writer
+    /// flag (blocking out new readers) while waiting for current readers
+    /// to drain.
+    ///
+    /// Must not be called while holding a read guard on the same lock.
+    pub fn write(&self) -> WriteGuard<'_, T> {
+        let mut backoff = crate::backoff::Backoff::new();
+        loop {
+            if self
+                .writer
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                break;
+            }
+            backoff.wait();
+        }
+        for r in &self.readers {
+            let mut backoff = crate::backoff::Backoff::new();
+            while r.load(Ordering::SeqCst) != 0 {
+                backoff.wait();
+            }
+        }
+        WriteGuard { lock: self }
+    }
+
+    /// Number of reader slots.
+    pub fn reader_slots(&self) -> usize {
+        self.readers.len()
+    }
+}
+
+impl<T> std::ops::Deref for ReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: The reader slot is published and the writer flag was
+        // observed clear afterwards; any later writer waits for our slot
+        // to drain before touching the data.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for ReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.readers[self.slot].store(0, Ordering::SeqCst);
+    }
+}
+
+impl<T> std::ops::Deref for WriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: Exclusive: the writer flag is held and all readers
+        // drained.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for WriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: See `deref`.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for WriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.writer.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_write_basics() {
+        let lock = DistRwLock::new(2, 5u64);
+        {
+            let r0 = lock.read(0);
+            let r1 = lock.read(1);
+            assert_eq!(*r0 + *r1, 10);
+            assert!(lock.try_write().is_none(), "readers block writers");
+        }
+        {
+            let mut w = lock.write();
+            *w = 7;
+        }
+        assert_eq!(*lock.read(0), 7);
+    }
+
+    #[test]
+    fn writer_blocks_new_writer() {
+        let lock = DistRwLock::new(1, ());
+        let w = lock.write();
+        assert!(lock.try_write().is_none());
+        drop(w);
+        assert!(lock.try_write().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entered")]
+    fn reentrant_read_panics() {
+        let lock = DistRwLock::new(1, ());
+        let _a = lock.read(0);
+        let _b = lock.read(0);
+    }
+
+    #[test]
+    fn mutual_exclusion_stress() {
+        // Writers increment a two-field counter non-atomically; readers
+        // assert the fields always agree. Any lock bug tears them apart.
+        struct Pair {
+            a: u64,
+            b: u64,
+        }
+        let lock = Arc::new(DistRwLock::new(4, Pair { a: 0, b: 0 }));
+        let mut handles = Vec::new();
+        for slot in 0..4usize {
+            let lock = Arc::clone(&lock);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2000u64 {
+                    if i % 4 == slot as u64 % 4 && slot < 2 {
+                        let mut w = lock.write();
+                        w.a += 1;
+                        // Widen the race window.
+                        std::hint::spin_loop();
+                        w.b += 1;
+                    } else {
+                        let r = lock.read(slot);
+                        assert_eq!(r.a, r.b, "torn read: lock is broken");
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let r = lock.read(0);
+        assert_eq!(r.a, r.b);
+        assert_eq!(r.a, 1000);
+    }
+}

@@ -1,0 +1,378 @@
+//! The high-level specification (layer 2 of the paper's Figure 2).
+//!
+//! "The spec describes the page table as a mathematical map from virtual
+//! addresses to page table entries storing the physical address and
+//! permission bits" with "transitions for memory reads and writes as well
+//! as map, unmap and resolve" (Section 5). This module is that map,
+//! executable: [`HighSpec`] holds the mathematical map and applies the
+//! three operations with their full preconditions; [`HighSpecMachine`]
+//! wraps it as a finite [`StateMachine`] for exploration-based
+//! verification conditions.
+
+use std::collections::BTreeMap;
+
+use veros_spec::StateMachine;
+
+use veros_hw::{VAddr, PAGE_4K};
+
+use crate::ops::{MapFlags, MapRequest, PageSize, PtError, PtOp, ResolveAnswer};
+
+/// One abstract mapping: the "page table entry" of the mathematical map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AbsMapping {
+    /// Physical base address.
+    pub pa: u64,
+    /// Page size.
+    pub size: PageSize,
+    /// Permissions.
+    pub flags: MapFlags,
+}
+
+/// The abstract state: a map from virtual base addresses to mappings.
+pub type AbsMap = BTreeMap<u64, AbsMapping>;
+
+/// The high-level page-table specification.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HighSpec {
+    /// The mathematical map.
+    pub map: AbsMap,
+}
+
+impl HighSpec {
+    /// An empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The precondition of `map`: canonical, aligned, no overlap.
+    ///
+    /// This is the transition guard of the spec state machine; the
+    /// implementation must fail with exactly this error when it does not
+    /// hold.
+    pub fn map_precondition(&self, req: &MapRequest) -> Result<(), PtError> {
+        if !req.va.is_canonical() {
+            return Err(PtError::NonCanonical);
+        }
+        if !req.va.is_aligned(req.size.bytes()) {
+            return Err(PtError::MisalignedVa);
+        }
+        if !req.pa.is_aligned(req.size.bytes()) {
+            return Err(PtError::MisalignedPa);
+        }
+        if self.overlaps(req.va.0, req.size.bytes()) {
+            return Err(PtError::AlreadyMapped);
+        }
+        Ok(())
+    }
+
+    /// True when `[va, va+len)` intersects any existing mapping.
+    pub fn overlaps(&self, va: u64, len: u64) -> bool {
+        // A mapping (b, m) overlaps iff b < va+len and va < b+m.size.
+        // Only mappings with base below va+len can qualify; the largest
+        // page is 1 GiB, so scanning the range below is cheap via the
+        // ordered map: check the closest mapping at or below va, plus all
+        // mappings inside [va, va+len).
+        if let Some((b, m)) = self.map.range(..=va).next_back() {
+            if va < b + m.size.bytes() {
+                return true;
+            }
+        }
+        self.map.range(va..va.saturating_add(len)).next().is_some()
+    }
+
+    /// The `map` transition. On success the map gains exactly one entry.
+    pub fn apply_map(&mut self, req: &MapRequest) -> Result<(), PtError> {
+        self.map_precondition(req)?;
+        self.map.insert(
+            req.va.0,
+            AbsMapping {
+                pa: req.pa.0,
+                size: req.size,
+                flags: req.flags,
+            },
+        );
+        Ok(())
+    }
+
+    /// The `unmap` transition: removes the mapping based exactly at `va`,
+    /// returning it.
+    pub fn apply_unmap(&mut self, va: VAddr) -> Result<AbsMapping, PtError> {
+        if !va.is_canonical() {
+            return Err(PtError::NonCanonical);
+        }
+        if !va.is_aligned(PAGE_4K) {
+            return Err(PtError::MisalignedVa);
+        }
+        self.map.remove(&va.0).ok_or(PtError::NotMapped)
+    }
+
+    /// The `resolve` transition (read-only): the translation of an
+    /// arbitrary canonical address.
+    pub fn resolve(&self, va: VAddr) -> Result<ResolveAnswer, PtError> {
+        if !va.is_canonical() {
+            return Err(PtError::NonCanonical);
+        }
+        match self.map.range(..=va.0).next_back() {
+            Some((b, m)) if va.0 < b + m.size.bytes() => Ok(ResolveAnswer {
+                pa: veros_hw::PAddr(m.pa + (va.0 - b)),
+                base: VAddr(*b),
+                size: m.size,
+                flags: m.flags,
+            }),
+            _ => Err(PtError::NotMapped),
+        }
+    }
+
+    /// Applies any [`PtOp`], returning its observable result.
+    pub fn apply(&mut self, op: &PtOp) -> Result<Option<ResolveAnswer>, PtError> {
+        match op {
+            PtOp::Map(req) => self.apply_map(req).map(|()| None),
+            PtOp::Unmap(va) => self.apply_unmap(*va).map(|m| {
+                Some(ResolveAnswer {
+                    pa: veros_hw::PAddr(m.pa),
+                    base: *va,
+                    size: m.size,
+                    flags: m.flags,
+                })
+            }),
+            PtOp::Resolve(va) => self.resolve(*va).map(Some),
+        }
+    }
+
+    /// Spec-level invariant: no two mappings overlap, all are aligned and
+    /// canonical. Holds inductively; checked explicitly by a VC.
+    pub fn wf(&self) -> bool {
+        let mut prev_end = 0u64;
+        for (b, m) in &self.map {
+            if !VAddr(*b).is_canonical() || !VAddr(*b).is_aligned(m.size.bytes()) {
+                return false;
+            }
+            if m.pa % m.size.bytes() != 0 {
+                return false;
+            }
+            if *b < prev_end {
+                return false;
+            }
+            prev_end = b + m.size.bytes();
+        }
+        true
+    }
+}
+
+/// A finitized instance of the high-level spec as a [`StateMachine`], for
+/// bounded-exhaustive invariant VCs.
+///
+/// The universe is a small set of candidate map requests and unmap/resolve
+/// targets; the reachable states are all maps constructible from them.
+pub struct HighSpecMachine {
+    /// The candidate operations.
+    pub universe: Vec<PtOp>,
+}
+
+impl HighSpecMachine {
+    /// A default universe: three 4 KiB pages and one 2 MiB page with
+    /// overlapping ranges, exercising every precondition.
+    pub fn small() -> Self {
+        let reqs = [
+            MapRequest::rw_4k(0x1000, 0x8000),
+            MapRequest::rw_4k(0x2000, 0x9000),
+            MapRequest {
+                va: VAddr(0x20_0000),
+                pa: veros_hw::PAddr(0x40_0000),
+                size: PageSize::Size2M,
+                flags: MapFlags::user_ro(),
+            },
+            // Deliberately inside the 2 MiB page: must conflict once the
+            // huge page is mapped.
+            MapRequest::rw_4k(0x20_1000, 0xa000),
+        ];
+        let mut universe: Vec<PtOp> = reqs.into_iter().map(PtOp::Map).collect();
+        for va in [0x1000u64, 0x2000, 0x20_0000, 0x20_1000] {
+            universe.push(PtOp::Unmap(VAddr(va)));
+        }
+        Self { universe }
+    }
+}
+
+impl StateMachine for HighSpecMachine {
+    type State = HighSpec;
+    type Action = PtOp;
+
+    fn init_states(&self) -> Vec<HighSpec> {
+        vec![HighSpec::new()]
+    }
+
+    fn actions(&self, state: &HighSpec) -> Vec<PtOp> {
+        // Only *enabled* ops (whose spec transition succeeds); failed ops
+        // do not change state and need not be explored.
+        self.universe
+            .iter()
+            .filter(|op| {
+                let mut s = state.clone();
+                s.apply(op).is_ok()
+            })
+            .copied()
+            .collect()
+    }
+
+    fn step(&self, state: &HighSpec, action: &PtOp) -> Option<HighSpec> {
+        let mut s = state.clone();
+        s.apply(action).ok().map(|_| s)
+    }
+}
+
+// `HighSpec` participates in exploration, which requires `Hash`.
+impl std::hash::Hash for HighSpec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        for (k, v) in &self.map {
+            k.hash(state);
+            v.hash(state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veros_hw::PAddr;
+    use veros_spec::explorer::{prove_invariant, ExploreLimits};
+
+    #[test]
+    fn map_then_resolve_translates_with_offset() {
+        let mut s = HighSpec::new();
+        s.apply_map(&MapRequest::rw_4k(0x1000, 0x8000)).unwrap();
+        let r = s.resolve(VAddr(0x1abc)).unwrap();
+        assert_eq!(r.pa, PAddr(0x8abc));
+        assert_eq!(r.base, VAddr(0x1000));
+        assert_eq!(r.size, PageSize::Size4K);
+    }
+
+    #[test]
+    fn resolve_inside_huge_page() {
+        let mut s = HighSpec::new();
+        s.apply_map(&MapRequest {
+            va: VAddr(0x4000_0000),
+            pa: PAddr(0x8000_0000),
+            size: PageSize::Size1G,
+            flags: MapFlags::user_rw(),
+        })
+        .unwrap();
+        let r = s.resolve(VAddr(0x4123_4567)).unwrap();
+        assert_eq!(r.pa, PAddr(0x8123_4567));
+        assert_eq!(r.size, PageSize::Size1G);
+    }
+
+    #[test]
+    fn overlap_detection_both_directions() {
+        let mut s = HighSpec::new();
+        s.apply_map(&MapRequest {
+            va: VAddr(0x20_0000),
+            pa: PAddr(0x40_0000),
+            size: PageSize::Size2M,
+            flags: MapFlags::user_rw(),
+        })
+        .unwrap();
+        // New page inside existing huge page.
+        assert_eq!(
+            s.apply_map(&MapRequest::rw_4k(0x20_1000, 0x1000)),
+            Err(PtError::AlreadyMapped)
+        );
+        // New huge page covering an existing small page.
+        let mut s = HighSpec::new();
+        s.apply_map(&MapRequest::rw_4k(0x20_1000, 0x1000)).unwrap();
+        assert_eq!(
+            s.apply_map(&MapRequest {
+                va: VAddr(0x20_0000),
+                pa: PAddr(0x40_0000),
+                size: PageSize::Size2M,
+                flags: MapFlags::user_rw(),
+            }),
+            Err(PtError::AlreadyMapped)
+        );
+        // Exact duplicate.
+        assert_eq!(
+            s.apply_map(&MapRequest::rw_4k(0x20_1000, 0x7000)),
+            Err(PtError::AlreadyMapped)
+        );
+    }
+
+    #[test]
+    fn adjacent_mappings_do_not_conflict() {
+        let mut s = HighSpec::new();
+        s.apply_map(&MapRequest::rw_4k(0x1000, 0x8000)).unwrap();
+        s.apply_map(&MapRequest::rw_4k(0x2000, 0x9000)).unwrap();
+        assert_eq!(s.map.len(), 2);
+    }
+
+    #[test]
+    fn alignment_and_canonicality_preconditions() {
+        let mut s = HighSpec::new();
+        assert_eq!(
+            s.apply_map(&MapRequest::rw_4k(0x1001, 0x8000)),
+            Err(PtError::MisalignedVa)
+        );
+        assert_eq!(
+            s.apply_map(&MapRequest::rw_4k(0x1000, 0x8001)),
+            Err(PtError::MisalignedPa)
+        );
+        assert_eq!(
+            s.apply_map(&MapRequest::rw_4k(0x0000_8000_0000_0000, 0x8000)),
+            Err(PtError::NonCanonical)
+        );
+        // 2 MiB alignment required for 2 MiB pages.
+        assert_eq!(
+            s.apply_map(&MapRequest {
+                va: VAddr(0x1000),
+                pa: PAddr(0x40_0000),
+                size: PageSize::Size2M,
+                flags: MapFlags::user_rw(),
+            }),
+            Err(PtError::MisalignedVa)
+        );
+    }
+
+    #[test]
+    fn unmap_requires_exact_base() {
+        let mut s = HighSpec::new();
+        s.apply_map(&MapRequest {
+            va: VAddr(0x20_0000),
+            pa: PAddr(0x40_0000),
+            size: PageSize::Size2M,
+            flags: MapFlags::user_rw(),
+        })
+        .unwrap();
+        // Inside but not the base: NotMapped.
+        assert_eq!(s.apply_unmap(VAddr(0x20_1000)), Err(PtError::NotMapped));
+        let m = s.apply_unmap(VAddr(0x20_0000)).unwrap();
+        assert_eq!(m.pa, 0x40_0000);
+        assert!(s.map.is_empty());
+    }
+
+    #[test]
+    fn resolve_unmapped_fails() {
+        let s = HighSpec::new();
+        assert_eq!(s.resolve(VAddr(0x1000)), Err(PtError::NotMapped));
+    }
+
+    #[test]
+    fn wf_holds_on_all_reachable_small_states() {
+        prove_invariant(HighSpecMachine::small(), ExploreLimits::default(), |s| {
+            s.wf()
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn exploration_is_complete_for_small_universe() {
+        let e = veros_spec::Explorer::unbounded(HighSpecMachine::small());
+        match e.check_invariant(|_| true) {
+            veros_spec::ExploreOutcome::Ok(stats) => {
+                assert!(stats.complete);
+                // 3 independent 4 KiB pages + the huge page that excludes
+                // one of them: strictly fewer than 2^4 subsets.
+                assert!(stats.states > 4 && stats.states < 16, "{stats:?}");
+            }
+            _ => panic!(),
+        }
+    }
+}

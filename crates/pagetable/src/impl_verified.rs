@@ -1,0 +1,531 @@
+//! The verified page-table implementation (layer 3 of the paper's Fig 2).
+//!
+//! "We implement executable, concrete functions in Rust for the map,
+//! unmap and resolve operations. Those functions read and write memory
+//! locations of the page table to perform mapping or unmapping of frames,
+//! as well as allocate or free memory used to store the page table."
+//!
+//! The code is structured the way the Verus proof structures it: one
+//! function per level, so each function's obligations (preserve the
+//! structural invariant, refine the prefix-tree layer) are local. In
+//! *audit mode* the table carries its ghost prefix tree — the executable
+//! analogue of Verus ghost state — and updates it in lock-step; audit
+//! mode is what the verification conditions run, while the benchmarks run
+//! with the ghost erased (exactly as Verus erases ghost state at
+//! compile time), so Figures 1b/1c compare like with like.
+
+use veros_hw::{FrameSource, PAddr, PhysMem, PtEntry, PtFlags, VAddr, PAGE_4K};
+
+use crate::high_spec::AbsMapping;
+use crate::ops::{MapFlags, MapRequest, PageSize, PtError, ResolveAnswer};
+use crate::prefix_tree::PrefixTree;
+use crate::PageTableOps;
+
+/// Flags given to directory entries: maximally permissive, so the leaf
+/// entry alone determines the effective permissions (the MMU accumulates
+/// conjunctively for W/U and disjunctively for NX).
+fn dir_flags() -> PtFlags {
+    PtFlags::PRESENT | PtFlags::WRITABLE | PtFlags::USER
+}
+
+/// Encodes abstract [`MapFlags`] into a leaf entry's architectural bits.
+pub fn encode_leaf(pa: PAddr, size: PageSize, flags: MapFlags) -> PtEntry {
+    let mut f = PtFlags::PRESENT;
+    if flags.writable {
+        f |= PtFlags::WRITABLE;
+    }
+    if flags.user {
+        f |= PtFlags::USER;
+    }
+    if flags.nx {
+        f |= PtFlags::NX;
+    }
+    if size.leaf_level() > 1 {
+        f |= PtFlags::HUGE;
+    }
+    PtEntry::new(pa, f)
+}
+
+/// Decodes a leaf entry back to abstract flags.
+pub fn decode_leaf(e: PtEntry) -> MapFlags {
+    MapFlags {
+        writable: e.flags().contains(PtFlags::WRITABLE),
+        user: e.flags().contains(PtFlags::USER),
+        nx: e.flags().contains(PtFlags::NX),
+    }
+}
+
+fn entry_addr(table: PAddr, idx: u16) -> PAddr {
+    PAddr(table.0 + 8 * idx as u64)
+}
+
+fn index_at(va: VAddr, level: u8) -> u16 {
+    match level {
+        4 => va.pml4_index() as u16,
+        3 => va.pdpt_index() as u16,
+        2 => va.pd_index() as u16,
+        1 => va.pt_index() as u16,
+        _ => unreachable!("no level {level}"),
+    }
+}
+
+/// Span of one entry at `level`.
+fn span_at(level: u8) -> u64 {
+    PAGE_4K << (9 * (level - 1))
+}
+
+/// The verified page table.
+pub struct VerifiedPageTable {
+    cr3: PAddr,
+    ghost: Option<PrefixTree>,
+}
+
+impl VerifiedPageTable {
+    /// Creates an empty address space, allocating the root frame.
+    ///
+    /// `audit` enables ghost-state tracking (used by the verification
+    /// conditions; benchmarks pass `false`).
+    pub fn new(
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        audit: bool,
+    ) -> Result<Self, PtError> {
+        let cr3 = alloc.alloc_frame().ok_or(PtError::OutOfMemory)?;
+        mem.zero_frame(cr3);
+        Ok(Self {
+            cr3,
+            ghost: audit.then(PrefixTree::new),
+        })
+    }
+
+    /// The ghost prefix tree, when running in audit mode.
+    ///
+    /// This is the implementation's `view()` in the paper's sense: the
+    /// abstraction of its concrete state that client reasoning uses.
+    pub fn ghost(&self) -> Option<&PrefixTree> {
+        self.ghost.as_ref()
+    }
+
+    /// Frees every directory frame (including the root). The table must
+    /// not be used afterwards.
+    pub fn destroy(self, mem: &mut PhysMem, alloc: &mut dyn FrameSource) {
+        Self::free_subtree(mem, alloc, self.cr3, 4);
+    }
+
+    fn free_subtree(mem: &mut PhysMem, alloc: &mut dyn FrameSource, table: PAddr, level: u8) {
+        if level > 1 {
+            for idx in 0..512u16 {
+                let e = PtEntry(mem.read_u64(entry_addr(table, idx)));
+                if e.is_present() && !e.is_huge() {
+                    Self::free_subtree(mem, alloc, e.addr(), level - 1);
+                }
+            }
+        }
+        mem.zero_frame(table);
+        alloc.free_frame(table);
+    }
+
+    // --- map ------------------------------------------------------------
+
+    /// Per-level map function. Mirrors `PrefixTree::map_rec` — that
+    /// correspondence *is* the refinement argument, discharged by the
+    /// differential VCs.
+    fn map_at(
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        table: PAddr,
+        level: u8,
+        req: &MapRequest,
+    ) -> Result<(), PtError> {
+        let idx = index_at(req.va, level);
+        let slot = entry_addr(table, idx);
+        let entry = PtEntry(mem.read_u64(slot));
+        if level == req.size.leaf_level() {
+            if entry.is_present() {
+                return Err(PtError::AlreadyMapped);
+            }
+            mem.write_u64(slot, encode_leaf(req.pa, req.size, req.flags).0);
+            return Ok(());
+        }
+        if entry.is_present() {
+            if entry.is_huge() {
+                return Err(PtError::AlreadyMapped);
+            }
+            return Self::map_at(mem, alloc, entry.addr(), level - 1, req);
+        }
+        // Allocate a fresh directory. Descending into it can only fail
+        // with OutOfMemory (fresh tables are empty); roll back on failure
+        // so no empty directory is ever left installed.
+        let child = alloc.alloc_frame().ok_or(PtError::OutOfMemory)?;
+        mem.zero_frame(child);
+        match Self::map_at(mem, alloc, child, level - 1, req) {
+            Ok(()) => {
+                mem.write_u64(slot, PtEntry::new(child, dir_flags()).0);
+                Ok(())
+            }
+            Err(e) => {
+                debug_assert_eq!(e, PtError::OutOfMemory);
+                alloc.free_frame(child);
+                Err(e)
+            }
+        }
+    }
+
+    // --- unmap ----------------------------------------------------------
+
+    /// Per-level unmap. Returns the removed mapping and whether `table`
+    /// became empty (so the caller can free it).
+    fn unmap_at(
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        table: PAddr,
+        level: u8,
+        va: VAddr,
+    ) -> Result<(AbsMapping, bool), PtError> {
+        let idx = index_at(va, level);
+        let slot = entry_addr(table, idx);
+        let entry = PtEntry(mem.read_u64(slot));
+        if !entry.is_present() {
+            return Err(PtError::NotMapped);
+        }
+        let is_leaf = level == 1 || entry.is_huge();
+        if is_leaf {
+            if !va.is_aligned(span_at(level)) {
+                return Err(PtError::NotMapped);
+            }
+            let size = match level {
+                1 => PageSize::Size4K,
+                2 => PageSize::Size2M,
+                3 => PageSize::Size1G,
+                _ => return Err(PtError::NotMapped), // Huge bit at L4 is not architectural.
+            };
+            let mapping = AbsMapping {
+                pa: entry.addr().0,
+                size,
+                flags: decode_leaf(entry),
+            };
+            mem.write_u64(slot, PtEntry::zero().0);
+            return Ok((mapping, Self::table_empty(mem, table)));
+        }
+        let (mapping, child_empty) = Self::unmap_at(mem, alloc, entry.addr(), level - 1, va)?;
+        if child_empty {
+            // Free the now-empty child directory and clear our entry —
+            // the no-empty-dirs invariant, in bits.
+            let child = entry.addr();
+            mem.zero_frame(child);
+            alloc.free_frame(child);
+            mem.write_u64(slot, PtEntry::zero().0);
+            return Ok((mapping, Self::table_empty(mem, table)));
+        }
+        Ok((mapping, false))
+    }
+
+    fn table_empty(mem: &PhysMem, table: PAddr) -> bool {
+        (0..512u16).all(|i| !PtEntry(mem.read_u64(entry_addr(table, i))).is_present())
+    }
+
+    // --- resolve ----------------------------------------------------------
+
+    /// Per-level resolve.
+    fn resolve_at(
+        mem: &PhysMem,
+        table: PAddr,
+        level: u8,
+        va: VAddr,
+    ) -> Result<ResolveAnswer, PtError> {
+        let idx = index_at(va, level);
+        let entry = PtEntry(mem.read_u64(entry_addr(table, idx)));
+        if !entry.is_present() {
+            return Err(PtError::NotMapped);
+        }
+        let is_leaf = level == 1 || entry.is_huge();
+        if is_leaf {
+            let size = match level {
+                1 => PageSize::Size4K,
+                2 => PageSize::Size2M,
+                3 => PageSize::Size1G,
+                _ => return Err(PtError::NotMapped),
+            };
+            let base = VAddr(va.0 & !(span_at(level) - 1));
+            return Ok(ResolveAnswer {
+                pa: PAddr(entry.addr().0 + (va.0 - base.0)),
+                base,
+                size,
+                flags: decode_leaf(entry),
+            });
+        }
+        Self::resolve_at(mem, entry.addr(), level - 1, va)
+    }
+}
+
+impl PageTableOps for VerifiedPageTable {
+    fn map_frame(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        req: MapRequest,
+    ) -> Result<(), PtError> {
+        if !req.va.is_canonical() {
+            return Err(PtError::NonCanonical);
+        }
+        if !req.va.is_aligned(req.size.bytes()) {
+            return Err(PtError::MisalignedVa);
+        }
+        if !req.pa.is_aligned(req.size.bytes()) {
+            return Err(PtError::MisalignedPa);
+        }
+        let result = Self::map_at(mem, alloc, self.cr3, 4, &req);
+        if let Some(ghost) = &mut self.ghost {
+            // Ghost state moves in lock-step; OutOfMemory is the one
+            // implementation-only failure (a stutter for the ghost).
+            match &result {
+                Ok(()) => {
+                    let g = ghost.map(&req);
+                    debug_assert_eq!(g, Ok(()), "ghost diverged on map");
+                }
+                Err(PtError::OutOfMemory) => {}
+                Err(e) => {
+                    let g = ghost.map(&req);
+                    debug_assert_eq!(g, Err(*e), "ghost diverged on failing map");
+                }
+            }
+        }
+        result
+    }
+
+    fn unmap_frame(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        va: VAddr,
+    ) -> Result<AbsMapping, PtError> {
+        if !va.is_canonical() {
+            return Err(PtError::NonCanonical);
+        }
+        if !va.is_aligned(PAGE_4K) {
+            return Err(PtError::MisalignedVa);
+        }
+        let result = Self::unmap_at(mem, alloc, self.cr3, 4, va).map(|(m, _)| m);
+        if let Some(ghost) = &mut self.ghost {
+            let g = ghost.unmap(va);
+            debug_assert_eq!(g, result, "ghost diverged on unmap");
+        }
+        result
+    }
+
+    fn resolve(&self, mem: &PhysMem, va: VAddr) -> Result<ResolveAnswer, PtError> {
+        if !va.is_canonical() {
+            return Err(PtError::NonCanonical);
+        }
+        let result = Self::resolve_at(mem, self.cr3, 4, va);
+        if let Some(ghost) = &self.ghost {
+            debug_assert_eq!(ghost.resolve(va), result, "ghost diverged on resolve");
+        }
+        result
+    }
+
+    fn root(&self) -> PAddr {
+        self.cr3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veros_hw::StackFrameSource;
+
+    fn setup() -> (PhysMem, StackFrameSource) {
+        // 1024 frames of memory; frames 16..512 are allocatable.
+        (
+            PhysMem::new(1024),
+            StackFrameSource::new(PAddr(16 * PAGE_4K), PAddr(512 * PAGE_4K)),
+        )
+    }
+
+    #[test]
+    fn map_resolve_round_trip() {
+        let (mut mem, mut alloc) = setup();
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, true).unwrap();
+        pt.map_frame(&mut mem, &mut alloc, MapRequest::rw_4k(0x1000, 0x8000))
+            .unwrap();
+        let r = pt.resolve(&mem, VAddr(0x1abc)).unwrap();
+        assert_eq!(r.pa, PAddr(0x8abc));
+        assert_eq!(r.flags, MapFlags::user_rw());
+    }
+
+    #[test]
+    fn mmu_walk_agrees_with_resolve() {
+        let (mut mem, mut alloc) = setup();
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, true).unwrap();
+        pt.map_frame(&mut mem, &mut alloc, MapRequest::rw_4k(0x7000, 0x9000))
+            .unwrap();
+        let m = veros_hw::walk(&mem, pt.root(), VAddr(0x7010)).unwrap();
+        assert_eq!(m.pa_base, PAddr(0x9000));
+        assert!(m.writable && m.user && m.nx);
+        let r = pt.resolve(&mem, VAddr(0x7010)).unwrap();
+        assert_eq!(m.translate(VAddr(0x7010)), r.pa);
+    }
+
+    #[test]
+    fn unmap_frees_empty_directories() {
+        let (mut mem, mut alloc) = setup();
+        let before = alloc.free_frames();
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, true).unwrap();
+        pt.map_frame(&mut mem, &mut alloc, MapRequest::rw_4k(0x1000, 0x8000))
+            .unwrap();
+        assert_eq!(alloc.free_frames(), before - 4, "root + 3 directories");
+        pt.unmap_frame(&mut mem, &mut alloc, VAddr(0x1000)).unwrap();
+        assert_eq!(alloc.free_frames(), before - 1, "only the root remains");
+        pt.destroy(&mut mem, &mut alloc);
+        assert_eq!(alloc.free_frames(), before, "no leaked frames");
+    }
+
+    #[test]
+    fn shared_directories_survive_partial_unmap() {
+        let (mut mem, mut alloc) = setup();
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, true).unwrap();
+        pt.map_frame(&mut mem, &mut alloc, MapRequest::rw_4k(0x1000, 0x8000))
+            .unwrap();
+        pt.map_frame(&mut mem, &mut alloc, MapRequest::rw_4k(0x2000, 0x9000))
+            .unwrap();
+        pt.unmap_frame(&mut mem, &mut alloc, VAddr(0x1000)).unwrap();
+        // 0x2000 shares all three directories: still resolvable.
+        assert_eq!(pt.resolve(&mem, VAddr(0x2000)).unwrap().pa, PAddr(0x9000));
+    }
+
+    #[test]
+    fn huge_page_map_and_conflicts() {
+        let (mut mem, mut alloc) = setup();
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, true).unwrap();
+        let huge = MapRequest {
+            va: VAddr(0x20_0000),
+            pa: PAddr(0x40_0000),
+            size: PageSize::Size2M,
+            flags: MapFlags::user_ro(),
+        };
+        pt.map_frame(&mut mem, &mut alloc, huge).unwrap();
+        assert_eq!(
+            pt.map_frame(&mut mem, &mut alloc, MapRequest::rw_4k(0x20_1000, 0x1000)),
+            Err(PtError::AlreadyMapped)
+        );
+        let r = pt.resolve(&mem, VAddr(0x21_0123)).unwrap();
+        assert_eq!(r.pa, PAddr(0x41_0123));
+        assert_eq!(r.size, PageSize::Size2M);
+        assert_eq!(r.flags, MapFlags::user_ro());
+        // The MMU agrees, including the huge mapping's span.
+        let m = veros_hw::walk(&mem, pt.root(), VAddr(0x21_0123)).unwrap();
+        assert_eq!(m.size, PageSize::Size2M.bytes());
+        assert!(!m.writable);
+    }
+
+    #[test]
+    fn gig_page_round_trip() {
+        let (mut mem, mut alloc) = setup();
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, true).unwrap();
+        let gig = MapRequest {
+            va: VAddr(0x4000_0000),
+            pa: PAddr(0x4000_0000),
+            size: PageSize::Size1G,
+            flags: MapFlags::kernel_rw(),
+        };
+        pt.map_frame(&mut mem, &mut alloc, gig).unwrap();
+        let r = pt.resolve(&mem, VAddr(0x4abc_d123)).unwrap();
+        assert_eq!(r.pa, PAddr(0x4abc_d123));
+        let m = pt.unmap_frame(&mut mem, &mut alloc, VAddr(0x4000_0000)).unwrap();
+        assert_eq!(m.size, PageSize::Size1G);
+    }
+
+    #[test]
+    fn error_cases_match_spec() {
+        let (mut mem, mut alloc) = setup();
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, true).unwrap();
+        assert_eq!(
+            pt.map_frame(&mut mem, &mut alloc, MapRequest::rw_4k(0x1001, 0x8000)),
+            Err(PtError::MisalignedVa)
+        );
+        assert_eq!(
+            pt.map_frame(&mut mem, &mut alloc, MapRequest::rw_4k(0x1000, 0x8001)),
+            Err(PtError::MisalignedPa)
+        );
+        assert_eq!(
+            pt.unmap_frame(&mut mem, &mut alloc, VAddr(0x5000)),
+            Err(PtError::NotMapped)
+        );
+        assert_eq!(pt.resolve(&mem, VAddr(0x5000)), Err(PtError::NotMapped));
+        assert_eq!(
+            pt.resolve(&mem, VAddr(0x0000_9000_0000_0000)),
+            Err(PtError::NonCanonical)
+        );
+    }
+
+    #[test]
+    fn out_of_memory_rolls_back_cleanly() {
+        let mut mem = PhysMem::new(64);
+        // Only two frames: root plus one directory — not enough for a
+        // full 4-level path.
+        let mut alloc = StackFrameSource::new(PAddr(0x1000), PAddr(0x3000));
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, true).unwrap();
+        assert_eq!(
+            pt.map_frame(&mut mem, &mut alloc, MapRequest::rw_4k(0x1000, 0x8000)),
+            Err(PtError::OutOfMemory)
+        );
+        // The partially allocated chain was rolled back.
+        assert_eq!(alloc.free_frames(), 1);
+        // The table is still structurally sound and empty.
+        assert!(veros_hw::interpret_page_table(&mem, pt.root()).is_empty());
+        assert_eq!(pt.ghost().unwrap().flatten().len(), 0);
+    }
+
+    #[test]
+    fn flag_encoding_round_trips_for_all_combinations() {
+        for flags in MapFlags::all_combinations() {
+            let e = encode_leaf(PAddr(0x8000), PageSize::Size4K, flags);
+            assert_eq!(decode_leaf(e), flags);
+            let h = encode_leaf(PAddr(0x20_0000), PageSize::Size2M, flags);
+            assert!(h.is_huge());
+            assert_eq!(decode_leaf(h), flags);
+        }
+    }
+
+    #[test]
+    fn boundary_indices_work() {
+        // Index 511 at every level — the edge of each table.
+        let (mut mem, mut alloc) = setup();
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, true).unwrap();
+        let va = VAddr::from_indices(255, 511, 511, 511);
+        pt.map_frame(
+            &mut mem,
+            &mut alloc,
+            MapRequest {
+                va,
+                pa: PAddr(0x8000),
+                size: PageSize::Size4K,
+                flags: MapFlags::user_rw(),
+            },
+        )
+        .unwrap();
+        assert_eq!(pt.resolve(&mem, va).unwrap().pa, PAddr(0x8000));
+        assert_eq!(pt.unmap_frame(&mut mem, &mut alloc, va).unwrap().pa, 0x8000);
+    }
+
+    #[test]
+    fn high_half_addresses_work() {
+        let (mut mem, mut alloc) = setup();
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, true).unwrap();
+        let va = VAddr(0xffff_8000_0010_0000);
+        pt.map_frame(
+            &mut mem,
+            &mut alloc,
+            MapRequest {
+                va,
+                pa: PAddr(0x8000),
+                size: PageSize::Size4K,
+                flags: MapFlags::kernel_rw(),
+            },
+        )
+        .unwrap();
+        assert_eq!(pt.resolve(&mem, va + 5).unwrap().pa, PAddr(0x8005));
+        let interp = veros_hw::interpret_page_table(&mem, pt.root());
+        assert!(interp.contains_key(&va));
+    }
+}

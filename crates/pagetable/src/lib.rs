@@ -1,0 +1,70 @@
+//! The paper's page table prototype (Section 5), reproduced.
+//!
+//! Structure mirrors the paper's Figure 2 exactly:
+//!
+//! 1. **High-level specification** ([`high_spec`]): "a mathematical map
+//!    from virtual addresses to page table entries storing the physical
+//!    address and permission bits", with `map`/`unmap`/`resolve`
+//!    transitions.
+//! 2. **Prefix Tree Map** ([`prefix_tree`]): the intermediate layer of
+//!    the refinement — a 4-level prefix tree of mathematical maps whose
+//!    flattening is the high-level map.
+//! 3. **Page table implementation + hardware specification**
+//!    ([`impl_verified`] running on [`veros_hw`]): executable Rust that
+//!    reads and writes page-table bits in simulated physical memory.
+//!
+//! Refinement is checked in [`refine`] (bounded differential refinement
+//! against op sequences) and [`interp`] (the MMU's interpretation of the
+//! in-memory bits equals the abstract view — "the lion's share of the
+//! proof effort"). [`invariants`] checks structural well-formedness of
+//! the in-memory tree. [`vcs`] assembles the full verification-condition
+//! population behind Figure 1a.
+//!
+//! [`impl_unverified`] is the baseline for Figures 1b/1c: the NrOS-style
+//! direct implementation with identical semantics and no ghost state.
+
+pub mod high_spec;
+pub mod impl_unverified;
+pub mod impl_verified;
+pub mod interp;
+pub mod invariants;
+pub mod ops;
+pub mod prefix_tree;
+pub mod refine;
+pub mod vcs;
+
+pub use high_spec::{AbsMapping, HighSpec};
+pub use impl_unverified::UnverifiedPageTable;
+pub use impl_verified::VerifiedPageTable;
+pub use ops::{MapFlags, MapRequest, PageSize, PtError, PtOp, ResolveAnswer};
+pub use prefix_tree::PrefixTree;
+
+/// The common interface of both page-table implementations, so the
+/// kernel's address space and the benchmarks can swap them.
+pub trait PageTableOps {
+    /// Maps `req.size` bytes at `req.va` to `req.pa`.
+    fn map_frame(
+        &mut self,
+        mem: &mut veros_hw::PhysMem,
+        alloc: &mut dyn veros_hw::FrameSource,
+        req: MapRequest,
+    ) -> Result<(), PtError>;
+
+    /// Unmaps the mapping whose base is exactly `va`, returning it.
+    fn unmap_frame(
+        &mut self,
+        mem: &mut veros_hw::PhysMem,
+        alloc: &mut dyn veros_hw::FrameSource,
+        va: veros_hw::VAddr,
+    ) -> Result<AbsMapping, PtError>;
+
+    /// Resolves an arbitrary virtual address to its physical translation.
+    fn resolve(
+        &self,
+        mem: &veros_hw::PhysMem,
+        va: veros_hw::VAddr,
+    ) -> Result<ResolveAnswer, PtError>;
+
+    /// The page-table root (CR3 value).
+    fn root(&self) -> veros_hw::PAddr;
+}

@@ -1,0 +1,239 @@
+//! Operation types shared by the spec layers and both implementations.
+
+use veros_hw::{PAddr, VAddr, PAGE_1G, PAGE_2M, PAGE_4K};
+
+/// The three architectural page sizes of 4-level x86-64 paging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageSize {
+    /// 4 KiB leaf at level 1.
+    Size4K,
+    /// 2 MiB leaf at level 2.
+    Size2M,
+    /// 1 GiB leaf at level 3.
+    Size1G,
+}
+
+impl PageSize {
+    /// Size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            PageSize::Size4K => PAGE_4K,
+            PageSize::Size2M => PAGE_2M,
+            PageSize::Size1G => PAGE_1G,
+        }
+    }
+
+    /// The table level (1-3) the leaf entry lives at.
+    pub fn leaf_level(self) -> u8 {
+        match self {
+            PageSize::Size4K => 1,
+            PageSize::Size2M => 2,
+            PageSize::Size1G => 3,
+        }
+    }
+
+    /// All sizes, smallest first.
+    pub fn all() -> [PageSize; 3] {
+        [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G]
+    }
+}
+
+/// Permissions requested for a mapping, from the client's point of view.
+///
+/// This is the abstract flag set of the high-level spec; the
+/// implementation encodes it into architectural bits (and the
+/// interpretation check confirms the decoding matches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MapFlags {
+    /// Writes allowed.
+    pub writable: bool,
+    /// User-mode access allowed.
+    pub user: bool,
+    /// Execution disabled.
+    pub nx: bool,
+}
+
+impl MapFlags {
+    /// Read-write user data.
+    pub fn user_rw() -> Self {
+        MapFlags {
+            writable: true,
+            user: true,
+            nx: true,
+        }
+    }
+
+    /// Read-only user data.
+    pub fn user_ro() -> Self {
+        MapFlags {
+            writable: false,
+            user: true,
+            nx: true,
+        }
+    }
+
+    /// User-executable code (read-only).
+    pub fn user_rx() -> Self {
+        MapFlags {
+            writable: false,
+            user: true,
+            nx: false,
+        }
+    }
+
+    /// Kernel read-write data.
+    pub fn kernel_rw() -> Self {
+        MapFlags {
+            writable: true,
+            user: false,
+            nx: true,
+        }
+    }
+
+    /// Every flag combination (for exhaustive encoding checks).
+    pub fn all_combinations() -> Vec<MapFlags> {
+        let mut out = Vec::with_capacity(8);
+        for w in [false, true] {
+            for u in [false, true] {
+                for n in [false, true] {
+                    out.push(MapFlags {
+                        writable: w,
+                        user: u,
+                        nx: n,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A fully specified map request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MapRequest {
+    /// Virtual base address (must be `size`-aligned and canonical).
+    pub va: VAddr,
+    /// Physical base address (must be `size`-aligned).
+    pub pa: PAddr,
+    /// Page size.
+    pub size: PageSize,
+    /// Permissions.
+    pub flags: MapFlags,
+}
+
+impl MapRequest {
+    /// Convenience constructor for a 4 KiB user-rw mapping.
+    pub fn rw_4k(va: u64, pa: u64) -> Self {
+        MapRequest {
+            va: VAddr(va),
+            pa: PAddr(pa),
+            size: PageSize::Size4K,
+            flags: MapFlags::user_rw(),
+        }
+    }
+}
+
+/// The answer to a successful resolve: where the address translates to
+/// and under which mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResolveAnswer {
+    /// Physical address `va` translates to.
+    pub pa: PAddr,
+    /// Base of the containing mapping.
+    pub base: VAddr,
+    /// Size of the containing mapping.
+    pub size: PageSize,
+    /// Permissions of the containing mapping.
+    pub flags: MapFlags,
+}
+
+/// Errors shared between the high-level spec and both implementations.
+///
+/// Matching error behaviour is part of the refinement obligation: the
+/// implementation may only fail when the spec fails, with the same error
+/// (the single exception is `OutOfMemory`, which the spec — having
+/// unbounded ghost memory — never raises; refinement treats it as a
+/// stutter).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PtError {
+    /// The virtual address is not canonical.
+    NonCanonical,
+    /// The virtual address is not aligned to the page size.
+    MisalignedVa,
+    /// The physical address is not aligned to the page size.
+    MisalignedPa,
+    /// The requested range overlaps an existing mapping.
+    AlreadyMapped,
+    /// No mapping exists (for unmap: none with this exact base; for
+    /// resolve: none containing the address).
+    NotMapped,
+    /// A directory frame could not be allocated (implementation only).
+    OutOfMemory,
+    /// The physical range does not fit the machine's memory.
+    PhysOutOfRange,
+}
+
+impl std::fmt::Display for PtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PtError::NonCanonical => "virtual address not canonical",
+            PtError::MisalignedVa => "virtual address misaligned",
+            PtError::MisalignedPa => "physical address misaligned",
+            PtError::AlreadyMapped => "range overlaps an existing mapping",
+            PtError::NotMapped => "no such mapping",
+            PtError::OutOfMemory => "out of directory frames",
+            PtError::PhysOutOfRange => "physical range out of bounds",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An operation on the page table, used by the bounded refinement checker
+/// and the randomized interpretation checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PtOp {
+    /// Map a page.
+    Map(MapRequest),
+    /// Unmap the mapping based exactly at the address.
+    Unmap(VAddr),
+    /// Resolve an address.
+    Resolve(VAddr),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_levels() {
+        assert_eq!(PageSize::Size4K.bytes(), 4096);
+        assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
+        assert_eq!(PageSize::Size1G.bytes(), 1024 * 1024 * 1024);
+        assert_eq!(PageSize::Size4K.leaf_level(), 1);
+        assert_eq!(PageSize::Size2M.leaf_level(), 2);
+        assert_eq!(PageSize::Size1G.leaf_level(), 3);
+    }
+
+    #[test]
+    fn flag_combinations_are_exhaustive_and_distinct() {
+        let all = MapFlags::all_combinations();
+        assert_eq!(all.len(), 8);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn preset_flags_make_sense() {
+        assert!(MapFlags::user_rw().writable && MapFlags::user_rw().user);
+        assert!(!MapFlags::user_rx().nx, "code must be executable");
+        assert!(!MapFlags::kernel_rw().user);
+    }
+
+    #[test]
+    fn errors_render() {
+        assert_eq!(PtError::NotMapped.to_string(), "no such mapping");
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of the page-table layers: the high-level spec's
+//! algebraic laws and the implementation's agreement with it on
+//! arbitrary operation sequences.
+
+use proptest::prelude::*;
+use veros_hw::{PAddr, PhysMem, StackFrameSource, VAddr, PAGE_4K};
+use veros_pagetable::high_spec::HighSpec;
+use veros_pagetable::prefix_tree::PrefixTree;
+use veros_pagetable::{MapFlags, MapRequest, PageSize, PageTableOps, PtError, VerifiedPageTable};
+
+fn size_strategy() -> impl Strategy<Value = PageSize> {
+    prop_oneof![
+        4 => Just(PageSize::Size4K),
+        2 => Just(PageSize::Size2M),
+        1 => Just(PageSize::Size1G),
+    ]
+}
+
+fn request_strategy() -> impl Strategy<Value = MapRequest> {
+    (
+        0usize..4,
+        0usize..8,
+        0usize..8,
+        0usize..8,
+        size_strategy(),
+        0u64..64,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(l4, l3, l2, l1, size, frame, writable, user, nx)| {
+            let va = VAddr(VAddr::from_indices(l4, l3, l2, l1).0 & !(size.bytes() - 1));
+            MapRequest {
+                va,
+                pa: PAddr(frame * size.bytes()),
+                size,
+                flags: MapFlags { writable, user, nx },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// map then unmap of the same base is the identity on the spec map,
+    /// and unmap returns exactly what map installed.
+    #[test]
+    fn map_unmap_identity(req in request_strategy(), noise in prop::collection::vec(request_strategy(), 0..6)) {
+        let mut s = HighSpec::new();
+        for n in &noise {
+            let _ = s.apply_map(n);
+        }
+        let before = s.clone();
+        if s.apply_map(&req).is_ok() {
+            let m = s.apply_unmap(req.va).expect("just mapped");
+            prop_assert_eq!(m.pa, req.pa.0);
+            prop_assert_eq!(m.size, req.size);
+            prop_assert_eq!(m.flags, req.flags);
+            prop_assert_eq!(s, before);
+        }
+    }
+
+    /// Resolve agrees with map contents: after a successful map, every
+    /// probed offset inside the mapping translates with that offset.
+    #[test]
+    fn resolve_is_translation(req in request_strategy(), offset in 0u64..(1 << 21)) {
+        let mut s = HighSpec::new();
+        if s.apply_map(&req).is_ok() {
+            let off = offset % req.size.bytes();
+            let r = s.resolve(VAddr(req.va.0 + off)).expect("mapped");
+            prop_assert_eq!(r.pa.0, req.pa.0 + off);
+            prop_assert_eq!(r.base, req.va);
+        }
+    }
+
+    /// Overlap is symmetric: if A then B fails with AlreadyMapped, then
+    /// B then A also fails with AlreadyMapped.
+    #[test]
+    fn overlap_symmetric(a in request_strategy(), b in request_strategy()) {
+        let mut s1 = HighSpec::new();
+        let mut s2 = HighSpec::new();
+        if s1.apply_map(&a).is_ok() && s2.apply_map(&b).is_ok() {
+            let ab = s1.apply_map(&b);
+            let ba = s2.apply_map(&a);
+            prop_assert_eq!(
+                ab == Err(PtError::AlreadyMapped),
+                ba == Err(PtError::AlreadyMapped),
+                "A={:?} B={:?}", a, b
+            );
+        }
+    }
+
+    /// The prefix tree and the flat spec agree on arbitrary request
+    /// sequences (the first refinement step, property-based).
+    #[test]
+    fn tree_flat_agree(reqs in prop::collection::vec(request_strategy(), 0..24)) {
+        let mut tree = PrefixTree::new();
+        let mut flat = HighSpec::new();
+        for (i, req) in reqs.iter().enumerate() {
+            let a = tree.map(req);
+            let b = flat.apply_map(req);
+            prop_assert_eq!(a, b, "req {}", i);
+            prop_assert!(tree.wf());
+        }
+        prop_assert_eq!(tree.flatten(), flat.map);
+    }
+
+    /// The bit-level implementation agrees with the flat spec, and the
+    /// MMU interpretation matches, on arbitrary request sequences with
+    /// interleaved unmaps.
+    #[test]
+    fn impl_spec_agree(
+        reqs in prop::collection::vec((request_strategy(), any::<bool>()), 0..16)
+    ) {
+        let mut mem = PhysMem::new(2048);
+        let mut alloc = StackFrameSource::new(PAddr(16 * PAGE_4K), PAddr(2048 * PAGE_4K));
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, true).unwrap();
+        let mut spec = HighSpec::new();
+        for (req, also_unmap) in &reqs {
+            let a = pt.map_frame(&mut mem, &mut alloc, *req);
+            let b = spec.apply_map(req);
+            prop_assert_eq!(a, b);
+            if *also_unmap {
+                let a = pt.unmap_frame(&mut mem, &mut alloc, req.va).map(|m| (m.pa, m.size));
+                let b = spec.apply_unmap(req.va).map(|m| (m.pa, m.size));
+                prop_assert_eq!(a, b);
+            }
+        }
+        veros_pagetable::interp::interpretation_matches(&mem, pt.root(), &spec)
+            .map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    /// Frame accounting: after unmapping everything, only the root frame
+    /// remains allocated, regardless of the sequence.
+    #[test]
+    fn no_frame_leaks(reqs in prop::collection::vec(request_strategy(), 0..12)) {
+        let mut mem = PhysMem::new(2048);
+        let mut alloc = StackFrameSource::new(PAddr(16 * PAGE_4K), PAddr(2048 * PAGE_4K));
+        let before = alloc.free_frames();
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, false).unwrap();
+        let mut mapped = Vec::new();
+        for req in &reqs {
+            if pt.map_frame(&mut mem, &mut alloc, *req).is_ok() {
+                mapped.push(req.va);
+            }
+        }
+        for va in mapped {
+            pt.unmap_frame(&mut mem, &mut alloc, va).expect("mapped above");
+        }
+        prop_assert_eq!(alloc.free_frames(), before - 1, "only the root may remain");
+    }
+}

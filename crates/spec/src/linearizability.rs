@@ -1,0 +1,351 @@
+//! Wing–Gong linearizability checking.
+//!
+//! Node replication's correctness claim — the one IronSync proved and the
+//! one this reproduction checks dynamically — is that a sequential data
+//! structure replicated with NR remains *linearizable* (Section 4.1). We
+//! check recorded concurrent histories against a sequential specification
+//! with the classic Wing & Gong backtracking algorithm: search for a
+//! permutation of operations that (a) respects real-time order and (b) is
+//! legal for the sequential spec.
+
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::history::History;
+
+/// A sequential specification for linearizability checking.
+pub trait SeqSpec {
+    /// Operation type (invocation payload).
+    type Op: Clone + Debug;
+    /// Return value type.
+    type Ret: Clone + Debug + PartialEq;
+    /// Sequential state.
+    type State: Clone + Eq + Hash + Debug;
+
+    /// The initial sequential state.
+    fn init(&self) -> Self::State;
+
+    /// Applies `op` to `state`, returning the new state and the return
+    /// value the operation must produce.
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret);
+}
+
+/// Why a history failed the linearizability check.
+#[derive(Debug)]
+pub struct LinearizabilityError {
+    /// Number of completed operations in the history.
+    pub ops: usize,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for LinearizabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "history with {} ops is not linearizable: {}",
+            self.ops, self.detail
+        )
+    }
+}
+
+#[derive(Clone, Debug)]
+struct OpRecord<Op, Ret> {
+    invoke: u64,
+    response: u64,
+    op: Op,
+    ret: Ret,
+}
+
+/// Checks that `history` is linearizable with respect to `spec`.
+///
+/// Pending (incomplete) invocations are treated as optional: the checker
+/// may linearize them anywhere after their invocation or drop them, which
+/// is the standard treatment (a pending op may or may not have taken
+/// effect). Returns the number of sequential states explored on success.
+pub fn check_linearizable<S>(
+    spec: &S,
+    history: &History<S::Op, S::Ret>,
+) -> Result<usize, LinearizabilityError>
+where
+    S: SeqSpec,
+{
+    let (completed, pending) = history.complete_ops();
+    let mut ops: Vec<OpRecord<S::Op, S::Ret>> = completed
+        .into_iter()
+        .map(|(_t, inv, resp, op, ret)| OpRecord {
+            invoke: inv,
+            response: resp,
+            op,
+            ret,
+        })
+        .collect();
+    // Pending operations: model as ops with response at infinity whose
+    // return value is unconstrained. We handle them by allowing the
+    // search to either schedule them (accepting any return) or skip them
+    // entirely once all completed ops are placed.
+    let pending_ops: Vec<(u64, S::Op)> = pending.into_iter().map(|(_t, ts, op)| (ts, op)).collect();
+    ops.sort_by_key(|o| o.invoke);
+
+    let n = ops.len();
+    let mut done = vec![false; n];
+    let mut pending_done = vec![false; pending_ops.len()];
+    let mut explored = 0usize;
+    // Memoization of failed (done-mask, state) pairs. For small histories
+    // a bitmask in u128 suffices; histories larger than 128 completed ops
+    // are rejected up front.
+    if n + pending_ops.len() > 120 {
+        return Err(LinearizabilityError {
+            ops: n,
+            detail: "history too large for the checker (>120 ops)".into(),
+        });
+    }
+    let mut failed: HashSet<(u128, u128, S::State)> = HashSet::new();
+
+    fn mask(done: &[bool]) -> u128 {
+        done.iter()
+            .enumerate()
+            .fold(0u128, |m, (i, &d)| if d { m | (1 << i) } else { m })
+    }
+
+    // Iterative depth-first search with an explicit stack of choices.
+    // At each point, a completed op can be linearized next if it is not
+    // done and no other *not-done* op responded before its invocation
+    // (real-time order: an op can only linearize before ops that it
+    // strictly precedes in real time).
+    fn search<S: SeqSpec>(
+        spec: &S,
+        ops: &[OpRecord<S::Op, S::Ret>],
+        pending_ops: &[(u64, S::Op)],
+        done: &mut [bool],
+        pending_done: &mut [bool],
+        state: &S::State,
+        failed: &mut HashSet<(u128, u128, S::State)>,
+        explored: &mut usize,
+    ) -> bool {
+        if done.iter().all(|&d| d) {
+            return true;
+        }
+        let key = (mask(done), mask(pending_done), state.clone());
+        if failed.contains(&key) {
+            return false;
+        }
+        *explored += 1;
+
+        // The earliest response among not-done completed ops bounds which
+        // ops may linearize next: only those invoked before it.
+        let min_resp = ops
+            .iter()
+            .zip(done.iter())
+            .filter(|(_, &d)| !d)
+            .map(|(o, _)| o.response)
+            .min()
+            .unwrap();
+
+        for i in 0..ops.len() {
+            if done[i] || ops[i].invoke > min_resp {
+                continue;
+            }
+            let (next, ret) = spec.apply(state, &ops[i].op);
+            if ret == ops[i].ret {
+                done[i] = true;
+                if search(spec, ops, pending_ops, done, pending_done, &next, failed, explored) {
+                    return true;
+                }
+                done[i] = false;
+            }
+        }
+        // Try scheduling a pending op (its effects may be visible even
+        // though it never returned). Its return value is unconstrained.
+        for j in 0..pending_ops.len() {
+            if pending_done[j] || pending_ops[j].0 > min_resp {
+                continue;
+            }
+            let (next, _ret) = spec.apply(state, &pending_ops[j].1);
+            pending_done[j] = true;
+            if search(spec, ops, pending_ops, done, pending_done, &next, failed, explored) {
+                return true;
+            }
+            pending_done[j] = false;
+        }
+        failed.insert(key);
+        false
+    }
+
+    let init = spec.init();
+    if search(
+        spec,
+        &ops,
+        &pending_ops,
+        &mut done,
+        &mut pending_done,
+        &init,
+        &mut failed,
+        &mut explored,
+    ) {
+        Ok(explored.max(1))
+    } else {
+        Err(LinearizabilityError {
+            ops: n,
+            detail: format!(
+                "no legal linearization exists (searched {explored} partial schedules)"
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::Recorder;
+
+    /// A register with read/write ops.
+    struct Register;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    enum RegOp {
+        Read,
+        Write(u32),
+    }
+
+    impl SeqSpec for Register {
+        type Op = RegOp;
+        type Ret = u32;
+        type State = u32;
+
+        fn init(&self) -> u32 {
+            0
+        }
+
+        fn apply(&self, state: &u32, op: &RegOp) -> (u32, u32) {
+            match op {
+                RegOp::Read => (*state, *state),
+                RegOp::Write(v) => (*v, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let r = Recorder::new();
+        r.invoke(0, RegOp::Write(5));
+        r.response(0, 0);
+        r.invoke(0, RegOp::Read);
+        r.response(0, 5);
+        assert!(check_linearizable(&Register, &r.finish()).is_ok());
+    }
+
+    #[test]
+    fn stale_read_is_rejected() {
+        let r = Recorder::new();
+        r.invoke(0, RegOp::Write(5));
+        r.response(0, 0);
+        // Read strictly after the write must observe 5, not 0.
+        r.invoke(0, RegOp::Read);
+        r.response(0, 0);
+        assert!(check_linearizable(&Register, &r.finish()).is_err());
+    }
+
+    #[test]
+    fn overlapping_ops_may_reorder() {
+        let r = Recorder::new();
+        // Thread 0 writes 5 concurrently with thread 1's read of 0: the
+        // read may linearize before the write.
+        r.invoke(0, RegOp::Write(5));
+        r.invoke(1, RegOp::Read);
+        r.response(1, 0);
+        r.response(0, 0);
+        assert!(check_linearizable(&Register, &r.finish()).is_ok());
+    }
+
+    #[test]
+    fn overlapping_read_may_also_see_new_value() {
+        let r = Recorder::new();
+        r.invoke(0, RegOp::Write(5));
+        r.invoke(1, RegOp::Read);
+        r.response(1, 5);
+        r.response(0, 0);
+        assert!(check_linearizable(&Register, &r.finish()).is_ok());
+    }
+
+    #[test]
+    fn pending_write_effect_may_be_visible() {
+        let r = Recorder::new();
+        // Write(9) never completes, but a later read sees 9: legal,
+        // because the pending op may have taken effect.
+        r.invoke(0, RegOp::Write(9));
+        r.invoke(1, RegOp::Read);
+        r.response(1, 9);
+        assert!(check_linearizable(&Register, &r.finish()).is_ok());
+    }
+
+    #[test]
+    fn real_time_order_is_enforced_across_threads() {
+        let r = Recorder::new();
+        // Thread 0: Write(1) completes. Thread 1: Write(2) completes.
+        // Then a read sees 1 even though Write(2) finished after Write(1)
+        // and nothing overlaps: illegal.
+        r.invoke(0, RegOp::Write(1));
+        r.response(0, 0);
+        r.invoke(1, RegOp::Write(2));
+        r.response(1, 0);
+        r.invoke(0, RegOp::Read);
+        r.response(0, 1);
+        assert!(check_linearizable(&Register, &r.finish()).is_err());
+    }
+
+    /// A FIFO queue spec to exercise a richer structure.
+    struct Fifo;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    enum QOp {
+        Enq(u32),
+        Deq,
+    }
+
+    impl SeqSpec for Fifo {
+        type Op = QOp;
+        type Ret = Option<u32>;
+        type State = std::collections::VecDeque<u32>;
+
+        fn init(&self) -> Self::State {
+            Default::default()
+        }
+
+        fn apply(&self, state: &Self::State, op: &QOp) -> (Self::State, Option<u32>) {
+            let mut s = state.clone();
+            match op {
+                QOp::Enq(v) => {
+                    s.push_back(*v);
+                    (s, None)
+                }
+                QOp::Deq => {
+                    let v = s.pop_front();
+                    (s, v)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queue_fifo_order_is_checked() {
+        let r = Recorder::new();
+        r.invoke(0, QOp::Enq(1));
+        r.response(0, None);
+        r.invoke(0, QOp::Enq(2));
+        r.response(0, None);
+        r.invoke(1, QOp::Deq);
+        r.response(1, Some(2)); // LIFO answer: not linearizable for a FIFO.
+        assert!(check_linearizable(&Fifo, &r.finish()).is_err());
+
+        let r = Recorder::new();
+        r.invoke(0, QOp::Enq(1));
+        r.response(0, None);
+        r.invoke(0, QOp::Enq(2));
+        r.response(0, None);
+        r.invoke(1, QOp::Deq);
+        r.response(1, Some(1));
+        assert!(check_linearizable(&Fifo, &r.finish()).is_ok());
+    }
+}

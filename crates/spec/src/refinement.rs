@@ -1,0 +1,372 @@
+//! Forward-simulation refinement checking.
+//!
+//! The paper's correctness theorem (Section 4.4) is a refinement: "for
+//! every behavior of the hardware execution there exists a corresponding
+//! execution of the abstract model with the same behavior". The standard
+//! proof technique — and the one used by the page table prototype — is a
+//! forward simulation: an abstraction function from concrete to abstract
+//! states such that every concrete step corresponds to an abstract step
+//! (or a stutter, for internal steps that do not change the abstract
+//! view).
+//!
+//! This module checks forward simulation executably over the reachable
+//! states of a finitized concrete machine.
+
+use std::fmt::Debug;
+
+use crate::explorer::{ExploreLimits, ExploreStats, Explorer};
+use crate::state_machine::StateMachine;
+
+/// A refinement mapping from a concrete machine `C` to an abstract
+/// machine `A`.
+pub trait RefinementMap {
+    /// The concrete (implementation-side) machine.
+    type Concrete: StateMachine;
+    /// The abstract (spec-side) machine.
+    type Abstract: StateMachine;
+
+    /// The abstraction function (the paper's `view()`).
+    fn abstraction(
+        &self,
+        s: &<Self::Concrete as StateMachine>::State,
+    ) -> <Self::Abstract as StateMachine>::State;
+
+    /// Maps a concrete action to the abstract action it implements.
+    ///
+    /// Returning `None` declares the step internal: the abstraction of
+    /// the post-state must then equal the abstraction of the pre-state
+    /// (a stutter step).
+    fn abstract_action(
+        &self,
+        pre: &<Self::Concrete as StateMachine>::State,
+        action: &<Self::Concrete as StateMachine>::Action,
+    ) -> Option<<Self::Abstract as StateMachine>::Action>;
+}
+
+/// Why a refinement check failed.
+#[derive(Debug)]
+pub enum RefinementError {
+    /// An initial concrete state abstracts to a state that is not an
+    /// abstract initial state.
+    BadInit {
+        /// Rendering of the concrete initial state.
+        concrete: String,
+        /// Rendering of its abstraction.
+        abstracted: String,
+    },
+    /// A stutter step changed the abstract view.
+    StutterChangedView {
+        /// Rendering of the concrete pre-state.
+        pre: String,
+        /// Rendering of the internal action.
+        action: String,
+        /// Abstract view before the step.
+        view_pre: String,
+        /// Abstract view after the step.
+        view_post: String,
+    },
+    /// The mapped abstract action is not enabled in the abstract view of
+    /// the pre-state, or it produced a different abstract post-state.
+    StepMismatch {
+        /// Rendering of the concrete pre-state.
+        pre: String,
+        /// Rendering of the concrete action.
+        action: String,
+        /// Rendering of the mapped abstract action.
+        abs_action: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The concrete machine offered a disabled action (machine bug).
+    DisabledAction {
+        /// Rendering of the concrete state.
+        state: String,
+        /// Rendering of the action.
+        action: String,
+    },
+}
+
+impl std::fmt::Display for RefinementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefinementError::BadInit {
+                concrete,
+                abstracted,
+            } => write!(
+                f,
+                "initial state {concrete} abstracts to {abstracted}, which is not abstract-initial"
+            ),
+            RefinementError::StutterChangedView {
+                pre,
+                action,
+                view_pre,
+                view_post,
+            } => write!(
+                f,
+                "internal action {action} from {pre} changed the abstract view:\n  pre:  {view_pre}\n  post: {view_post}"
+            ),
+            RefinementError::StepMismatch {
+                pre,
+                action,
+                abs_action,
+                detail,
+            } => write!(
+                f,
+                "concrete action {action} from {pre} maps to abstract {abs_action}: {detail}"
+            ),
+            RefinementError::DisabledAction { state, action } => {
+                write!(f, "machine offered disabled action {action} in state {state}")
+            }
+        }
+    }
+}
+
+/// Checks that `map` is a forward simulation over all concrete states
+/// reachable within `limits`.
+///
+/// For every reachable concrete state `c` and enabled action `a` with
+/// `c -a-> c'`:
+///
+/// * if `abstract_action(c, a)` is `None`, require
+///   `abstraction(c') == abstraction(c)` (stutter);
+/// * otherwise require the abstract machine to take exactly that action
+///   from `abstraction(c)` and land on `abstraction(c')`.
+///
+/// Additionally every concrete initial state must abstract to an abstract
+/// initial state.
+pub fn check_refinement<R>(
+    map: &R,
+    concrete: R::Concrete,
+    abstract_machine: &R::Abstract,
+    limits: ExploreLimits,
+) -> Result<ExploreStats, RefinementError>
+where
+    R: RefinementMap,
+{
+    // Init condition.
+    let abs_inits = abstract_machine.init_states();
+    for ci in concrete.init_states() {
+        let a = map.abstraction(&ci);
+        if !abs_inits.contains(&a) {
+            return Err(RefinementError::BadInit {
+                concrete: format!("{ci:?}"),
+                abstracted: format!("{a:?}"),
+            });
+        }
+    }
+
+    // Step condition, over the reachable set.
+    let explorer = Explorer::new(concrete, limits);
+    let machine = explorer.machine();
+    let mut error: Option<RefinementError> = None;
+    // `visit_all` cannot early-exit, so we collect states first; the
+    // reachable sets we check are small by construction.
+    let mut states = Vec::new();
+    let stats = explorer.visit_all(|s| states.push(s.clone()));
+    for pre in &states {
+        if error.is_some() {
+            break;
+        }
+        let view_pre = map.abstraction(pre);
+        for action in machine.actions(pre) {
+            let Some(post) = machine.step(pre, &action) else {
+                error = Some(RefinementError::DisabledAction {
+                    state: format!("{pre:?}"),
+                    action: format!("{action:?}"),
+                });
+                break;
+            };
+            let view_post = map.abstraction(&post);
+            match map.abstract_action(pre, &action) {
+                None => {
+                    if view_pre != view_post {
+                        error = Some(RefinementError::StutterChangedView {
+                            pre: format!("{pre:?}"),
+                            action: format!("{action:?}"),
+                            view_pre: format!("{view_pre:?}"),
+                            view_post: format!("{view_post:?}"),
+                        });
+                        break;
+                    }
+                }
+                Some(abs_action) => match abstract_machine.step(&view_pre, &abs_action) {
+                    None => {
+                        error = Some(RefinementError::StepMismatch {
+                            pre: format!("{pre:?}"),
+                            action: format!("{action:?}"),
+                            abs_action: format!("{abs_action:?}"),
+                            detail: "abstract action not enabled in abstract pre-state".into(),
+                        });
+                        break;
+                    }
+                    Some(abs_post) => {
+                        if abs_post != view_post {
+                            error = Some(RefinementError::StepMismatch {
+                                pre: format!("{pre:?}"),
+                                action: format!("{action:?}"),
+                                abs_action: format!("{abs_action:?}"),
+                                detail: format!(
+                                    "abstract post {abs_post:?} != view of concrete post {view_post:?}"
+                                ),
+                            });
+                            break;
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    match error {
+        Some(e) => Err(e),
+        None => Ok(stats),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Concrete: a clock counting 0..2*n-1. Abstract: a half-speed clock
+    /// 0..n-1; odd ticks are stutters.
+    struct FastClock {
+        n: u8,
+    }
+    struct SlowClock {
+        n: u8,
+    }
+
+    impl StateMachine for FastClock {
+        type State = u8;
+        type Action = ();
+
+        fn init_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn actions(&self, _: &u8) -> Vec<()> {
+            vec![()]
+        }
+        fn step(&self, s: &u8, _: &()) -> Option<u8> {
+            Some((s + 1) % (2 * self.n))
+        }
+    }
+
+    impl StateMachine for SlowClock {
+        type State = u8;
+        type Action = ();
+
+        fn init_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn actions(&self, _: &u8) -> Vec<()> {
+            vec![()]
+        }
+        fn step(&self, s: &u8, _: &()) -> Option<u8> {
+            Some((s + 1) % self.n)
+        }
+    }
+
+    struct HalfSpeed;
+
+    impl RefinementMap for HalfSpeed {
+        type Concrete = FastClock;
+        type Abstract = SlowClock;
+
+        fn abstraction(&self, s: &u8) -> u8 {
+            s / 2
+        }
+        fn abstract_action(&self, pre: &u8, _a: &()) -> Option<()> {
+            // Even -> odd tick keeps the abstract value (stutter); odd ->
+            // even tick advances it.
+            if pre % 2 == 1 {
+                Some(())
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn half_speed_clock_refines() {
+        let stats = check_refinement(
+            &HalfSpeed,
+            FastClock { n: 5 },
+            &SlowClock { n: 5 },
+            ExploreLimits::default(),
+        )
+        .expect("refinement should hold");
+        assert_eq!(stats.states, 10);
+    }
+
+    struct BrokenMap;
+
+    impl RefinementMap for BrokenMap {
+        type Concrete = FastClock;
+        type Abstract = SlowClock;
+
+        fn abstraction(&self, s: &u8) -> u8 {
+            s / 2
+        }
+        fn abstract_action(&self, _pre: &u8, _a: &()) -> Option<()> {
+            // Claiming every tick advances the abstract clock is wrong.
+            Some(())
+        }
+    }
+
+    #[test]
+    fn broken_map_is_rejected() {
+        let err = check_refinement(
+            &BrokenMap,
+            FastClock { n: 4 },
+            &SlowClock { n: 4 },
+            ExploreLimits::default(),
+        )
+        .unwrap_err();
+        match err {
+            RefinementError::StepMismatch { .. } => {}
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    struct BadInitMap;
+
+    impl RefinementMap for BadInitMap {
+        type Concrete = FastClock;
+        type Abstract = SlowClock;
+
+        fn abstraction(&self, s: &u8) -> u8 {
+            s + 1
+        }
+        fn abstract_action(&self, _: &u8, _: &()) -> Option<()> {
+            None
+        }
+    }
+
+    #[test]
+    fn bad_init_is_rejected() {
+        let err = check_refinement(
+            &BadInitMap,
+            FastClock { n: 4 },
+            &SlowClock { n: 4 },
+            ExploreLimits::default(),
+        )
+        .unwrap_err();
+        match err {
+            RefinementError::BadInit { .. } => {}
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn errors_render_human_readably() {
+        let err = check_refinement(
+            &BrokenMap,
+            FastClock { n: 4 },
+            &SlowClock { n: 4 },
+            ExploreLimits::default(),
+        )
+        .unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("abstract"), "{s}");
+    }
+}

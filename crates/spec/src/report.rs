@@ -1,0 +1,179 @@
+//! Plain-text rendering of evaluation artifacts.
+//!
+//! The benchmark binaries regenerate the paper's figures as ASCII charts
+//! and aligned tables so `EXPERIMENTS.md` can embed them verbatim. Only
+//! rendering lives here; the data comes from [`crate::vc::VcReport`] and
+//! the benchmark harnesses.
+
+use std::time::Duration;
+
+/// Renders a CDF as an ASCII chart of `width x height` characters.
+///
+/// X axis: duration from 0 to `x_max` (defaults to the max sample).
+/// Y axis: cumulative fraction 0..1. This is the renderer behind the
+/// Figure 1a reproduction.
+pub fn render_cdf(points: &[(Duration, f64)], width: usize, height: usize) -> String {
+    if points.is_empty() {
+        return "(no data)\n".to_string();
+    }
+    let x_max = points
+        .iter()
+        .map(|(d, _)| d.as_secs_f64())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    // Plot a step function: for each column, the fraction of samples with
+    // duration <= that column's time.
+    for (col, cell) in (0..width).zip(0..width) {
+        let t = x_max * (cell as f64 + 1.0) / width as f64;
+        let frac = points.iter().take_while(|(d, _)| d.as_secs_f64() <= t).count() as f64
+            / points.len() as f64;
+        let row = ((1.0 - frac) * (height as f64 - 1.0)).round() as usize;
+        grid[row.min(height - 1)][col] = '*';
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let frac = 1.0 - i as f64 / (height as f64 - 1.0);
+        out.push_str(&format!("{frac:>5.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("      +{}\n", "-".repeat(width)));
+    out.push_str(&format!(
+        "       0{:>width$.2}s\n",
+        x_max,
+        width = width - 1
+    ));
+    out
+}
+
+/// Renders an XY series chart with one line per labelled series.
+///
+/// Used for the Figure 1b/1c reproductions (latency vs. core count).
+pub fn render_series(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    xs: &[usize],
+    series: &[(&str, Vec<f64>)],
+) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:>8} |{}\n",
+        x_label,
+        series
+            .iter()
+            .map(|(name, _)| format!(" {name:>20}"))
+            .collect::<String>()
+    ));
+    out.push_str(&format!(
+        "---------+{}\n",
+        "-".repeat(21 * series.len())
+    ));
+    for (i, x) in xs.iter().enumerate() {
+        out.push_str(&format!("{x:>8} |"));
+        for (_, ys) in series {
+            match ys.get(i) {
+                Some(y) => out.push_str(&format!(" {y:>20.3}")),
+                None => out.push_str(&format!(" {:>20}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("({y_label})\n"));
+    out
+}
+
+/// Renders a feature matrix (the Tables 1 and 2 reproduction).
+///
+/// `cells[r][c]` pairs with `rows[r]` and `cols[c]`.
+pub fn render_matrix(title: &str, cols: &[&str], rows: &[&str], cells: &[Vec<&str>]) -> String {
+    let row_w = rows.iter().map(|r| r.len()).max().unwrap_or(0).max(4);
+    let col_w = cols.iter().map(|c| c.len()).max().unwrap_or(0).max(5);
+    let mut out = format!("{title}\n");
+    out.push_str(&format!("{:row_w$}", ""));
+    for c in cols {
+        out.push_str(&format!(" | {c:>col_w$}"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(row_w + cols.len() * (col_w + 3)));
+    out.push('\n');
+    for (r, row) in rows.iter().enumerate() {
+        out.push_str(&format!("{row:row_w$}"));
+        for c in 0..cols.len() {
+            let cell = cells
+                .get(r)
+                .and_then(|cr| cr.get(c))
+                .copied()
+                .unwrap_or("?");
+            out.push_str(&format!(" | {cell:>col_w$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a duration in the most readable unit.
+pub fn human_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.2}us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_renders_all_rows() {
+        let pts: Vec<(Duration, f64)> = (1..=100)
+            .map(|i| (Duration::from_millis(i), i as f64 / 100.0))
+            .collect();
+        let chart = render_cdf(&pts, 40, 10);
+        assert_eq!(chart.lines().count(), 12);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn cdf_handles_empty() {
+        assert_eq!(render_cdf(&[], 10, 5), "(no data)\n");
+    }
+
+    #[test]
+    fn series_aligns_columns() {
+        let s = render_series(
+            "Map Latency",
+            "# Cores",
+            "us",
+            &[1, 8, 16],
+            &[("unverified", vec![1.0, 2.0, 3.0]), ("verified", vec![1.1, 2.1, 3.1])],
+        );
+        assert!(s.contains("Map Latency"));
+        assert!(s.contains("unverified"));
+        assert_eq!(s.lines().filter(|l| l.contains('|')).count(), 4);
+    }
+
+    #[test]
+    fn matrix_renders_cells() {
+        let m = render_matrix(
+            "Table 1",
+            &["seL4", "veros"],
+            &["Kernel memory safety", "Process-centric spec"],
+            &[vec!["y", "y"], vec!["n", "y"]],
+        );
+        assert!(m.contains("seL4"));
+        assert!(m.contains("Process-centric spec"));
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(human_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(human_duration(Duration::from_millis(5)), "5.00ms");
+        assert_eq!(human_duration(Duration::from_micros(7)), "7.00us");
+    }
+}

@@ -1,0 +1,140 @@
+//! Transition-system specifications.
+//!
+//! A specification in this framework is a labelled transition system: a
+//! set of initial states and, for each state, a set of enabled actions and
+//! a (deterministic, per action) successor state. This mirrors how the
+//! paper writes specs: "The high-level spec for the system call is a state
+//! machine, whose state contains the file descriptors' current state.
+//! Execution of the syscall corresponds to a transition" (Section 3).
+//!
+//! Nondeterminism is expressed by offering several enabled actions;
+//! determinism per `(state, action)` pair keeps exploration and
+//! refinement checking tractable without losing generality (a
+//! nondeterministic transition relation can always be determinized by
+//! enriching the action with its choice).
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A labelled transition system used as an executable specification.
+///
+/// `State` must be cheaply clonable and hashable so the [`explorer`]
+/// (crate::explorer) can deduplicate the reachable set. `Action` labels
+/// identify transitions both for counterexample traces and for
+/// refinement mapping.
+pub trait StateMachine {
+    /// The type of states of this machine.
+    type State: Clone + Eq + Hash + Debug;
+    /// The type of transition labels.
+    type Action: Clone + Debug;
+
+    /// Returns every initial state of the machine.
+    fn init_states(&self) -> Vec<Self::State>;
+
+    /// Returns the actions enabled in `state`.
+    ///
+    /// An action returned here must succeed when passed to [`step`]
+    /// (Self::step); returning an action whose `step` yields `None` is a
+    /// specification bug and is reported as such by the explorer.
+    fn actions(&self, state: &Self::State) -> Vec<Self::Action>;
+
+    /// Applies `action` to `state`.
+    ///
+    /// Returns `None` when the action is not enabled in `state`. The
+    /// successor must be unique per `(state, action)` pair.
+    fn step(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State>;
+
+    /// Runs a sequence of actions from `state`, returning the final state.
+    ///
+    /// Returns `Err` with the index of the first action that was not
+    /// enabled.
+    fn run(&self, state: &Self::State, actions: &[Self::Action]) -> Result<Self::State, usize> {
+        let mut cur = state.clone();
+        for (i, a) in actions.iter().enumerate() {
+            cur = self.step(&cur, a).ok_or(i)?;
+        }
+        Ok(cur)
+    }
+}
+
+/// A state machine together with a named invariant, bundled for
+/// registration with the verification-condition engine.
+pub struct InvariantSpec<M: StateMachine> {
+    /// The machine whose reachable states are constrained.
+    pub machine: M,
+    /// Human-readable invariant name (used in VC names).
+    pub name: &'static str,
+    /// The predicate that must hold on every reachable state.
+    pub check: fn(&M::State) -> bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A bounded counter: increments up to a cap, resets to zero.
+    struct Counter {
+        cap: u32,
+    }
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    enum CounterAction {
+        Inc,
+        Reset,
+    }
+
+    impl StateMachine for Counter {
+        type State = u32;
+        type Action = CounterAction;
+
+        fn init_states(&self) -> Vec<u32> {
+            vec![0]
+        }
+
+        fn actions(&self, state: &u32) -> Vec<CounterAction> {
+            let mut out = vec![CounterAction::Reset];
+            if *state < self.cap {
+                out.push(CounterAction::Inc);
+            }
+            out
+        }
+
+        fn step(&self, state: &u32, action: &CounterAction) -> Option<u32> {
+            match action {
+                CounterAction::Inc if *state < self.cap => Some(state + 1),
+                CounterAction::Inc => None,
+                CounterAction::Reset => Some(0),
+            }
+        }
+    }
+
+    #[test]
+    fn run_applies_actions_in_order() {
+        let m = Counter { cap: 3 };
+        let end = m
+            .run(&0, &[CounterAction::Inc, CounterAction::Inc, CounterAction::Reset])
+            .unwrap();
+        assert_eq!(end, 0);
+        let end = m.run(&0, &[CounterAction::Inc, CounterAction::Inc]).unwrap();
+        assert_eq!(end, 2);
+    }
+
+    #[test]
+    fn run_reports_first_disabled_action() {
+        let m = Counter { cap: 1 };
+        let err = m
+            .run(&0, &[CounterAction::Inc, CounterAction::Inc])
+            .unwrap_err();
+        assert_eq!(err, 1);
+    }
+
+    #[test]
+    fn actions_are_all_enabled() {
+        let m = Counter { cap: 2 };
+        for s in 0..=2 {
+            for a in m.actions(&s) {
+                assert!(m.step(&s, &a).is_some(), "action {a:?} disabled in {s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! A bounded SPSC message channel in user memory.
+//!
+//! Layout at `base_va` (one page):
+//!
+//! ```text
+//! +0   head u32   (consumer cursor, slot index)
+//! +4   tail u32   (producer cursor, slot index)
+//! +8   capacity u32
+//! +12  slot_size u32
+//! +16  slots... (capacity × slot_size; slot = len u32 + bytes)
+//! ```
+//!
+//! Single-producer single-consumer, with futex parking on `head` (full)
+//! and `tail` (empty). The invariant `tail - head <= capacity` and FIFO
+//! delivery are checked by the tests.
+
+use veros_kernel::syscall::{SysError, Syscall};
+
+use crate::runtime::Ctx;
+
+/// Result of a channel operation attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChanAttempt {
+    /// The message was sent / received.
+    Done,
+    /// The channel was full/empty and the thread parked; retry later.
+    BlockedNow,
+    /// State moved concurrently; retry.
+    Retry,
+}
+
+/// An SPSC channel handle.
+#[derive(Clone, Copy, Debug)]
+pub struct UChannel {
+    /// Base address of the channel region.
+    pub base_va: u64,
+}
+
+impl UChannel {
+    const HEAD: u64 = 0;
+    const TAIL: u64 = 4;
+    const CAP: u64 = 8;
+    const SLOT_SIZE: u64 = 12;
+    const SLOTS: u64 = 16;
+
+    /// Creates a handle.
+    pub fn at(base_va: u64) -> Self {
+        Self { base_va }
+    }
+
+    /// Initializes the channel header (call once, before use).
+    pub fn init(&self, ctx: &mut Ctx<'_>, capacity: u32, slot_size: u32) -> Result<(), SysError> {
+        assert!(capacity.is_power_of_two(), "capacity must be a power of two");
+        assert!(slot_size >= 8);
+        ctx.write_u32(self.base_va + Self::HEAD, 0)?;
+        ctx.write_u32(self.base_va + Self::TAIL, 0)?;
+        ctx.write_u32(self.base_va + Self::CAP, capacity)?;
+        ctx.write_u32(self.base_va + Self::SLOT_SIZE, slot_size)?;
+        Ok(())
+    }
+
+    fn slot_va(&self, idx: u32, cap: u32, slot_size: u32) -> u64 {
+        self.base_va + Self::SLOTS + ((idx & (cap - 1)) as u64) * slot_size as u64
+    }
+
+    /// One send attempt (producer side).
+    pub fn send_attempt(&self, ctx: &mut Ctx<'_>, msg: &[u8]) -> Result<ChanAttempt, SysError> {
+        let cap = ctx.read_u32(self.base_va + Self::CAP)?;
+        let slot_size = ctx.read_u32(self.base_va + Self::SLOT_SIZE)?;
+        assert!(msg.len() as u32 <= slot_size - 4, "message exceeds slot");
+        let head = ctx.read_u32(self.base_va + Self::HEAD)?;
+        let tail = ctx.read_u32(self.base_va + Self::TAIL)?;
+        if tail.wrapping_sub(head) >= cap {
+            // Full: park on head until the consumer moves it.
+            return match ctx.sys(Syscall::FutexWait {
+                va: self.base_va + Self::HEAD,
+                expected: head,
+            }) {
+                Ok(_) => Ok(ChanAttempt::BlockedNow),
+                Err(SysError::WouldBlock) => Ok(ChanAttempt::Retry),
+                Err(e) => Err(e),
+            };
+        }
+        let slot = self.slot_va(tail, cap, slot_size);
+        ctx.write_u32(slot, msg.len() as u32)?;
+        ctx.write_bytes(slot + 4, msg)?;
+        ctx.write_u32(self.base_va + Self::TAIL, tail.wrapping_add(1))?;
+        // Wake a consumer parked on tail.
+        ctx.sys(Syscall::FutexWake {
+            va: self.base_va + Self::TAIL,
+            count: 1,
+        })?;
+        Ok(ChanAttempt::Done)
+    }
+
+    /// One receive attempt (consumer side). On success the message is in
+    /// `out`.
+    pub fn recv_attempt(
+        &self,
+        ctx: &mut Ctx<'_>,
+        out: &mut Vec<u8>,
+    ) -> Result<ChanAttempt, SysError> {
+        let cap = ctx.read_u32(self.base_va + Self::CAP)?;
+        let slot_size = ctx.read_u32(self.base_va + Self::SLOT_SIZE)?;
+        let head = ctx.read_u32(self.base_va + Self::HEAD)?;
+        let tail = ctx.read_u32(self.base_va + Self::TAIL)?;
+        if head == tail {
+            // Empty: park on tail until the producer moves it.
+            return match ctx.sys(Syscall::FutexWait {
+                va: self.base_va + Self::TAIL,
+                expected: tail,
+            }) {
+                Ok(_) => Ok(ChanAttempt::BlockedNow),
+                Err(SysError::WouldBlock) => Ok(ChanAttempt::Retry),
+                Err(e) => Err(e),
+            };
+        }
+        let slot = self.slot_va(head, cap, slot_size);
+        let len = ctx.read_u32(slot)?;
+        *out = ctx.read_bytes(slot + 4, len as u64)?;
+        ctx.write_u32(self.base_va + Self::HEAD, head.wrapping_add(1))?;
+        // Wake a producer parked on head.
+        ctx.sys(Syscall::FutexWake {
+            va: self.base_va + Self::HEAD,
+            count: 1,
+        })?;
+        Ok(ChanAttempt::Done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{Runtime, Step};
+    use std::sync::{Arc, Mutex};
+    use veros_kernel::{Kernel, KernelConfig, Syscall as K};
+
+    #[test]
+    fn fifo_delivery_through_a_tiny_buffer() {
+        let kernel = Kernel::boot(KernelConfig {
+            cores: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let (pid, tid) = (kernel.init_pid, kernel.init_tid);
+        let mut rt = Runtime::new(kernel);
+        rt.kernel.sched.timeslice = 1;
+        rt.kernel
+            .syscall(
+                (pid, tid),
+                K::Map {
+                    va: 0x10_0000,
+                    pages: 2,
+                    writable: true,
+                },
+            )
+            .unwrap();
+
+        const N: u32 = 40;
+        let chan = UChannel::at(0x10_0000);
+        let received = Arc::new(Mutex::new(Vec::new()));
+
+        // Producer on the init thread: init channel, then stream N
+        // messages through a 4-slot buffer (forcing full-buffer parks).
+        let mut initialized = false;
+        let mut next = 0u32;
+        rt.attach(
+            pid,
+            tid,
+            Box::new(move |ctx| {
+                if !initialized {
+                    chan.init(ctx, 4, 16).unwrap();
+                    initialized = true;
+                    return Step::Yield;
+                }
+                if next == N {
+                    return Step::Done(0);
+                }
+                match chan.send_attempt(ctx, &next.to_le_bytes()).unwrap() {
+                    ChanAttempt::Done => {
+                        next += 1;
+                        Step::Yield
+                    }
+                    _ => Step::Yield,
+                }
+            }),
+        );
+
+        // Consumer: collect N messages. It may start before init; an
+        // uninitialized header has cap 0, which recv treats as empty
+        // (head==tail) and parks — the producer's first wake frees it.
+        let rx = Arc::clone(&received);
+        let mut got = 0u32;
+        rt.spawn_task(
+            (pid, tid),
+            None,
+            Box::new(move |ctx| {
+                if got == N {
+                    return Step::Done(0);
+                }
+                let mut buf = Vec::new();
+                match chan.recv_attempt(ctx, &mut buf).unwrap() {
+                    ChanAttempt::Done => {
+                        rx.lock().unwrap().push(u32::from_le_bytes(
+                            buf.try_into().expect("4 bytes"),
+                        ));
+                        got += 1;
+                        Step::Yield
+                    }
+                    _ => Step::Yield,
+                }
+            }),
+        )
+        .unwrap();
+
+        assert!(rt.run(100_000), "channel wedged");
+        let got = received.lock().unwrap();
+        assert_eq!(*got, (0..N).collect::<Vec<u32>>(), "FIFO order violated");
+    }
+}

@@ -1,0 +1,174 @@
+//! File I/O wrappers over the syscall ABI.
+//!
+//! The thin "libc" layer: a [`UFile`] wraps an fd and a caller-provided
+//! scratch buffer in user memory (paths and data must live in the
+//! process's address space — the kernel only accepts user pointers, per
+//! the mapping obligation).
+
+use veros_kernel::syscall::{SysError, Syscall};
+
+use crate::runtime::Ctx;
+
+/// An open file.
+#[derive(Clone, Copy, Debug)]
+pub struct UFile {
+    /// The file descriptor.
+    pub fd: u32,
+}
+
+impl UFile {
+    /// Opens (optionally creating) `path`, staging the path bytes at
+    /// `scratch_va` (a mapped, writable user region of at least
+    /// `path.len()` bytes).
+    pub fn open(
+        ctx: &mut Ctx<'_>,
+        scratch_va: u64,
+        path: &str,
+        create: bool,
+    ) -> Result<UFile, SysError> {
+        ctx.write_bytes(scratch_va, path.as_bytes())?;
+        let fd = ctx.sys(Syscall::Open {
+            path_ptr: scratch_va,
+            path_len: path.len() as u64,
+            create,
+        })?;
+        Ok(UFile { fd: fd as u32 })
+    }
+
+    /// Writes `data` (staged at `scratch_va`) at the current offset.
+    pub fn write(
+        &self,
+        ctx: &mut Ctx<'_>,
+        scratch_va: u64,
+        data: &[u8],
+    ) -> Result<u64, SysError> {
+        ctx.write_bytes(scratch_va, data)?;
+        ctx.sys(Syscall::Write {
+            fd: self.fd,
+            buf_ptr: scratch_va,
+            buf_len: data.len() as u64,
+        })
+    }
+
+    /// Reads up to `len` bytes at the current offset into `scratch_va`,
+    /// returning them.
+    pub fn read(
+        &self,
+        ctx: &mut Ctx<'_>,
+        scratch_va: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, SysError> {
+        let n = ctx.sys(Syscall::Read {
+            fd: self.fd,
+            buf_ptr: scratch_va,
+            buf_len: len,
+        })?;
+        ctx.read_bytes(scratch_va, n)
+    }
+
+    /// Seeks to an absolute offset.
+    pub fn seek(&self, ctx: &mut Ctx<'_>, offset: u64) -> Result<(), SysError> {
+        ctx.sys(Syscall::Seek {
+            fd: self.fd,
+            offset,
+        })
+        .map(|_| ())
+    }
+
+    /// Closes the file.
+    pub fn close(self, ctx: &mut Ctx<'_>) -> Result<(), SysError> {
+        ctx.sys(Syscall::Close { fd: self.fd }).map(|_| ())
+    }
+}
+
+/// Removes a file (staging the path at `scratch_va`).
+pub fn unlink(ctx: &mut Ctx<'_>, scratch_va: u64, path: &str) -> Result<(), SysError> {
+    ctx.write_bytes(scratch_va, path.as_bytes())?;
+    ctx.sys(Syscall::Unlink {
+        path_ptr: scratch_va,
+        path_len: path.len() as u64,
+    })
+    .map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{Runtime, Step};
+    use veros_kernel::{Kernel, KernelConfig, Syscall as K};
+
+    fn run_one(f: impl FnOnce(&mut Ctx<'_>) + 'static) {
+        let kernel = Kernel::boot(KernelConfig::default()).unwrap();
+        let (pid, tid) = (kernel.init_pid, kernel.init_tid);
+        let mut rt = Runtime::new(kernel);
+        rt.kernel
+            .syscall(
+                (pid, tid),
+                K::Map {
+                    va: 0x200_0000,
+                    pages: 4,
+                    writable: true,
+                },
+            )
+            .unwrap();
+        let mut f = Some(f);
+        rt.attach(
+            pid,
+            tid,
+            Box::new(move |ctx| {
+                (f.take().expect("once"))(ctx);
+                Step::Done(0)
+            }),
+        );
+        assert!(rt.run(10));
+    }
+
+    const SCRATCH: u64 = 0x200_0000;
+
+    #[test]
+    fn write_then_read_back() {
+        run_one(|ctx| {
+            let f = UFile::open(ctx, SCRATCH, "/notes.txt", true).unwrap();
+            assert_eq!(f.write(ctx, SCRATCH, b"first line\n").unwrap(), 11);
+            assert_eq!(f.write(ctx, SCRATCH, b"second\n").unwrap(), 7);
+            f.seek(ctx, 0).unwrap();
+            let all = f.read(ctx, SCRATCH, 100).unwrap();
+            assert_eq!(all, b"first line\nsecond\n");
+            f.close(ctx).unwrap();
+        });
+    }
+
+    #[test]
+    fn open_missing_without_create_fails() {
+        run_one(|ctx| {
+            assert_eq!(
+                UFile::open(ctx, SCRATCH, "/absent", false).map(|f| f.fd),
+                Err(SysError::NoSuchPath)
+            );
+        });
+    }
+
+    #[test]
+    fn unlink_removes() {
+        run_one(|ctx| {
+            let f = UFile::open(ctx, SCRATCH, "/temp", true).unwrap();
+            f.close(ctx).unwrap();
+            unlink(ctx, SCRATCH, "/temp").unwrap();
+            assert!(UFile::open(ctx, SCRATCH, "/temp", false).is_err());
+        });
+    }
+
+    #[test]
+    fn two_files_independent_offsets() {
+        run_one(|ctx| {
+            let a = UFile::open(ctx, SCRATCH, "/a", true).unwrap();
+            let b = UFile::open(ctx, SCRATCH, "/b", true).unwrap();
+            a.write(ctx, SCRATCH, b"aaaa").unwrap();
+            b.write(ctx, SCRATCH, b"bb").unwrap();
+            a.seek(ctx, 0).unwrap();
+            b.seek(ctx, 0).unwrap();
+            assert_eq!(a.read(ctx, SCRATCH, 10).unwrap(), b"aaaa");
+            assert_eq!(b.read(ctx, SCRATCH, 10).unwrap(), b"bb");
+        });
+    }
+}

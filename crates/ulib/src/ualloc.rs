@@ -1,0 +1,275 @@
+//! A user-space heap allocator.
+//!
+//! First-fit over an address-ordered free list whose metadata lives in
+//! the process's *own mapped memory* — the allocator the paper's §1
+//! component list ("system libraries") implies, built purely on the
+//! `Map` syscall. Block layout:
+//!
+//! ```text
+//! +0  size  u64   (whole block, header included)
+//! +8  state u64   (FREE_MAGIC with next-free va in low bits is split:
+//!                  free blocks store the next free block's va,
+//!                  allocated blocks store ALLOC_MAGIC)
+//! +16 payload...
+//! ```
+//!
+//! The free-list head pointer lives in the first 8 bytes of the heap.
+
+use veros_kernel::syscall::SysError;
+
+use crate::runtime::Ctx;
+
+/// Header size per block.
+pub const HEADER: u64 = 16;
+/// Alignment of returned payloads.
+pub const ALIGN: u64 = 16;
+/// Marker for allocated blocks.
+const ALLOC_MAGIC: u64 = 0xa110_c8ed_0000_0000;
+
+/// A heap handle.
+#[derive(Clone, Copy, Debug)]
+pub struct UAlloc {
+    /// Heap base (mapped, writable).
+    pub base_va: u64,
+    /// Heap size in bytes.
+    pub size: u64,
+}
+
+impl UAlloc {
+    /// Initializes a heap over `[base_va, base_va + size)`.
+    pub fn init(ctx: &mut Ctx<'_>, base_va: u64, size: u64) -> Result<UAlloc, SysError> {
+        assert!(size > 64 && base_va % ALIGN == 0);
+        let first = base_va + ALIGN; // First 16 bytes: free-list head + pad.
+        ctx.write_u64(base_va, first)?;
+        ctx.write_u64(first, size - ALIGN)?; // Block size.
+        ctx.write_u64(first + 8, 0)?; // Next free: null.
+        Ok(UAlloc { base_va, size })
+    }
+
+    fn head_ptr(&self) -> u64 {
+        self.base_va
+    }
+
+    /// Allocates `n` bytes; returns the payload address or `None` when
+    /// no block fits.
+    pub fn alloc(&self, ctx: &mut Ctx<'_>, n: u64) -> Result<Option<u64>, SysError> {
+        let need = (n.max(1) + HEADER + ALIGN - 1) & !(ALIGN - 1);
+        // Walk the free list: prev_link is the address holding the
+        // pointer to `cur`.
+        let mut prev_link = self.head_ptr();
+        let mut cur = ctx.read_u64(prev_link)?;
+        while cur != 0 {
+            let size = ctx.read_u64(cur)?;
+            let next = ctx.read_u64(cur + 8)?;
+            if size >= need {
+                if size >= need + HEADER + ALIGN {
+                    // Split: remainder stays free at cur+need.
+                    let rem = cur + need;
+                    ctx.write_u64(rem, size - need)?;
+                    ctx.write_u64(rem + 8, next)?;
+                    ctx.write_u64(prev_link, rem)?;
+                    ctx.write_u64(cur, need)?;
+                } else {
+                    // Take the whole block.
+                    ctx.write_u64(prev_link, next)?;
+                }
+                ctx.write_u64(cur + 8, ALLOC_MAGIC)?;
+                return Ok(Some(cur + HEADER));
+            }
+            prev_link = cur + 8;
+            cur = next;
+        }
+        Ok(None)
+    }
+
+    /// Frees a payload pointer returned by [`alloc`](Self::alloc).
+    ///
+    /// Inserts address-ordered and coalesces with both neighbours when
+    /// contiguous.
+    pub fn free(&self, ctx: &mut Ctx<'_>, ptr: u64) -> Result<(), SysError> {
+        let block = ptr - HEADER;
+        let size = ctx.read_u64(block)?;
+        let state = ctx.read_u64(block + 8)?;
+        assert_eq!(state, ALLOC_MAGIC, "free of non-allocated pointer {ptr:#x}");
+        // Find the insertion point (address order).
+        let mut prev_link = self.head_ptr();
+        let mut cur = ctx.read_u64(prev_link)?;
+        let mut prev_block = 0u64;
+        while cur != 0 && cur < block {
+            prev_block = cur;
+            prev_link = cur + 8;
+            cur = ctx.read_u64(cur + 8)?;
+        }
+        // Coalesce with the following free block.
+        let mut new_size = size;
+        let mut next_free = cur;
+        if cur != 0 && block + size == cur {
+            new_size += ctx.read_u64(cur)?;
+            next_free = ctx.read_u64(cur + 8)?;
+        }
+        // Coalesce with the preceding free block.
+        if prev_block != 0 {
+            let prev_size = ctx.read_u64(prev_block)?;
+            if prev_block + prev_size == block {
+                ctx.write_u64(prev_block, prev_size + new_size)?;
+                ctx.write_u64(prev_block + 8, next_free)?;
+                return Ok(());
+            }
+        }
+        ctx.write_u64(block, new_size)?;
+        ctx.write_u64(block + 8, next_free)?;
+        ctx.write_u64(prev_link, block)?;
+        Ok(())
+    }
+
+    /// Sums the free list (bytes available including headers).
+    pub fn free_bytes(&self, ctx: &mut Ctx<'_>) -> Result<u64, SysError> {
+        let mut total = 0;
+        let mut cur = ctx.read_u64(self.head_ptr())?;
+        while cur != 0 {
+            total += ctx.read_u64(cur)?;
+            cur = ctx.read_u64(cur + 8)?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{Runtime, Step};
+    use veros_kernel::{Kernel, KernelConfig, Syscall as K};
+
+    fn with_heap(f: impl FnOnce(&mut Ctx<'_>, UAlloc) + 'static) {
+        let kernel = Kernel::boot(KernelConfig::default()).unwrap();
+        let (pid, tid) = (kernel.init_pid, kernel.init_tid);
+        let mut rt = Runtime::new(kernel);
+        rt.kernel
+            .syscall(
+                (pid, tid),
+                K::Map {
+                    va: 0x100_0000,
+                    pages: 16,
+                    writable: true,
+                },
+            )
+            .unwrap();
+        let mut f = Some(f);
+        rt.attach(
+            pid,
+            tid,
+            Box::new(move |ctx| {
+                let heap = UAlloc::init(ctx, 0x100_0000, 16 * 4096).unwrap();
+                (f.take().expect("runs once"))(ctx, heap);
+                Step::Done(0)
+            }),
+        );
+        assert!(rt.run(10));
+    }
+
+    #[test]
+    fn alloc_free_round_trip_with_data() {
+        with_heap(|ctx, heap| {
+            let a = heap.alloc(ctx, 100).unwrap().unwrap();
+            let b = heap.alloc(ctx, 200).unwrap().unwrap();
+            assert_ne!(a, b);
+            ctx.write_bytes(a, &[0xaa; 100]).unwrap();
+            ctx.write_bytes(b, &[0xbb; 200]).unwrap();
+            assert!(ctx.read_bytes(a, 100).unwrap().iter().all(|&x| x == 0xaa));
+            assert!(ctx.read_bytes(b, 200).unwrap().iter().all(|&x| x == 0xbb));
+            heap.free(ctx, a).unwrap();
+            heap.free(ctx, b).unwrap();
+        });
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        with_heap(|ctx, heap| {
+            let mut blocks = Vec::new();
+            for i in 0..20u64 {
+                let p = heap.alloc(ctx, 64 + i * 8).unwrap().unwrap();
+                for (q, n) in &blocks {
+                    let (s1, e1) = (p, p + 64 + i * 8);
+                    let (s2, e2) = (*q, q + n);
+                    assert!(e1 <= s2 || e2 <= s1, "overlap");
+                }
+                blocks.push((p, 64 + i * 8));
+            }
+        });
+    }
+
+    #[test]
+    fn coalescing_restores_the_full_heap() {
+        with_heap(|ctx, heap| {
+            let initial = heap.free_bytes(ctx).unwrap();
+            let mut ptrs = Vec::new();
+            for _ in 0..10 {
+                ptrs.push(heap.alloc(ctx, 256).unwrap().unwrap());
+            }
+            // Free in a scrambled order to exercise both coalescing
+            // directions.
+            for i in [3usize, 1, 4, 0, 9, 2, 6, 5, 8, 7] {
+                heap.free(ctx, ptrs[i]).unwrap();
+            }
+            assert_eq!(heap.free_bytes(ctx).unwrap(), initial, "fragmentation leak");
+            // The whole heap is one block again: a huge alloc fits.
+            assert!(heap.alloc(ctx, initial - 2 * HEADER).unwrap().is_some());
+        });
+    }
+
+    #[test]
+    fn exhaustion_returns_none_not_corruption() {
+        with_heap(|ctx, heap| {
+            let mut ptrs = Vec::new();
+            while let Some(p) = heap.alloc(ctx, 1024).unwrap() {
+                ptrs.push(p);
+            }
+            assert!(heap.alloc(ctx, 1024).unwrap().is_none());
+            // Everything still frees cleanly.
+            for p in ptrs {
+                heap.free(ctx, p).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-allocated")]
+    fn double_free_panics() {
+        with_heap(|ctx, heap| {
+            let p = heap.alloc(ctx, 64).unwrap().unwrap();
+            heap.free(ctx, p).unwrap();
+            heap.free(ctx, p).unwrap();
+        });
+    }
+
+    #[test]
+    fn random_storm_with_shadow_model() {
+        with_heap(|ctx, heap| {
+            let mut rng = veros_spec::rng::SpecRng::seeded(21);
+            let mut live: Vec<(u64, u64, u8)> = Vec::new(); // (ptr, len, fill)
+            for _ in 0..400 {
+                if rng.chance(1, 2) && !live.is_empty() {
+                    let i = rng.index(live.len());
+                    let (p, len, fill) = live.swap_remove(i);
+                    // Contents intact before free.
+                    assert!(
+                        ctx.read_bytes(p, len).unwrap().iter().all(|&b| b == fill),
+                        "allocation corrupted"
+                    );
+                    heap.free(ctx, p).unwrap();
+                } else {
+                    let len = 16 + rng.below(512);
+                    if let Some(p) = heap.alloc(ctx, len).unwrap() {
+                        let fill = rng.below(255) as u8;
+                        ctx.write_bytes(p, &vec![fill; len as usize]).unwrap();
+                        live.push((p, len, fill));
+                    }
+                }
+            }
+            for (p, len, fill) in live {
+                assert!(ctx.read_bytes(p, len).unwrap().iter().all(|&b| b == fill));
+                heap.free(ctx, p).unwrap();
+            }
+        });
+    }
+}
