@@ -1,9 +1,10 @@
-//! Criterion microbenchmarks of the page-table operations themselves
+//! Microbenchmarks of the page-table operations themselves
 //! (single-threaded, no NR) — the substrate behind Figures 1b/1c.
+//! Uses the in-tree harness in `veros_bench::microbench`.
 //!
 //! Run: `cargo bench -p veros-bench --bench map_unmap`
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use veros_bench::microbench::{run, run_batched};
 use veros_hw::{PAddr, PhysMem, StackFrameSource, VAddr, PAGE_4K};
 use veros_pagetable::{MapRequest, PageTableOps, UnverifiedPageTable, VerifiedPageTable};
 
@@ -14,158 +15,103 @@ fn setup() -> (PhysMem, StackFrameSource) {
     )
 }
 
-fn bench_map(c: &mut Criterion) {
-    let mut group = c.benchmark_group("map_4k");
-    group.bench_function("verified", |b| {
-        b.iter_batched(
-            || {
-                let (mut mem, mut alloc) = setup();
-                let pt = VerifiedPageTable::new(&mut mem, &mut alloc, false).unwrap();
-                (mem, alloc, pt, 0u64)
-            },
-            |(mut mem, mut alloc, mut pt, mut i)| {
-                for _ in 0..64 {
-                    pt.map_frame(
-                        &mut mem,
-                        &mut alloc,
-                        MapRequest::rw_4k(0x40_0000 + i * 4096, 0x10_0000),
-                    )
+fn bench_map() {
+    run_batched(
+        "map_4k/verified",
+        || {
+            let (mut mem, mut alloc) = setup();
+            let pt = VerifiedPageTable::new(&mut mem, &mut alloc, false).unwrap();
+            (mem, alloc, pt)
+        },
+        |(mut mem, mut alloc, mut pt)| {
+            for i in 0..64u64 {
+                pt.map_frame(&mut mem, &mut alloc, MapRequest::rw_4k(0x40_0000 + i * 4096, 0x10_0000))
                     .unwrap();
-                    i += 1;
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    group.bench_function("unverified", |b| {
-        b.iter_batched(
-            || {
-                let (mut mem, mut alloc) = setup();
-                let pt = UnverifiedPageTable::new(&mut mem, &mut alloc).unwrap();
-                (mem, alloc, pt, 0u64)
-            },
-            |(mut mem, mut alloc, mut pt, mut i)| {
-                for _ in 0..64 {
-                    pt.map_frame(
-                        &mut mem,
-                        &mut alloc,
-                        MapRequest::rw_4k(0x40_0000 + i * 4096, 0x10_0000),
-                    )
+            }
+        },
+    );
+    run_batched(
+        "map_4k/unverified",
+        || {
+            let (mut mem, mut alloc) = setup();
+            let pt = UnverifiedPageTable::new(&mut mem, &mut alloc).unwrap();
+            (mem, alloc, pt)
+        },
+        |(mut mem, mut alloc, mut pt)| {
+            for i in 0..64u64 {
+                pt.map_frame(&mut mem, &mut alloc, MapRequest::rw_4k(0x40_0000 + i * 4096, 0x10_0000))
                     .unwrap();
-                    i += 1;
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+            }
+        },
+    );
 }
 
-fn bench_unmap(c: &mut Criterion) {
-    let mut group = c.benchmark_group("unmap_4k");
-    group.bench_function("verified", |b| {
-        b.iter_batched(
-            || {
-                let (mut mem, mut alloc) = setup();
-                let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, false).unwrap();
-                for i in 0..64u64 {
-                    pt.map_frame(
-                        &mut mem,
-                        &mut alloc,
-                        MapRequest::rw_4k(0x40_0000 + i * 4096, 0x10_0000),
-                    )
-                    .unwrap();
-                }
-                (mem, alloc, pt)
-            },
-            |(mut mem, mut alloc, mut pt)| {
-                for i in 0..64u64 {
-                    pt.unmap_frame(&mut mem, &mut alloc, VAddr(0x40_0000 + i * 4096))
-                        .unwrap();
-                }
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_unmap() {
+    fn premapped_verified() -> (PhysMem, StackFrameSource, VerifiedPageTable) {
+        let (mut mem, mut alloc) = setup();
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, false).unwrap();
+        for i in 0..64u64 {
+            pt.map_frame(&mut mem, &mut alloc, MapRequest::rw_4k(0x40_0000 + i * 4096, 0x10_0000))
+                .unwrap();
+        }
+        (mem, alloc, pt)
+    }
+    fn premapped_unverified() -> (PhysMem, StackFrameSource, UnverifiedPageTable) {
+        let (mut mem, mut alloc) = setup();
+        let mut pt = UnverifiedPageTable::new(&mut mem, &mut alloc).unwrap();
+        for i in 0..64u64 {
+            pt.map_frame(&mut mem, &mut alloc, MapRequest::rw_4k(0x40_0000 + i * 4096, 0x10_0000))
+                .unwrap();
+        }
+        (mem, alloc, pt)
+    }
+    run_batched("unmap_4k/verified", premapped_verified, |(mut mem, mut alloc, mut pt)| {
+        for i in 0..64u64 {
+            pt.unmap_frame(&mut mem, &mut alloc, VAddr(0x40_0000 + i * 4096)).unwrap();
+        }
     });
-    group.bench_function("unverified", |b| {
-        b.iter_batched(
-            || {
-                let (mut mem, mut alloc) = setup();
-                let mut pt = UnverifiedPageTable::new(&mut mem, &mut alloc).unwrap();
-                for i in 0..64u64 {
-                    pt.map_frame(
-                        &mut mem,
-                        &mut alloc,
-                        MapRequest::rw_4k(0x40_0000 + i * 4096, 0x10_0000),
-                    )
-                    .unwrap();
-                }
-                (mem, alloc, pt)
-            },
-            |(mut mem, mut alloc, mut pt)| {
-                for i in 0..64u64 {
-                    pt.unmap_frame(&mut mem, &mut alloc, VAddr(0x40_0000 + i * 4096))
-                        .unwrap();
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    run_batched("unmap_4k/unverified", premapped_unverified, |(mut mem, mut alloc, mut pt)| {
+        for i in 0..64u64 {
+            pt.unmap_frame(&mut mem, &mut alloc, VAddr(0x40_0000 + i * 4096)).unwrap();
+        }
     });
-    group.finish();
 }
 
-fn bench_resolve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("resolve");
+fn bench_resolve() {
     let (mut mem, mut alloc) = setup();
     let mut vpt = VerifiedPageTable::new(&mut mem, &mut alloc, false).unwrap();
     for i in 0..512u64 {
-        vpt.map_frame(
-            &mut mem,
-            &mut alloc,
-            MapRequest::rw_4k(0x40_0000 + i * 4096, 0x10_0000),
-        )
-        .unwrap();
+        vpt.map_frame(&mut mem, &mut alloc, MapRequest::rw_4k(0x40_0000 + i * 4096, 0x10_0000))
+            .unwrap();
     }
-    group.bench_function("verified", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 512;
-            std::hint::black_box(
-                vpt.resolve(&mem, VAddr(0x40_0000 + i * 4096 + 0x123)).unwrap(),
-            )
-        })
+    let mut i = 0u64;
+    run("resolve/verified", || {
+        i = (i + 1) % 512;
+        std::hint::black_box(vpt.resolve(&mem, VAddr(0x40_0000 + i * 4096 + 0x123)).unwrap());
     });
+
     let (mut mem2, mut alloc2) = setup();
     let mut upt = UnverifiedPageTable::new(&mut mem2, &mut alloc2).unwrap();
     for i in 0..512u64 {
-        upt.map_frame(
-            &mut mem2,
-            &mut alloc2,
-            MapRequest::rw_4k(0x40_0000 + i * 4096, 0x10_0000),
-        )
-        .unwrap();
+        upt.map_frame(&mut mem2, &mut alloc2, MapRequest::rw_4k(0x40_0000 + i * 4096, 0x10_0000))
+            .unwrap();
     }
-    group.bench_function("unverified", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 512;
-            std::hint::black_box(
-                upt.resolve(&mem2, VAddr(0x40_0000 + i * 4096 + 0x123)).unwrap(),
-            )
-        })
+    let mut j = 0u64;
+    run("resolve/unverified", || {
+        j = (j + 1) % 512;
+        std::hint::black_box(upt.resolve(&mem2, VAddr(0x40_0000 + j * 4096 + 0x123)).unwrap());
     });
+
     // The MMU walk itself, for reference.
-    group.bench_function("mmu_walk", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 512;
-            std::hint::black_box(
-                veros_hw::walk(&mem, vpt.root(), VAddr(0x40_0000 + i * 4096)).unwrap(),
-            )
-        })
+    let mut k = 0u64;
+    run("resolve/mmu_walk", || {
+        k = (k + 1) % 512;
+        std::hint::black_box(veros_hw::walk(&mem, vpt.root(), VAddr(0x40_0000 + k * 4096)).unwrap());
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_map, bench_unmap, bench_resolve);
-criterion_main!(benches);
+fn main() {
+    bench_map();
+    bench_unmap();
+    bench_resolve();
+}

@@ -1,11 +1,12 @@
-//! Criterion benchmarks of node replication itself: write batching
-//! (flat combining) and read-path cost — the ablation for the design
-//! choice DESIGN.md calls out (NR as the single concurrency mechanism).
+//! Benchmarks of node replication itself: write batching (flat
+//! combining) and read-path cost — the ablation for the design choice
+//! DESIGN.md calls out (NR as the single concurrency mechanism).
+//! Uses the in-tree harness in `veros_bench::microbench`.
 //!
 //! Run: `cargo bench -p veros-bench --bench nr_scaling`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
+use veros_bench::microbench::run;
 use veros_nr::{Dispatch, NodeReplicated};
 
 #[derive(Clone, Default)]
@@ -26,75 +27,62 @@ impl Dispatch for Counter {
     }
 }
 
-fn bench_single_thread_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("nr_single_thread");
+fn bench_single_thread_ops() {
     for replicas in [1usize, 2] {
         let nr = NodeReplicated::new(replicas, 2, 256, Counter::default);
         let t = nr.register(0).unwrap();
-        group.bench_with_input(BenchmarkId::new("execute_mut", replicas), &replicas, |b, _| {
-            b.iter(|| std::hint::black_box(nr.execute_mut(1, t)))
+        run(&format!("nr_single_thread/execute_mut/{replicas}"), || {
+            std::hint::black_box(nr.execute_mut(1, t));
         });
-        group.bench_with_input(BenchmarkId::new("execute_read", replicas), &replicas, |b, _| {
-            b.iter(|| std::hint::black_box(nr.execute((), t)))
+        run(&format!("nr_single_thread/execute_read/{replicas}"), || {
+            std::hint::black_box(nr.execute((), t));
         });
     }
-    group.finish();
 }
 
-fn bench_contended_writes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("nr_contended");
-    group.sample_size(10);
+fn bench_contended_writes() {
     for threads in [2usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("writers", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let nr = Arc::new(NodeReplicated::new(1, threads, 256, Counter::default));
-                    let mut handles = Vec::new();
-                    for i in 0..threads {
-                        let nr = Arc::clone(&nr);
-                        handles.push(std::thread::spawn(move || {
-                            let t = nr.register(0).expect("slot");
-                            let _ = i;
-                            for _ in 0..200 {
-                                nr.execute_mut(1, t);
-                            }
-                        }));
+        run(&format!("nr_contended/writers/{threads}"), || {
+            let nr = Arc::new(NodeReplicated::new(1, threads, 256, Counter::default));
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                let nr = Arc::clone(&nr);
+                handles.push(std::thread::spawn(move || {
+                    let t = nr.register(0).expect("slot");
+                    for _ in 0..200 {
+                        nr.execute_mut(1, t);
                     }
-                    for h in handles {
-                        h.join().unwrap();
-                    }
-                })
-            },
-        );
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
     }
-    group.finish();
 }
 
-fn bench_log_batch_sizes(c: &mut Criterion) {
+fn bench_log_batch_sizes() {
     // Flat-combining ablation: larger batches amortize log appends.
-    let mut group = c.benchmark_group("nr_log_batch");
     for batch in [1usize, 8, 64] {
         let log = veros_nr::Log::new(1024, 1);
-        group.bench_with_input(BenchmarkId::new("append_exec", batch), &batch, |b, &batch| {
-            let entries: Vec<veros_nr::LogEntry<u64>> = (0..batch as u64)
-                .map(|i| veros_nr::LogEntry {
-                    op: i,
-                    replica: 0,
-                    thread: 0,
-                })
-                .collect();
-            b.iter(|| {
-                assert!(log.try_append(&entries));
-                let mut sum = 0u64;
-                log.exec(0, |e| sum += e.op);
-                std::hint::black_box(sum)
+        let entries: Vec<veros_nr::LogEntry<u64>> = (0..batch as u64)
+            .map(|i| veros_nr::LogEntry {
+                op: i,
+                replica: 0,
+                thread: 0,
             })
+            .collect();
+        run(&format!("nr_log_batch/append_exec/{batch}"), || {
+            assert!(log.try_append(&entries));
+            let mut sum = 0u64;
+            log.exec(0, |e| sum += e.op);
+            std::hint::black_box(sum);
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_single_thread_ops, bench_contended_writes, bench_log_batch_sizes);
-criterion_main!(benches);
+fn main() {
+    bench_single_thread_ops();
+    bench_contended_writes();
+    bench_log_batch_sizes();
+}

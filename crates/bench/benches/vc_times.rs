@@ -1,36 +1,31 @@
-//! Criterion benchmarks of the verification machinery itself: how fast
-//! the checkers that discharge the VC population run (exploration,
+//! Benchmarks of the verification machinery itself: how fast the
+//! checkers that discharge the VC population run (exploration,
 //! linearizability, interpretation) — the "iteration time" the paper
 //! argues matters for the development experience.
+//! Uses the in-tree harness in `veros_bench::microbench`.
 //!
 //! Run: `cargo bench -p veros-bench --bench vc_times`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use veros_bench::microbench::run;
 use veros_pagetable::high_spec::HighSpecMachine;
 use veros_pagetable::refine::{differential_vs_spec, randomized_vs_spec, Impl, OpUniverse};
 use veros_spec::explorer::{prove_invariant, ExploreLimits};
 use veros_spec::history::Recorder;
 use veros_spec::linearizability::{check_linearizable, SeqSpec};
 
-fn bench_exploration(c: &mut Criterion) {
-    c.bench_function("explore_high_spec_small", |b| {
-        b.iter(|| {
-            prove_invariant(HighSpecMachine::small(), ExploreLimits::default(), |s| s.wf())
-                .unwrap()
-        })
+fn bench_exploration() {
+    run("explore_high_spec_small", || {
+        prove_invariant(HighSpecMachine::small(), ExploreLimits::default(), |s| s.wf()).unwrap();
     });
 }
 
-fn bench_differential(c: &mut Criterion) {
-    let mut group = c.benchmark_group("differential");
-    group.sample_size(10);
-    group.bench_function("bounded_small_depth2_interp", |b| {
-        b.iter(|| differential_vs_spec(Impl::Verified, &OpUniverse::small(), 2, true).unwrap())
+fn bench_differential() {
+    run("differential/bounded_small_depth2_interp", || {
+        differential_vs_spec(Impl::Verified, &OpUniverse::small(), 2, true).unwrap();
     });
-    group.bench_function("randomized_200_steps", |b| {
-        b.iter(|| randomized_vs_spec(Impl::Verified, 1, 200).unwrap())
+    run("differential/randomized_200_steps", || {
+        randomized_vs_spec(Impl::Verified, 1, 200).unwrap();
     });
-    group.finish();
 }
 
 struct Register;
@@ -58,7 +53,7 @@ impl SeqSpec for Register {
     }
 }
 
-fn bench_linearizability(c: &mut Criterion) {
+fn bench_linearizability() {
     // A moderately concurrent 24-op history.
     let r = Recorder::new();
     for round in 0..4u32 {
@@ -80,10 +75,13 @@ fn bench_linearizability(c: &mut Criterion) {
         }
     }
     let history = r.finish();
-    c.bench_function("wing_gong_24_ops", |b| {
-        b.iter(|| check_linearizable(&Register, &history).unwrap())
+    run("wing_gong_24_ops", || {
+        check_linearizable(&Register, &history).unwrap();
     });
 }
 
-criterion_group!(benches, bench_exploration, bench_differential, bench_linearizability);
-criterion_main!(benches);
+fn main() {
+    bench_exploration();
+    bench_differential();
+    bench_linearizability();
+}

@@ -5,6 +5,8 @@
 //!
 //! Usage: `cargo run --release -p veros-bench --bin audit [--quick]`
 
+use std::fmt::Write as _;
+
 use veros_core::vcs::{register_all, Profile};
 use veros_spec::report::{human_duration, render_cdf};
 use veros_spec::VcEngine;
@@ -17,27 +19,29 @@ fn main() {
     eprintln!("running {} OS-contract verification conditions ({profile:?})...", engine.len());
     let report = engine.run();
 
-    println!("Full-stack OS contract audit");
-    println!("{}", render_cdf(&report.cdf(), 60, 12));
-    println!("{}", report.summary());
-    println!();
-    println!("by obligation kind:");
+    let mut out = String::new();
+    let _ = writeln!(out, "Full-stack OS contract audit");
+    let _ = writeln!(out, "{}", render_cdf(&report.cdf(), 60, 12));
+    let _ = writeln!(out, "{}", report.summary());
+    let _ = writeln!(out);
+    let _ = writeln!(out, "by obligation kind:");
     for (kind, n) in report.count_by_kind() {
-        println!("  {:<8} {n}", kind.label());
+        let _ = writeln!(out, "  {:<8} {n}", kind.label());
     }
-    println!();
-    println!("slowest 10:");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "slowest 10:");
     let mut outcomes: Vec<_> = report.outcomes.iter().collect();
     outcomes.sort_by_key(|o| std::cmp::Reverse(o.duration));
     for o in outcomes.iter().take(10) {
-        println!("  {:>10}  {}", human_duration(o.duration), o.vc.name);
+        let _ = writeln!(out, "  {:>10}  {}", human_duration(o.duration), o.vc.name);
     }
 
     if !report.all_passed() {
-        eprintln!("\nFAILURES:");
+        let _ = writeln!(out, "\nFAILURES:");
         for f in report.failures() {
-            eprintln!("  {}: {:?}", f.vc.name, f.status);
+            let _ = writeln!(out, "  {}: {:?}", f.vc.name, f.status);
         }
-        std::process::exit(1);
     }
+    print!("{out}");
+    veros_bench::out::finish("audit.txt", &out, report.all_passed());
 }

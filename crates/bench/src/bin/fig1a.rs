@@ -4,6 +4,8 @@
 //!
 //! Usage: `cargo run --release -p veros-bench --bin fig1a [--quick]`
 
+use std::fmt::Write as _;
+
 use veros_pagetable::vcs::{register_all, Profile, VC_COUNT};
 use veros_spec::report::{human_duration, render_cdf};
 use veros_spec::VcEngine;
@@ -18,35 +20,38 @@ fn main() {
     assert_eq!(engine.len(), VC_COUNT);
     let report = engine.run();
 
-    println!("Figure 1a: CDF of all {} verification conditions", report.total());
-    println!("{}", render_cdf(&report.cdf(), 60, 16));
-    println!("{}", report.summary());
-    println!();
-    println!("breakdown by obligation kind:");
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 1a: CDF of all {} verification conditions", report.total());
+    let _ = writeln!(out, "{}", render_cdf(&report.cdf(), 60, 16));
+    let _ = writeln!(out, "{}", report.summary());
+    let _ = writeln!(out);
+    let _ = writeln!(out, "breakdown by obligation kind:");
     for (kind, n) in report.count_by_kind() {
-        println!("  {:<8} {n}", kind.label());
+        let _ = writeln!(out, "  {:<8} {n}", kind.label());
     }
-    println!();
-    println!("paper reference: 220 VCs, total ~40s, max ~11s, all <= 11s");
-    println!(
+    let _ = writeln!(out);
+    let _ = writeln!(out, "paper reference: 220 VCs, total ~40s, max ~11s, all <= 11s");
+    let _ = writeln!(
+        out,
         "this run:        {} VCs, total {}, max {}",
         report.total(),
         human_duration(report.total_time()),
         human_duration(report.max_time())
     );
-    println!();
-    println!("slowest 10 verification conditions:");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "slowest 10 verification conditions:");
     let mut outcomes: Vec<_> = report.outcomes.iter().collect();
     outcomes.sort_by_key(|o| std::cmp::Reverse(o.duration));
     for o in outcomes.iter().take(10) {
-        println!("  {:>10}  {}", human_duration(o.duration), o.vc.name);
+        let _ = writeln!(out, "  {:>10}  {}", human_duration(o.duration), o.vc.name);
     }
 
     if !report.all_passed() {
-        eprintln!("\nFAILURES:");
+        let _ = writeln!(out, "\nFAILURES:");
         for f in report.failures() {
-            eprintln!("  {}: {:?}", f.vc.name, f.status);
+            let _ = writeln!(out, "  {}: {:?}", f.vc.name, f.status);
         }
-        std::process::exit(1);
     }
+    print!("{out}");
+    veros_bench::out::finish("fig1a.txt", &out, report.all_passed());
 }

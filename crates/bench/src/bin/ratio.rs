@@ -2,28 +2,40 @@
 //!
 //! Usage: `cargo run -p veros-bench --bin ratio`
 
+use std::fmt::Write as _;
+
 use veros_bench::ratio::{compute, workspace_root, Side};
 
 fn main() {
     let root = workspace_root();
     let (files, impl_lines, proof_lines) = compute(&root);
 
-    println!("Proof-to-code ratio for the page-table artifact");
-    println!("(spec/proof-harness lines vs executable implementation lines)\n");
+    let mut out = String::new();
+    let _ = writeln!(out, "Proof-to-code ratio for the page-table artifact");
+    let _ = writeln!(out, "(spec/proof-harness lines vs executable implementation lines)\n");
 
-    println!("executable implementation:");
+    let _ = writeln!(out, "executable implementation:");
     for f in files.iter().filter(|f| f.side == Side::Impl) {
-        println!("  {:>6}  {}", f.lines, f.path);
+        let _ = writeln!(out, "  {:>6}  {}", f.lines, f.path);
     }
-    println!("  {impl_lines:>6}  TOTAL\n");
+    let _ = writeln!(out, "  {impl_lines:>6}  TOTAL\n");
 
-    println!("specification + proof harness:");
+    let _ = writeln!(out, "specification + proof harness:");
     for f in files.iter().filter(|f| f.side == Side::Proof) {
-        println!("  {:>6}  {}", f.lines, f.path);
+        let _ = writeln!(out, "  {:>6}  {}", f.lines, f.path);
     }
-    println!("  {proof_lines:>6}  TOTAL\n");
+    let _ = writeln!(out, "  {proof_lines:>6}  TOTAL\n");
 
-    let ratio = proof_lines as f64 / impl_lines as f64;
-    println!("ratio: {ratio:.1}:1   (paper reports 10:1 for its prototype;");
-    println!("        seL4 ~19:1, CertiKOS ~20:1, seKVM ~10:1, Verve ~3:1)");
+    // If either side came back empty the scan ran against the wrong
+    // root; that is a failed run, not a 0:1 ratio.
+    let ok = impl_lines > 0 && proof_lines > 0;
+    if ok {
+        let ratio = proof_lines as f64 / impl_lines as f64;
+        let _ = writeln!(out, "ratio: {ratio:.1}:1   (paper reports 10:1 for its prototype;");
+        let _ = writeln!(out, "        seL4 ~19:1, CertiKOS ~20:1, seKVM ~10:1, Verve ~3:1)");
+    } else {
+        let _ = writeln!(out, "error: no sources found under {}", root.display());
+    }
+    print!("{out}");
+    veros_bench::out::finish("ratio.txt", &out, ok);
 }

@@ -1,22 +1,28 @@
 //! Regenerates Table 2: verified OS components.
 
+use std::fmt::Write as _;
+
 use veros_bench::survey;
 
 fn main() {
     let (rows, cells) = survey::table2();
-    println!(
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
         "{}",
         survey::render("Table 2: Verified OS components", &rows, &cells)
     );
-    println!("legend: y = yes, n = no, (y) = partial");
-    println!();
-    println!("veros column provenance (crate -> spec/checks):");
-    println!("  Scheduler                  veros-kernel::scheduler -> sanity invariant VCs");
-    println!("  Memory management          veros-pagetable + frame_alloc -> 220 VCs (Fig 1a)");
-    println!("  Filesystem                 veros-fs -> read_spec, flat-view differential, crash VCs");
-    println!("  Complex drivers            (y): simulated disk/NIC models, spec-checked, not real silicon");
-    println!("  Process management         veros-kernel::process -> lifecycle under refinement VCs");
-    println!("  Threads and synchronization veros-kernel::futex + veros-ulib mutex/condvar/semaphore");
-    println!("  Network stack              veros-net -> rdt prefix-delivery spec VCs");
-    println!("  System libraries           veros-ulib -> Drepper mutex, allocator, channel checks");
+    let _ = writeln!(out, "legend: y = yes, n = no, (y) = partial");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "veros column provenance (crate -> spec/checks):");
+    let _ = writeln!(out, "  Scheduler                  veros-kernel::scheduler -> sanity invariant VCs");
+    let _ = writeln!(out, "  Memory management          veros-pagetable + frame_alloc -> 220 VCs (Fig 1a)");
+    let _ = writeln!(out, "  Filesystem                 veros-fs -> read_spec, flat-view differential, crash VCs");
+    let _ = writeln!(out, "  Complex drivers            (y): simulated disk/NIC models, spec-checked, not real silicon");
+    let _ = writeln!(out, "  Process management         veros-kernel::process -> lifecycle under refinement VCs");
+    let _ = writeln!(out, "  Threads and synchronization veros-kernel::futex + veros-ulib mutex/condvar/semaphore");
+    let _ = writeln!(out, "  Network stack              veros-net -> rdt prefix-delivery spec VCs");
+    let _ = writeln!(out, "  System libraries           veros-ulib -> Drepper mutex, allocator, channel checks");
+    print!("{out}");
+    veros_bench::out::finish("table2.txt", &out, !cells.is_empty());
 }

@@ -16,6 +16,8 @@
 //! tables, the multi-threaded NR map/unmap sweep behind Figures 1b/1c,
 //! and the line-classification logic behind the ratio.
 
+pub mod microbench;
+pub mod out;
 pub mod ratio;
 pub mod survey;
 pub mod sweep;

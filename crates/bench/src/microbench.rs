@@ -1,0 +1,110 @@
+//! A minimal in-tree microbenchmark harness (criterion replacement).
+//!
+//! Offline builds cannot fetch criterion, and the paper's evaluation
+//! needs only wall-clock per-op numbers, so this module provides the
+//! two shapes the benches use: a timed closure (`run`) and a
+//! setup-per-batch variant (`run_batched`). Results print as
+//! `name: <ns>/iter (<iters> iters)` on stdout, one line per bench,
+//! which keeps the output diffable run to run.
+
+use std::time::{Duration, Instant};
+
+/// How long each measurement aims to run. Long enough to amortize timer
+/// overhead, short enough that a full bench binary stays under a minute.
+const TARGET: Duration = Duration::from_millis(200);
+
+/// Hard cap on doubling so a pathologically fast closure terminates.
+const MAX_ITERS: u64 = 1 << 22;
+
+/// One benchmark result.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark name as printed.
+    pub name: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+fn report(name: &str, elapsed: Duration, iters: u64) -> Measurement {
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name}: {ns:.1} ns/iter ({iters} iters)");
+    Measurement {
+        name: name.to_string(),
+        ns_per_iter: ns,
+        iters,
+    }
+}
+
+/// Times `f`, doubling the iteration count until the measurement window
+/// is long enough, and prints the mean cost per iteration.
+pub fn run<F: FnMut()>(name: &str, mut f: F) -> Measurement {
+    // Warmup: populate caches, trigger lazy init.
+    for _ in 0..3 {
+        f();
+    }
+    let mut iters = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = t0.elapsed();
+        if elapsed >= TARGET || iters >= MAX_ITERS {
+            return report(name, elapsed, iters);
+        }
+        iters = iters.saturating_mul(2);
+    }
+}
+
+/// Like [`run`], but re-creates state with `setup` before every timed
+/// call, excluding setup cost from the measurement (criterion's
+/// `iter_batched` shape).
+pub fn run_batched<S, T, F>(name: &str, mut setup: S, mut routine: F) -> Measurement
+where
+    S: FnMut() -> T,
+    F: FnMut(T),
+{
+    routine(setup());
+    let mut iters = 1u64;
+    loop {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t0 = Instant::now();
+            routine(input);
+            elapsed += t0.elapsed();
+        }
+        if elapsed >= TARGET || iters >= MAX_ITERS {
+            return report(name, elapsed, iters);
+        }
+        iters = iters.saturating_mul(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_measures_something() {
+        let m = run("noop", || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(m.iters >= 1);
+        assert!(m.ns_per_iter >= 0.0);
+    }
+
+    #[test]
+    fn run_batched_excludes_setup() {
+        let m = run_batched(
+            "consume_vec",
+            || vec![0u8; 16],
+            |v| {
+                std::hint::black_box(v.len());
+            },
+        );
+        assert!(m.iters >= 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Result-file output for the evaluation binaries.
+//!
+//! Every `veros-bench` binary mirrors its report into a results
+//! directory so repeated runs are diffable and CI can archive them.
+//! The directory is created on demand (the seed's binaries wrote
+//! nothing and could not fail with a missing directory; now that they
+//! write, creation-before-write is part of the contract).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// The results directory: `$VEROS_RESULTS_DIR` or `./results`.
+pub fn results_dir() -> PathBuf {
+    match std::env::var_os("VEROS_RESULTS_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => PathBuf::from("results"),
+    }
+}
+
+/// Writes `content` to `<results_dir>/<name>`, creating the directory
+/// (and any parents) first.
+pub fn write_result(name: &str, content: &str) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(content.as_bytes())?;
+    Ok(path)
+}
+
+/// Standard epilogue for a result binary: mirror `report` to
+/// `<results_dir>/<name>`, print where it went, and exit nonzero if the
+/// run failed its obligation (`ok == false`) or the write failed.
+///
+/// Never returns.
+pub fn finish(name: &str, report: &str, ok: bool) -> ! {
+    match write_result(name, report) {
+        Ok(path) => eprintln!("result written to {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write result {name}: {e}");
+            std::process::exit(2);
+        }
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_creates_missing_directory() {
+        let dir = std::env::temp_dir().join(format!("veros-results-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Point the module at a fresh directory via the env override.
+        // (Test-local; nothing else in this process reads it.)
+        std::env::set_var("VEROS_RESULTS_DIR", &dir);
+        let path = write_result("probe.txt", "hello\n").expect("creates dir and writes");
+        assert!(path.exists());
+        assert_eq!(std::fs::read_to_string(&path).expect("readable"), "hello\n");
+        std::env::remove_var("VEROS_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

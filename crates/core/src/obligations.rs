@@ -321,8 +321,7 @@ pub fn race_freedom_obligation(seed: u64, steps: usize) -> Result<(), String> {
         .syscall(c, Syscall::ThreadSpawn { affinity_plus_one: 0 })
         .map_err(|e| format!("{e:?}"))?;
     let mut log = AccessLog::new();
-    let mut now = 0u64;
-    for _ in 0..steps {
+    for now in 0..steps as u64 {
         let tid = if rng.chance(1, 2) { c.1 .0 } else { t2 };
         let va = 0x10_0000 + rng.below(8 * 4096 - 64);
         let len = 1 + rng.below(64);
@@ -342,7 +341,6 @@ pub fn race_freedom_obligation(seed: u64, steps: usize) -> Result<(), String> {
             t1: now,
             write,
         });
-        now += 1;
     }
     if let Some((i, j)) = log.find_conflict() {
         return Err(format!("serialized execution reported a race: {i} vs {j}"));

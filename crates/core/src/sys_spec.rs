@@ -353,7 +353,7 @@ impl SysState {
     }
 
     fn do_map(&mut self, pid: u64, va: u64, pages: u64, writable: bool) -> SysRet {
-        if pages == 0 || pages > 1 << 16 || va % PAGE_4K != 0 {
+        if pages == 0 || pages > 1 << 16 || !va.is_multiple_of(PAGE_4K) {
             return Err(SysError::Invalid);
         }
         let p = self.procs.get_mut(&pid).ok_or(SysError::NoSuchProcess)?;
@@ -377,7 +377,7 @@ impl SysState {
     }
 
     fn do_unmap(&mut self, pid: u64, va: u64, pages: u64) -> SysRet {
-        if pages == 0 || va % PAGE_4K != 0 {
+        if pages == 0 || !va.is_multiple_of(PAGE_4K) {
             return Err(SysError::Invalid);
         }
         let p = self.procs.get_mut(&pid).ok_or(SysError::NoSuchProcess)?;

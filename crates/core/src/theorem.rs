@@ -130,7 +130,7 @@ fn generate_op(
                 pid: *rng.choose(&candidates),
             })
         }
-        3 | 4 | 5 => call(Syscall::Map {
+        3..=5 => call(Syscall::Map {
             va: *rng.choose(vas) + rng.below(2) * 0x1000,
             pages: 1 + rng.below(3),
             writable: rng.chance(3, 4),
@@ -140,20 +140,26 @@ fn generate_op(
             pages: 1 + rng.below(3),
         }),
         7 | 8 => {
-            // Open: stage a path into mapped memory if possible.
+            // Open/Unlink: point at a mapped path if possible. Both
+            // sides read the path bytes from their (identical) memory
+            // views, so whatever is there is a consistent argument.
             let p = spec.procs.get(&pid).expect("runnable process");
             if let Some((&base, page)) = p.mem.iter().find(|(_, pg)| pg.writable) {
                 let _ = page;
                 let path = rng.choose(paths);
-                AbsOp::Call(
-                    pid,
-                    tid,
+                let sc = if rng.chance(1, 4) {
+                    Syscall::Unlink {
+                        path_ptr: base,
+                        path_len: path.len() as u64,
+                    }
+                } else {
                     Syscall::Open {
                         path_ptr: base,
                         path_len: path.len() as u64,
                         create: rng.chance(2, 3),
-                    },
-                )
+                    }
+                };
+                AbsOp::Call(pid, tid, sc)
             } else {
                 call(Syscall::Yield)
             }

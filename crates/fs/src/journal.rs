@@ -153,11 +153,21 @@ mod wire {
         pub fn u8(&mut self) -> Result<u8, ()> {
             Ok(self.take(1)?[0])
         }
+        /// Reads exactly `N` bytes into an array; the element-wise copy
+        /// cannot fail and a short buffer already errored in `take`.
+        fn array<const N: usize>(&mut self) -> Result<[u8; N], ()> {
+            let s = self.take(N)?;
+            let mut out = [0u8; N];
+            for (d, b) in out.iter_mut().zip(s) {
+                *d = *b;
+            }
+            Ok(out)
+        }
         pub fn u64(&mut self) -> Result<u64, ()> {
-            Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+            Ok(u64::from_le_bytes(self.array()?))
         }
         pub fn bytes(&mut self) -> Result<Vec<u8>, ()> {
-            let len = u32::from_le_bytes(self.take(4)?.try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes(self.array::<4>()?) as usize;
             if len > (1 << 24) {
                 return Err(());
             }
@@ -273,33 +283,32 @@ impl JournaledFs {
         let mut txn_ops: Vec<FsOp> = Vec::new();
         let mut committed_end = 0u64;
         let mut txns = 0u64;
-        loop {
-            match read_record(&disk, pos) {
-                Some((kind, payload, next)) => {
-                    match kind {
-                        KIND_OP => {
-                            if let Some(op) = FsOp::decode(&payload) {
-                                txn_ops.push(op);
-                            } else {
-                                break; // Corrupt payload: end of valid journal.
-                            }
-                        }
-                        KIND_COMMIT => {
-                            for op in txn_ops.drain(..) {
-                                // Replay of a committed op cannot fail:
-                                // it succeeded against this exact state
-                                // before being journaled.
-                                op.apply(&mut fs).expect("committed op replays");
-                            }
-                            committed_end = next;
-                            txns += 1;
-                        }
-                        _ => break,
+        'scan: while let Some((kind, payload, next)) = read_record(&disk, pos) {
+            match kind {
+                KIND_OP => {
+                    if let Some(op) = FsOp::decode(&payload) {
+                        txn_ops.push(op);
+                    } else {
+                        break 'scan; // Corrupt payload: end of valid journal.
                     }
-                    pos = next;
                 }
-                None => break,
+                KIND_COMMIT => {
+                    for op in txn_ops.drain(..) {
+                        // Replay of a committed op cannot fail: it
+                        // succeeded against this exact state before
+                        // being journaled.
+                        // lint: allow(panic-freedom) — see above; a
+                        // replay failure means the journal invariant
+                        // broke and recovery must not silently produce
+                        // a wrong tree.
+                        op.apply(&mut fs).expect("committed op replays");
+                    }
+                    committed_end = next;
+                    txns += 1;
+                }
+                _ => break 'scan,
             }
+            pos = next;
         }
         Self {
             fs,
@@ -339,6 +348,17 @@ impl JournaledFs {
     }
 }
 
+
+/// Reads a little-endian `u32` at `off`; the caller guarantees the four
+/// bytes exist (all call sites index into fixed-size sector buffers).
+fn le_u32_at(buf: &[u8], off: usize) -> u32 {
+    let mut w = [0u8; 4];
+    for (d, b) in w.iter_mut().zip(buf.iter().skip(off)) {
+        *d = *b;
+    }
+    u32::from_le_bytes(w)
+}
+
 fn read_record(disk: &SimDisk, pos: u64) -> Option<(u8, Vec<u8>, u64)> {
     let first = pos / SECTOR_SIZE as u64;
     if first >= disk.sectors() {
@@ -346,11 +366,11 @@ fn read_record(disk: &SimDisk, pos: u64) -> Option<(u8, Vec<u8>, u64)> {
     }
     let mut sector = [0u8; SECTOR_SIZE];
     disk.read(first, &mut sector).ok()?;
-    if u32::from_le_bytes(sector[0..4].try_into().unwrap()) != MAGIC {
+    if le_u32_at(&sector, 0) != MAGIC {
         return None;
     }
     let kind = sector[4];
-    let len = u32::from_le_bytes(sector[5..9].try_into().unwrap()) as usize;
+    let len = le_u32_at(&sector, 5) as usize;
     if len > (1 << 24) {
         return None;
     }
@@ -367,7 +387,7 @@ fn read_record(disk: &SimDisk, pos: u64) -> Option<(u8, Vec<u8>, u64)> {
         raw[(s as usize) * SECTOR_SIZE..(s as usize + 1) * SECTOR_SIZE].copy_from_slice(&buf);
     }
     let payload = raw[9..9 + len].to_vec();
-    let want = u32::from_le_bytes(raw[9 + len..13 + len].try_into().unwrap());
+    let want = le_u32_at(&raw, 9 + len);
     if checksum(&payload) != want {
         return None; // Torn record.
     }
@@ -501,7 +521,7 @@ mod tests {
             disk.crash_random(&mut rng);
             let recovered = JournaledFs::recover(disk);
             assert!(
-                boundaries[last_acked..].iter().any(|b| *b == recovered.fs)
+                boundaries[last_acked..].contains(&recovered.fs)
                     || boundaries.contains(&recovered.fs),
                 "seed {seed}: recovered state is not a committed boundary"
             );

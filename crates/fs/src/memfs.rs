@@ -62,11 +62,30 @@ impl MemFs {
         }
     }
 
+    /// The inode behind a tree-resolved `ino`.
+    ///
+    /// Tree consistency — every directory entry references a live inode,
+    /// upheld by `create`/`mkdir`/`unlink`/`rmdir` — makes this
+    /// infallible for inos obtained from `lookup`/`parent_dir`, which is
+    /// the only way callers in this module produce one.
+    fn node(&self, ino: Ino) -> &crate::inode::Inode {
+        // lint: allow(panic-freedom) — see doc comment: directory
+        // entries only reference live inodes; a miss is tree corruption
+        // that must fail fast, not a user-visible error.
+        self.inodes.get(ino).expect("live inode")
+    }
+
+    /// Mutable twin of [`MemFs::node`].
+    fn node_mut(&mut self, ino: Ino) -> &mut crate::inode::Inode {
+        // lint: allow(panic-freedom) — same invariant as `node`.
+        self.inodes.get_mut(ino).expect("live inode")
+    }
+
     /// Resolves a path to its inode.
     pub fn lookup(&self, path: &Path) -> Result<Ino, FsError> {
         let mut cur = ROOT_INO;
         for comp in path.components() {
-            let node = self.inodes.get(cur).expect("live inode");
+            let node = self.node(cur);
             match &node.kind {
                 InodeKind::Dir(entries) => {
                     cur = *entries.get(comp).ok_or(FsError::NotFound)?;
@@ -80,7 +99,7 @@ impl MemFs {
     fn parent_dir(&self, path: &Path) -> Result<(Ino, String), FsError> {
         let (parent, name) = path.split_last().ok_or(FsError::AlreadyExists)?; // Root: create over root fails.
         let ino = self.lookup(&parent)?;
-        match &self.inodes.get(ino).expect("live inode").kind {
+        match &self.node(ino).kind {
             InodeKind::Dir(_) => Ok((ino, name.to_string())),
             InodeKind::File(_) => Err(FsError::NotADirectory),
         }
@@ -89,13 +108,13 @@ impl MemFs {
     /// Creates an empty file; fails if the path exists.
     pub fn create(&mut self, path: &Path) -> Result<Ino, FsError> {
         let (dir, name) = self.parent_dir(path)?;
-        if let InodeKind::Dir(entries) = &self.inodes.get(dir).expect("dir").kind {
+        if let InodeKind::Dir(entries) = &self.node(dir).kind {
             if entries.contains_key(&name) {
                 return Err(FsError::AlreadyExists);
             }
         }
         let ino = self.inodes.alloc(InodeKind::File(Vec::new()));
-        if let InodeKind::Dir(entries) = &mut self.inodes.get_mut(dir).expect("dir").kind {
+        if let InodeKind::Dir(entries) = &mut self.node_mut(dir).kind {
             entries.insert(name, ino);
         }
         Ok(ino)
@@ -104,13 +123,13 @@ impl MemFs {
     /// Creates a directory; fails if the path exists.
     pub fn mkdir(&mut self, path: &Path) -> Result<Ino, FsError> {
         let (dir, name) = self.parent_dir(path)?;
-        if let InodeKind::Dir(entries) = &self.inodes.get(dir).expect("dir").kind {
+        if let InodeKind::Dir(entries) = &self.node(dir).kind {
             if entries.contains_key(&name) {
                 return Err(FsError::AlreadyExists);
             }
         }
         let ino = self.inodes.alloc(InodeKind::Dir(Default::default()));
-        if let InodeKind::Dir(entries) = &mut self.inodes.get_mut(dir).expect("dir").kind {
+        if let InodeKind::Dir(entries) = &mut self.node_mut(dir).kind {
             entries.insert(name, ino);
         }
         Ok(ino)
@@ -119,12 +138,12 @@ impl MemFs {
     /// Removes a file.
     pub fn unlink(&mut self, path: &Path) -> Result<(), FsError> {
         let ino = self.lookup(path)?;
-        match &self.inodes.get(ino).expect("live").kind {
+        match &self.node(ino).kind {
             InodeKind::File(_) => {}
             InodeKind::Dir(_) => return Err(FsError::IsADirectory),
         }
         let (dir, name) = self.parent_dir(path)?;
-        if let InodeKind::Dir(entries) = &mut self.inodes.get_mut(dir).expect("dir").kind {
+        if let InodeKind::Dir(entries) = &mut self.node_mut(dir).kind {
             entries.remove(&name);
         }
         self.inodes.free(ino);
@@ -134,13 +153,13 @@ impl MemFs {
     /// Removes an empty directory.
     pub fn rmdir(&mut self, path: &Path) -> Result<(), FsError> {
         let ino = self.lookup(path)?;
-        match &self.inodes.get(ino).expect("live").kind {
+        match &self.node(ino).kind {
             InodeKind::Dir(entries) if entries.is_empty() => {}
             InodeKind::Dir(_) => return Err(FsError::NotEmpty),
             InodeKind::File(_) => return Err(FsError::NotADirectory),
         }
         let (dir, name) = self.parent_dir(path)?;
-        if let InodeKind::Dir(entries) = &mut self.inodes.get_mut(dir).expect("dir").kind {
+        if let InodeKind::Dir(entries) = &mut self.node_mut(dir).kind {
             entries.remove(&name);
         }
         self.inodes.free(ino);
@@ -210,7 +229,7 @@ impl MemFs {
     /// Directory listing, sorted by name.
     pub fn readdir(&self, path: &Path) -> Result<Vec<String>, FsError> {
         let ino = self.lookup(path)?;
-        match &self.inodes.get(ino).expect("live").kind {
+        match &self.node(ino).kind {
             InodeKind::Dir(entries) => Ok(entries.keys().cloned().collect()),
             InodeKind::File(_) => Err(FsError::NotADirectory),
         }

@@ -80,7 +80,9 @@ impl Path {
         if self.raw == "/" {
             return None;
         }
-        let idx = self.raw.rfind('/').expect("absolute");
+        // Parsed paths are always absolute, so a '/' exists; `?` keeps
+        // the function total without a panicking path.
+        let idx = self.raw.rfind('/')?;
         let parent = if idx == 0 { "/".to_string() } else { self.raw[..idx].to_string() };
         Some((Path { raw: parent }, &self.raw[idx + 1..]))
     }

@@ -1,0 +1,95 @@
+//! Randomized tests of the hardware model's encoding invariants, driven
+//! by the in-tree deterministic [`SpecRng`] (formerly proptest-based).
+
+use veros_spec::rng::SpecRng;
+use veros_hw::{PAddr, PhysMem, PtEntry, PtFlags, VAddr, PAGE_4K};
+
+const CASES: usize = 256;
+
+/// PtEntry round-trips any encodable (addr, flags) pair.
+#[test]
+fn pt_entry_round_trips() {
+    let mut rng = SpecRng::for_obligation("hw::tests::pt_entry_round_trips");
+    for _ in 0..CASES {
+        let frame = rng.below(1 << 40);
+        let flag_bits = rng.below(512);
+        let nx = rng.chance(1, 2);
+        let addr = PAddr(frame * PAGE_4K);
+        let flags = PtFlags(flag_bits | if nx { PtFlags::NX.0 } else { 0 });
+        let e = PtEntry::new(addr, flags);
+        assert_eq!(e.addr(), addr);
+        assert_eq!(e.flags().0, flags.0);
+    }
+}
+
+/// Virtual-address index decomposition is a bijection with reassembly
+/// for canonical addresses.
+#[test]
+fn vaddr_indices_round_trip() {
+    let mut rng = SpecRng::for_obligation("hw::tests::vaddr_indices_round_trip");
+    for _ in 0..CASES {
+        let (l4, l3, l2, l1) = (rng.index(512), rng.index(512), rng.index(512), rng.index(512));
+        let va = VAddr::from_indices(l4, l3, l2, l1);
+        assert!(va.is_canonical());
+        assert_eq!(va.pml4_index(), l4);
+        assert_eq!(va.pdpt_index(), l3);
+        assert_eq!(va.pd_index(), l2);
+        assert_eq!(va.pt_index(), l1);
+        assert_eq!(va.page_offset(), 0);
+    }
+}
+
+/// Any decomposition of a canonical address reassembles to itself.
+#[test]
+fn vaddr_decompose_recompose() {
+    let mut rng = SpecRng::for_obligation("hw::tests::vaddr_decompose_recompose");
+    for _ in 0..CASES {
+        let raw = rng.below(1u64 << 47);
+        let va = VAddr(raw);
+        let re = ((va.pml4_index() as u64) << 39)
+            | ((va.pdpt_index() as u64) << 30)
+            | ((va.pd_index() as u64) << 21)
+            | ((va.pt_index() as u64) << 12)
+            | va.page_offset();
+        assert_eq!(re, raw);
+    }
+}
+
+/// Physical memory: writes then reads observe exactly what was written,
+/// for arbitrary (possibly overlapping, cross-frame) placements — last
+/// write wins.
+#[test]
+fn physmem_last_write_wins() {
+    let mut rng = SpecRng::for_obligation("hw::tests::physmem_last_write_wins");
+    for _ in 0..64 {
+        let mut mem = PhysMem::new(16);
+        let mut shadow = vec![0u8; (16 * PAGE_4K) as usize];
+        for _ in 0..(1 + rng.index(9)) {
+            let len = 1 + rng.index(63);
+            let addr = rng.below(16 * PAGE_4K - 64);
+            let mut data = vec![0u8; len];
+            rng.fill(&mut data);
+            mem.write_bytes(PAddr(addr), &data);
+            shadow[addr as usize..addr as usize + len].copy_from_slice(&data);
+        }
+        let mut all = vec![0u8; shadow.len()];
+        mem.read_bytes(PAddr(0), &mut all);
+        assert_eq!(all, shadow);
+    }
+}
+
+/// Alignment helpers: align_down is idempotent, dominated by the input,
+/// and within one alignment unit of it.
+#[test]
+fn alignment_helpers_consistent() {
+    let mut rng = SpecRng::for_obligation("hw::tests::alignment_helpers_consistent");
+    for _ in 0..CASES {
+        let addr = rng.below(1u64 << 47);
+        let shift = rng.below(21) as u32;
+        let align = 1u64 << (12 + shift % 9);
+        let down = VAddr(addr).align_down(align);
+        assert!(down.0 <= addr);
+        assert!(down.is_aligned(align));
+        assert!(addr - down.0 < align);
+    }
+}

@@ -47,7 +47,7 @@ impl BuddyAllocator {
             let mut order = MAX_ORDER;
             loop {
                 let block = 1usize << order;
-                if frame % block == 0 && frame + block <= frames && pa.is_aligned(block_bytes(order))
+                if frame.is_multiple_of(block) && frame + block <= frames && pa.is_aligned(block_bytes(order))
                 {
                     break;
                 }
@@ -87,7 +87,7 @@ impl BuddyAllocator {
         if o > MAX_ORDER {
             return None;
         }
-        let block = self.free[o].pop().expect("nonempty");
+        let block = self.free[o].pop()?;
         while o > order {
             o -= 1;
             // Split: push the upper buddy, keep the lower half.

@@ -147,7 +147,12 @@ impl Kernel {
         let tid = self
             .sched
             .spawn_thread(pid, None)
+            // lint: allow(panic-freedom) — model invariant: spawning
+            // with no affinity cannot be rejected by the scheduler.
             .expect("affinity None is always valid");
+        // lint: allow(panic-freedom) — the process was inserted alive
+        // two statements above; failure here is a kernel-model bug that
+        // must surface loudly, not be mapped to a user error.
         self.procs.add_thread(pid, tid).expect("fresh process is alive");
         Ok((pid, tid))
     }
@@ -283,6 +288,9 @@ impl Kernel {
                 let woken = self.futexes.wake(FutexKey { pid, va }, count as usize);
                 let n = woken.len() as u64;
                 for t in woken {
+                    // lint: allow(panic-freedom) — the futex table only
+                    // holds threads this kernel blocked; a miss is a
+                    // model bug the refinement tests must catch.
                     self.sched.unblock(t).expect("futex waiters are blocked");
                 }
                 Ok(n)
@@ -321,6 +329,8 @@ impl Kernel {
     fn do_exit(&mut self, pid: Pid, code: i32) -> Result<(), SysError> {
         let tids = self.procs.exit(pid, code).map_err(|_| SysError::NoSuchProcess)?;
         for t in tids {
+            // lint: allow(panic-freedom) — `procs.exit` returned only
+            // live tids of this process; an unknown tid is a model bug.
             self.sched.exit_thread(t).expect("live thread");
             self.futexes.remove_waiter(t);
         }
@@ -339,13 +349,15 @@ impl Kernel {
             .sched
             .blocked_threads(|r| matches!(r, BlockReason::Wait(p) if *p == pid));
         for w in waiters {
+            // lint: allow(panic-freedom) — `blocked_threads` selected
+            // exactly the blocked ones; failure is a model bug.
             self.sched.unblock(w).expect("blocked");
         }
         Ok(())
     }
 
     fn do_map(&mut self, pid: Pid, va: u64, pages: u64, writable: bool) -> SysRet {
-        if pages == 0 || pages > 1 << 16 || va % PAGE_4K != 0 {
+        if pages == 0 || pages > 1 << 16 || !va.is_multiple_of(PAGE_4K) {
             return Err(SysError::Invalid);
         }
         let vspace = self.vspaces.get_mut(&pid).ok_or(SysError::NoSuchProcess)?;
@@ -364,6 +376,9 @@ impl Kernel {
                     for done in mapped {
                         vspace
                             .unmap(&mut self.machine.mem, &mut self.alloc, done)
+                            // lint: allow(panic-freedom) — rollback of
+                            // addresses mapped in this very loop; the
+                            // page table cannot have lost them.
                             .expect("just mapped");
                         self.machine.tlb.invlpg(done);
                     }
@@ -379,7 +394,7 @@ impl Kernel {
     }
 
     fn do_unmap(&mut self, pid: Pid, va: u64, pages: u64) -> SysRet {
-        if pages == 0 || va % PAGE_4K != 0 {
+        if pages == 0 || !va.is_multiple_of(PAGE_4K) {
             return Err(SysError::Invalid);
         }
         let vspace = self.vspaces.get_mut(&pid).ok_or(SysError::NoSuchProcess)?;
@@ -446,6 +461,8 @@ impl Kernel {
             // all).
             self.open_files
                 .seek(handle, offset_before)
+                // lint: allow(panic-freedom) — restoring the offset of a
+                // handle we just read through; it cannot have vanished.
                 .expect("handle exists");
             return Err(e);
         }
@@ -476,7 +493,11 @@ impl Kernel {
         // respect to wakes because the whole kernel transition holds
         // `&mut self`.
         let bytes = self.read_user(pid, va, 4)?;
-        let current = u32::from_le_bytes(bytes.try_into().expect("4 bytes"));
+        let mut word = [0u8; 4];
+        for (d, b) in word.iter_mut().zip(&bytes) {
+            *d = *b;
+        }
+        let current = u32::from_le_bytes(word);
         match self
             .futexes
             .wait(FutexKey { pid, va }, tid, current, expected)
@@ -496,6 +517,8 @@ impl Kernel {
             if let crate::thread::ThreadState::Running { core } = t.state {
                 self.sched
                     .block_current(core, reason)
+                    // lint: allow(panic-freedom) — we just observed the
+                    // thread running on `core` under `&mut self`.
                     .expect("current thread");
                 return;
             }
@@ -577,6 +600,8 @@ impl Kernel {
                 .sched
                 .blocked_threads(|r| matches!(r, BlockReason::Wait(p) if *p == pid));
             for w in waiters {
+                // lint: allow(panic-freedom) — `blocked_threads`
+                // selected exactly the blocked ones; see do_exit.
                 self.sched.unblock(w).expect("blocked");
             }
         }
@@ -795,7 +820,7 @@ mod tests {
         assert!(k.alloc.allocated_frames() > before);
         k.syscall(ct, Syscall::Exit { code: 0 }).unwrap();
         assert_eq!(k.alloc.allocated_frames(), before, "all frames reclaimed");
-        assert!(k.open_files.is_empty() || k.open_files.len() == 0);
+        assert!(k.open_files.is_empty(), "exit closed all files");
     }
 
     #[test]

@@ -138,6 +138,18 @@ impl<'a> Decoder<'a> {
         Ok(s)
     }
 
+    /// Reads exactly `N` bytes into an array without any panicking
+    /// conversion: the element-wise copy cannot fail, and a short buffer
+    /// already surfaced as `Truncated` in `take`.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], MarshalError> {
+        let s = self.take(N)?;
+        let mut out = [0u8; N];
+        for (d, b) in out.iter_mut().zip(s) {
+            *d = *b;
+        }
+        Ok(out)
+    }
+
     /// Reads a `u8`.
     pub fn u8(&mut self) -> Result<u8, MarshalError> {
         Ok(self.take(1)?[0])
@@ -145,17 +157,17 @@ impl<'a> Decoder<'a> {
 
     /// Reads a `u32`.
     pub fn u32(&mut self) -> Result<u32, MarshalError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     /// Reads a `u64`.
     pub fn u64(&mut self) -> Result<u64, MarshalError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// Reads an `i64`.
     pub fn i64(&mut self) -> Result<i64, MarshalError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(self.array()?))
     }
 
     /// Reads a bool.

@@ -1,0 +1,313 @@
+//! Baseline files: a committed JSON list of accepted findings that
+//! `--deny` subtracts before deciding the exit code.
+//!
+//! The parser below is a minimal recursive-descent JSON reader — just
+//! enough for the documents [`crate::diag::to_json`] emits (objects,
+//! arrays, strings with escapes, integers, bools, null). Keeping it in
+//! tree preserves the crate's zero-dependency constraint.
+
+use crate::diag::Diagnostic;
+use std::collections::HashMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(HashMap<String, Json>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(n) if *n >= 0.0 => Some(*n as usize),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document, returning a readable error on malformed
+/// input (position is a byte offset).
+pub fn parse(src: &str) -> Result<Json, String> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut p = Parser { c: &bytes, i: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.c.len() {
+        return Err(format!("trailing data at offset {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    c: &'a [char],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.c.len() && self.c[self.i].is_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.c.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{c}' at offset {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some('n') => self.literal("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at offset {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        for w in word.chars() {
+            self.expect(w)?;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some('-') {
+            self.i += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-')
+        {
+            self.i += 1;
+        }
+        let text: String = self.c[start..self.i].iter().collect();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some('"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some('"') => out.push('"'),
+                        Some('\\') => out.push('\\'),
+                        Some('/') => out.push('/'),
+                        Some('n') => out.push('\n'),
+                        Some('r') => out.push('\r'),
+                        Some('t') => out.push('\t'),
+                        Some('u') => {
+                            let hex: String = self.c.get(self.i + 1..self.i + 5).map(|s| s.iter().collect()).ok_or("short \\u escape")?;
+                            let code = u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => self.i += 1,
+                Some(']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut map = HashMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.i += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => self.i += 1,
+                Some('}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
+            }
+        }
+    }
+}
+
+/// The accepted-findings set loaded from a baseline file.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    /// Finding keys (lint, file, message) accepted by the baseline.
+    pub entries: Vec<(String, String, String)>,
+}
+
+impl Baseline {
+    /// Parses a baseline document produced by [`crate::diag::to_json`].
+    pub fn from_json(src: &str) -> Result<Baseline, String> {
+        let doc = parse(src)?;
+        let findings = doc
+            .get("findings")
+            .and_then(Json::as_arr)
+            .ok_or("baseline missing \"findings\" array")?;
+        let mut entries = Vec::new();
+        for (i, f) in findings.iter().enumerate() {
+            let field = |k: &str| {
+                f.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("finding {i} missing string field \"{k}\""))
+            };
+            entries.push((field("lint")?, field("file")?, field("message")?));
+        }
+        Ok(Baseline { entries })
+    }
+
+    pub fn contains(&self, d: &Diagnostic) -> bool {
+        let key = d.key();
+        self.entries.contains(&key)
+    }
+}
+
+/// Splits findings into (new, baselined) against a baseline.
+pub fn apply(diags: Vec<Diagnostic>, baseline: &Baseline) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    diags.into_iter().partition(|d| !baseline.contains(d))
+}
+
+/// Round-trip helper used by tests and `--write-baseline`: findings →
+/// JSON → baseline that accepts exactly those findings.
+pub fn from_findings(diags: &[Diagnostic]) -> Baseline {
+    Baseline {
+        entries: diags.iter().map(Diagnostic::key).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{to_json, Severity};
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse(" null ").unwrap(), Json::Null);
+        assert_eq!(parse("42").unwrap(), Json::Num(42.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Json::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("[1,").is_err());
+    }
+
+    #[test]
+    fn baseline_round_trip() {
+        let diags = vec![
+            Diagnostic::new("unsafe-audit", Severity::Error, "crates/nr/src/log.rs", 7, "m \"q\" 1"),
+            Diagnostic::new("panic-freedom", Severity::Error, "crates/fs/src/memfs.rs", 12, "m2"),
+        ];
+        let json = to_json(&diags);
+        let bl = Baseline::from_json(&json).expect("parses own output");
+        assert_eq!(bl.entries.len(), 2);
+        for d in &diags {
+            assert!(bl.contains(d));
+        }
+        let (new, old) = apply(diags.clone(), &bl);
+        assert!(new.is_empty());
+        assert_eq!(old.len(), 2);
+    }
+
+    #[test]
+    fn baseline_line_numbers_do_not_matter() {
+        let d1 = Diagnostic::new("atomics-ordering", Severity::Error, "a.rs", 10, "m");
+        let mut d2 = d1.clone();
+        d2.line = 99;
+        let bl = from_findings(std::slice::from_ref(&d1));
+        assert!(bl.contains(&d2));
+    }
+
+    #[test]
+    fn baseline_rejects_malformed() {
+        assert!(Baseline::from_json("{}").is_err());
+        assert!(Baseline::from_json("{\"findings\": [{\"lint\": 3}]}").is_err());
+    }
+}

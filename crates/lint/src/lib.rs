@@ -1,0 +1,71 @@
+//! veros-lint: the workspace spec-discipline analyzer.
+//!
+//! The verified stack's guarantees (PAPER.md, DESIGN.md) rest on
+//! conventions no type checker enforces: `unsafe` sites carry audited
+//! `SAFETY:` arguments, kernel-path code never panics, every public op
+//! of a verified surface has a registered verification condition,
+//! relaxed atomics in the NR layer are individually reviewed, and every
+//! module documents its role. This crate makes those conventions
+//! machine-checked: a hand-rolled lexer ([`lexer`]), a workspace model
+//! ([`source`]), a lint registry ([`lints`]), and baseline support
+//! ([`baseline`]) behind a `veros-lint` binary. Zero external
+//! dependencies, so it builds offline with the rest of the workspace.
+//!
+//! Run it as CI does:
+//!
+//! ```text
+//! cargo run -p veros-lint -- --deny --baseline lint-baseline.json
+//! ```
+
+pub mod baseline;
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod source;
+
+use std::io;
+use std::path::Path;
+
+/// Loads the workspace at `root` and runs the full registry, returning
+/// findings sorted by file and line.
+pub fn check(root: &Path) -> io::Result<Vec<diag::Diagnostic>> {
+    let ws = source::Workspace::load(root)?;
+    Ok(lints::run_all(&ws))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    #[test]
+    fn registry_ids_are_unique_and_stable() {
+        let ids: Vec<&str> = lints::registry().iter().map(|l| l.id()).collect();
+        assert_eq!(
+            ids,
+            [
+                "unsafe-audit",
+                "panic-freedom",
+                "obligation-coverage",
+                "atomics-ordering",
+                "doc-header"
+            ]
+        );
+    }
+
+    #[test]
+    fn run_all_sorts_by_file_then_line() {
+        let ws = source::Workspace::from_sources(&[
+            ("crates/nr/src/b.rs", "fn f() { unsafe { x() } }\n"),
+            ("crates/nr/src/a.rs", "v.unwrap();\nunsafe { y() }\n"),
+        ]);
+        let out = lints::run_all(&ws);
+        // Every finding present and ordered.
+        let pos: Vec<(&str, usize)> = out.iter().map(|d| (d.file.as_str(), d.line)).collect();
+        let mut sorted = pos.clone();
+        sorted.sort();
+        assert_eq!(pos, sorted);
+        assert!(out.iter().any(|d| d.lint == "doc-header"));
+        assert!(out.iter().any(|d| d.lint == "panic-freedom" && d.severity == Severity::Error));
+    }
+}

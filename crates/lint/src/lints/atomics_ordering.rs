@@ -1,0 +1,92 @@
+//! L4 `atomics-ordering`: `Ordering::Relaxed` in `crates/nr` must be an
+//! explicitly reviewed site. The NR log's correctness argument leans on
+//! acquire/release edges; a stray `Relaxed` is exactly the kind of bug
+//! the linearizability checker can miss on a lucky schedule. Reviewed
+//! sites carry `// lint: allow(atomics-ordering) — <why Relaxed is
+//! sound here>`.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::source::Workspace;
+
+pub struct AtomicsOrdering;
+
+pub const ID: &str = "atomics-ordering";
+
+impl super::Lint for AtomicsOrdering {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn describe(&self) -> &'static str {
+        "`Ordering::Relaxed` in crates/nr outside reviewed sites"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            let in_nr_src = file.crate_name.as_deref() == Some("nr")
+                && !file.test_path
+                && file.rel_path.contains("/src/");
+            if !in_nr_src {
+                continue;
+            }
+            for (idx, line) in file.lines.iter().enumerate() {
+                if file.in_test[idx] || !line.code.contains("Ordering::Relaxed") {
+                    continue;
+                }
+                if file.is_suppressed(ID, idx) {
+                    continue;
+                }
+                out.push(Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    file.rel_path.clone(),
+                    idx + 1,
+                    format!(
+                        "`Ordering::Relaxed` outside the reviewed-site allowlist; justify with `// lint: allow({ID}) — reason`"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Lint;
+
+    fn run_on(path: &str, src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace::from_sources(&[(path, src)]);
+        let mut out = Vec::new();
+        AtomicsOrdering.run(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unreviewed_relaxed_in_nr() {
+        let out = run_on("crates/nr/src/log.rs", "let x = a.load(Ordering::Relaxed);\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 1);
+        assert_eq!(out[0].lint, ID);
+    }
+
+    #[test]
+    fn reviewed_site_passes() {
+        let src = "// lint: allow(atomics-ordering) — monotonic counter, read for stats only.\n\
+                   let x = a.load(Ordering::Relaxed);\n";
+        assert!(run_on("crates/nr/src/log.rs", src).is_empty());
+    }
+
+    #[test]
+    fn other_crates_and_tests_out_of_scope() {
+        assert!(run_on("crates/kernel/src/x.rs", "a.load(Ordering::Relaxed);\n").is_empty());
+        assert!(run_on("crates/nr/tests/t.rs", "a.load(Ordering::Relaxed);\n").is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { a.load(Ordering::Relaxed); }\n}\n";
+        assert!(run_on("crates/nr/src/log.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn acquire_release_untouched() {
+        assert!(run_on("crates/nr/src/log.rs", "a.load(Ordering::Acquire);\n").is_empty());
+    }
+}

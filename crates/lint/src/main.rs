@@ -1,0 +1,137 @@
+//! The `veros-lint` binary: run the spec-discipline lints over a
+//! workspace tree and report `file:line` findings.
+//!
+//! ```text
+//! veros-lint [--root DIR] [--json] [--deny] [--baseline FILE]
+//!            [--write-baseline FILE] [--list]
+//! ```
+//!
+//! Exit codes: 0 clean (or all findings baselined / not denied), 1 when
+//! `--deny` and at least one non-baselined error-severity finding, 2 on
+//! usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use veros_lint::baseline::{self, Baseline};
+use veros_lint::diag::{to_json, Severity};
+use veros_lint::lints;
+use veros_lint::source::Workspace;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    deny: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        deny: false,
+        baseline: None,
+        write_baseline: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = PathBuf::from(it.next().ok_or("--root needs a value")?),
+            "--json" => args.json = true,
+            "--deny" => args.deny = true,
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?))
+            }
+            "--write-baseline" => {
+                args.write_baseline =
+                    Some(PathBuf::from(it.next().ok_or("--write-baseline needs a value")?))
+            }
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                println!(
+                    "veros-lint [--root DIR] [--json] [--deny] [--baseline FILE] [--write-baseline FILE] [--list]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("veros-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list {
+        for lint in lints::registry() {
+            println!("{:<22} {}", lint.id(), lint.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ws = match Workspace::load(&args.root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("veros-lint: cannot load workspace at {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let all = lints::run_all(&ws);
+
+    if let Some(path) = &args.write_baseline {
+        if let Err(e) = std::fs::write(path, to_json(&all)) {
+            eprintln!("veros-lint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("veros-lint: wrote {} findings to {}", all.len(), path.display());
+    }
+
+    let bl = match &args.baseline {
+        None => Baseline::default(),
+        Some(path) => match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("veros-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            Ok(text) => match Baseline::from_json(&text) {
+                Ok(bl) => bl,
+                Err(e) => {
+                    eprintln!("veros-lint: bad baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+        },
+    };
+    let (fresh, baselined) = baseline::apply(all, &bl);
+
+    if args.json {
+        print!("{}", to_json(&fresh));
+    } else {
+        for d in &fresh {
+            println!("{d}");
+        }
+        let errors = fresh.iter().filter(|d| d.severity == Severity::Error).count();
+        let warnings = fresh.len() - errors;
+        println!(
+            "veros-lint: {} files, {errors} errors, {warnings} warnings, {} baselined",
+            ws.files.len(),
+            baselined.len()
+        );
+    }
+
+    let deny_hits = fresh.iter().any(|d| d.severity == Severity::Error);
+    if args.deny && deny_hits {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

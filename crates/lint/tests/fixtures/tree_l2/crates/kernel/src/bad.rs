@@ -1,0 +1,13 @@
+//! Fixture: panicking constructs in a kernel-path crate.
+
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}
+
+pub fn boom() {
+    panic!("kernel-path panic");
+}
+
+pub fn shuffle(a: &mut [u64], i: usize, j: usize, k: usize) -> u64 {
+    a[i] + a[j] + a[k]
+}

@@ -1,0 +1,4 @@
+//! Fixture: VC registrations covering only part of the surface.
+
+// covers: Syscall::Spawn
+pub fn register() {}

@@ -1,0 +1,6 @@
+//! Fixture: a syscall surface with an uncovered op.
+
+pub enum Syscall {
+    Spawn,
+    Exit,
+}

@@ -1,0 +1,7 @@
+//! Fixture: a relaxed atomic outside the reviewed-site allowlist.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,115 @@
+//! Fixture-tree integration tests: each tree under `tests/fixtures/`
+//! trips exactly one lint at known `file:line` positions, and the
+//! baseline machinery round-trips those findings through JSON.
+
+use std::path::PathBuf;
+
+use veros_lint::baseline::{self, Baseline};
+use veros_lint::diag::{to_json, Diagnostic, Severity};
+use veros_lint::lints;
+use veros_lint::source::Workspace;
+
+fn run_tree(tree: &str) -> Vec<Diagnostic> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(tree);
+    let ws = Workspace::load(&root).expect("fixture tree loads");
+    lints::run_all(&ws)
+}
+
+/// (lint id, file, line, severity) projection for compact assertions.
+fn shape(diags: &[Diagnostic]) -> Vec<(&str, &str, usize, Severity)> {
+    diags
+        .iter()
+        .map(|d| (d.lint, d.file.as_str(), d.line, d.severity))
+        .collect()
+}
+
+#[test]
+fn l1_unsafe_without_safety_comment() {
+    let out = run_tree("tree_l1");
+    assert_eq!(
+        shape(&out),
+        [("unsafe-audit", "crates/demo/src/lib.rs", 4, Severity::Error)]
+    );
+}
+
+#[test]
+fn l2_panicking_constructs_in_kernel_path() {
+    let out = run_tree("tree_l2");
+    assert_eq!(
+        shape(&out),
+        [
+            ("panic-freedom", "crates/kernel/src/bad.rs", 4, Severity::Error),
+            ("panic-freedom", "crates/kernel/src/bad.rs", 8, Severity::Error),
+            ("panic-freedom", "crates/kernel/src/bad.rs", 12, Severity::Warning),
+        ]
+    );
+    assert!(out[0].message.contains("unwrap"));
+    assert!(out[1].message.contains("panic!"));
+    assert!(out[2].message.contains("indexing-heavy"));
+}
+
+#[test]
+fn l3_uncovered_op_reported_at_its_variant() {
+    let out = run_tree("tree_l3");
+    assert_eq!(
+        shape(&out),
+        [(
+            "obligation-coverage",
+            "crates/kernel/src/syscall/mod.rs",
+            5,
+            Severity::Error
+        )]
+    );
+    assert!(out[0].message.contains("Syscall::Exit"));
+}
+
+#[test]
+fn l4_relaxed_atomic_in_nr() {
+    let out = run_tree("tree_l4");
+    assert_eq!(
+        shape(&out),
+        [("atomics-ordering", "crates/nr/src/lib.rs", 6, Severity::Error)]
+    );
+}
+
+#[test]
+fn l5_missing_doc_header() {
+    let out = run_tree("tree_l5");
+    assert_eq!(
+        shape(&out),
+        [("doc-header", "crates/demo/src/lib.rs", 1, Severity::Error)]
+    );
+}
+
+#[test]
+fn clean_tree_is_clean() {
+    assert!(run_tree("tree_clean").is_empty());
+}
+
+#[test]
+fn baseline_round_trips_fixture_findings() {
+    // Findings serialized to JSON, parsed back as a baseline, and
+    // re-applied to a fresh run must all be recognized: the (lint,
+    // file, message) key survives the round trip.
+    let out = run_tree("tree_l2");
+    assert!(!out.is_empty());
+    let bl = Baseline::from_json(&to_json(&out)).expect("own JSON parses");
+    let (fresh, baselined) = baseline::apply(run_tree("tree_l2"), &bl);
+    assert!(fresh.is_empty(), "all findings must match the baseline");
+    assert_eq!(baselined.len(), out.len());
+}
+
+#[test]
+fn baseline_is_insensitive_to_line_drift() {
+    // A baseline entry keyed on (lint, file, message) still matches
+    // after the finding moves to another line.
+    let out = run_tree("tree_l1");
+    let bl = Baseline::from_json(&to_json(&out)).expect("parses");
+    let mut moved = run_tree("tree_l1");
+    moved[0].line += 40;
+    let (fresh, baselined) = baseline::apply(moved, &bl);
+    assert!(fresh.is_empty());
+    assert_eq!(baselined.len(), 1);
+}

@@ -1,0 +1,108 @@
+//! The real-workspace gate: `veros-lint` over this repository, minus
+//! the committed baseline, must report zero errors — and the shipped
+//! binary must exit nonzero on each bad fixture tree under `--deny`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use veros_lint::baseline::{self, Baseline};
+use veros_lint::diag::Severity;
+use veros_lint::lints;
+use veros_lint::source::Workspace;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn fixture(tree: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(tree)
+}
+
+#[test]
+fn repository_is_lint_clean_modulo_baseline() {
+    let root = repo_root();
+    let ws = Workspace::load(&root).expect("workspace loads");
+    assert!(ws.files.len() > 100, "walker found the real workspace");
+    let all = lints::run_all(&ws);
+    let text = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("committed lint-baseline.json exists");
+    let bl = Baseline::from_json(&text).expect("committed baseline parses");
+    let (fresh, _) = baseline::apply(all, &bl);
+    let errors: Vec<String> = fresh
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| d.to_string())
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "non-baselined lint errors in the workspace:\n{}",
+        errors.join("\n")
+    );
+}
+
+fn run_binary(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_veros-lint"))
+        .args(args)
+        .output()
+        .expect("veros-lint binary runs")
+}
+
+#[test]
+fn binary_denies_each_bad_fixture_tree() {
+    for tree in ["tree_l1", "tree_l2", "tree_l3", "tree_l4", "tree_l5"] {
+        let root = fixture(tree);
+        let out = run_binary(&["--root", root.to_str().expect("utf-8 path"), "--deny"]);
+        assert!(
+            !out.status.success(),
+            "{tree}: expected nonzero exit, got {:?}\nstdout:\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn binary_passes_clean_fixture_tree() {
+    let root = fixture("tree_clean");
+    let out = run_binary(&["--root", root.to_str().expect("utf-8 path"), "--deny"]);
+    assert!(out.status.success(), "clean tree must pass --deny");
+}
+
+#[test]
+fn binary_passes_repository_with_committed_baseline() {
+    let root = repo_root();
+    let baseline = root.join("lint-baseline.json");
+    let out = run_binary(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--deny",
+        "--baseline",
+        baseline.to_str().expect("utf-8 path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "repository must be clean under --deny --baseline:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn binary_json_output_is_a_valid_baseline() {
+    let root = fixture("tree_l2");
+    let out = run_binary(&["--root", root.to_str().expect("utf-8 path"), "--json"]);
+    let text = String::from_utf8(out.stdout).expect("utf-8 json");
+    let bl = Baseline::from_json(&text).expect("--json output parses as a baseline");
+    let probe = veros_lint::diag::Diagnostic::new(
+        "panic-freedom",
+        Severity::Error,
+        "crates/kernel/src/bad.rs".to_string(),
+        4,
+        "`.unwrap()` can panic; return an error or justify with `// lint: allow(panic-freedom) — reason`",
+    );
+    assert!(bl.contains(&probe));
+}

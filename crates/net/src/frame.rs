@@ -72,11 +72,9 @@ impl EthFrame {
             return None;
         }
         Some(EthFrame {
-            dst: Mac(bytes[0..6].try_into().expect("6 bytes")),
-            src: Mac(bytes[6..12].try_into().expect("6 bytes")),
-            ethertype: EtherType::from_u16(u16::from_be_bytes(
-                bytes[12..14].try_into().expect("2 bytes"),
-            )),
+            dst: Mac(crate::take_arr(bytes, 0)),
+            src: Mac(crate::take_arr(bytes, 6)),
+            ethertype: EtherType::from_u16(u16::from_be_bytes(crate::take_arr(bytes, 12))),
             payload: bytes[14..].to_vec(),
         })
     }

@@ -18,6 +18,8 @@ impl IpAddr {
 impl std::fmt::Display for IpAddr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let b = self.0.to_be_bytes();
+        // lint: allow(panic-freedom) — constant indices into a [u8; 4];
+        // every access is in bounds by construction.
         write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
     }
 }
@@ -108,13 +110,13 @@ impl IpPacket {
         if checksum(header) != 0 {
             return None;
         }
-        let len = u16::from_be_bytes(header[10..12].try_into().expect("2")) as usize;
+        let len = u16::from_be_bytes(crate::take_arr(header, 10)) as usize;
         if bytes.len() != IP_HEADER + len {
             return None;
         }
         Some(IpPacket {
-            src: IpAddr(u32::from_be_bytes(header[0..4].try_into().expect("4"))),
-            dst: IpAddr(u32::from_be_bytes(header[4..8].try_into().expect("4"))),
+            src: IpAddr(u32::from_be_bytes(crate::take_arr(header, 0))),
+            dst: IpAddr(u32::from_be_bytes(crate::take_arr(header, 4))),
             proto: Proto::from_u8(header[8]),
             ttl: header[9],
             payload: bytes[IP_HEADER..].to_vec(),

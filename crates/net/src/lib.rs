@@ -18,6 +18,18 @@
 //! * [`sim`] — the wire: moves frames between NICs with deterministic
 //!   fault injection.
 
+/// Copies `N` bytes of `buf` starting at `off` into an array, without a
+/// panicking `try_into` conversion. Callers check lengths before calling
+/// (decoders return `None` on truncation first); a short tail yields
+/// zero-padded bytes rather than a kernel-path panic.
+pub(crate) fn take_arr<const N: usize>(buf: &[u8], off: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (d, b) in out.iter_mut().zip(buf.iter().skip(off)) {
+        *d = *b;
+    }
+    out
+}
+
 pub mod frame;
 pub mod ip;
 pub mod rdt;

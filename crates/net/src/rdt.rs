@@ -170,7 +170,7 @@ impl RdtEndpoint {
             }
             match data[0] {
                 MSG_DATA if data.len() >= 9 => {
-                    let seq = u64::from_le_bytes(data[1..9].try_into().expect("8"));
+                    let seq = u64::from_le_bytes(crate::take_arr(&data, 1));
                     if seq == self.expected {
                         self.delivered.push_back(data[9..].to_vec());
                         self.expected += 1;
@@ -184,7 +184,7 @@ impl RdtEndpoint {
                     self.transmit_ack(stack)?;
                 }
                 MSG_ACK if data.len() >= 9 => {
-                    let ack = u64::from_le_bytes(data[1..9].try_into().expect("8"));
+                    let ack = u64::from_le_bytes(crate::take_arr(&data, 1));
                     if ack > self.send_base {
                         while self
                             .unacked

@@ -30,13 +30,13 @@ impl UdpDatagram {
         if bytes.len() < UDP_HEADER {
             return None;
         }
-        let len = u16::from_be_bytes(bytes[4..6].try_into().expect("2")) as usize;
+        let len = u16::from_be_bytes(crate::take_arr(bytes, 4)) as usize;
         if bytes.len() != UDP_HEADER + len {
             return None;
         }
         Some(UdpDatagram {
-            src_port: u16::from_be_bytes(bytes[0..2].try_into().expect("2")),
-            dst_port: u16::from_be_bytes(bytes[2..4].try_into().expect("2")),
+            src_port: u16::from_be_bytes(crate::take_arr(bytes, 0)),
+            dst_port: u16::from_be_bytes(crate::take_arr(bytes, 2)),
             payload: bytes[UDP_HEADER..].to_vec(),
         })
     }

@@ -31,6 +31,7 @@
 pub mod backoff;
 pub mod dispatch;
 pub mod log;
+pub mod pad;
 pub mod replica;
 pub mod replicated;
 pub mod rwlock;

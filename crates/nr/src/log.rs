@@ -11,7 +11,7 @@
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crossbeam::utils::CachePadded;
+use crate::pad::CachePadded;
 
 /// A log entry: the operation plus its origin, so the replica that
 /// combined it can route the response to the issuing thread.
@@ -97,6 +97,8 @@ impl<T: Clone> Log<T> {
             .iter()
             .map(|t| t.load(Ordering::Acquire))
             .min()
+            // lint: allow(panic-freedom) — `Log::new` rejects zero
+            // replicas, so `ltails` is never empty.
             .expect("at least one replica")
     }
 
@@ -161,6 +163,8 @@ impl<T: Clone> Log<T> {
             // SAFETY: The version matched, so the appender's release
             // store happened-before this read; the slot cannot be
             // overwritten until *our* ltail (still at `cur`) advances.
+            // lint: allow(panic-freedom) — the version protocol above
+            // guarantees the appender stored `Some` before publishing.
             let entry = unsafe { (*slot.value.get()).as_ref().expect("published slot") };
             apply(entry);
             applied += 1;

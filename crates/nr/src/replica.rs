@@ -1,10 +1,18 @@
 //! A single NR replica: data copy, flat-combining contexts, apply loop.
 
-use parking_lot::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::dispatch::Dispatch;
 use crate::log::{Log, LogEntry};
 use crate::rwlock::DistRwLock;
+
+/// Locks a context slot, recovering from poisoning: a combiner that
+/// panicked mid-slot leaves at worst a stale `Option`, which the
+/// protocol tolerates (the op is simply re-collected or dropped with
+/// its issuing thread).
+pub(crate) fn lock_slot<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Per-thread flat-combining context: an operation slot the thread
 /// fills and a response slot the combiner fills.
@@ -54,7 +62,7 @@ impl<D: Dispatch> Replica<D> {
     pub(crate) fn collect(&self) -> Vec<LogEntry<D::WriteOp>> {
         let mut batch = Vec::new();
         for (t, ctx) in self.contexts.iter().enumerate() {
-            if let Some(op) = ctx.op.lock().take() {
+            if let Some(op) = lock_slot(&ctx.op).take() {
                 batch.push(LogEntry {
                     op,
                     replica: self.id,
@@ -72,7 +80,7 @@ impl<D: Dispatch> Replica<D> {
         log.exec(self.id, |entry| {
             let resp = data.dispatch_mut(entry.op.clone());
             if entry.replica == self.id {
-                *self.contexts[entry.thread].resp.lock() = Some(resp);
+                *lock_slot(&self.contexts[entry.thread].resp) = Some(resp);
             }
         })
     }

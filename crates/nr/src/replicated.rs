@@ -75,6 +75,9 @@ impl<D: Dispatch> NodeReplicated<D> {
     /// Registers the calling thread on `replica`, granting it a context
     /// slot. Returns `None` when the replica is fully subscribed.
     pub fn register(&self, replica: usize) -> Option<ThreadToken> {
+        // lint: allow(atomics-ordering) — slot allocation only needs the
+        // fetch_add's atomicity for uniqueness; no other memory is
+        // published through this counter.
         let slot = self.registered[replica].fetch_add(1, Ordering::Relaxed);
         if slot < self.replicas[replica].max_threads() {
             Some(ThreadToken {
@@ -95,16 +98,16 @@ impl<D: Dispatch> NodeReplicated<D> {
     pub fn execute_mut(&self, op: D::WriteOp, tkn: ThreadToken) -> D::Response {
         let replica = &self.replicas[tkn.replica];
         debug_assert!(tkn.thread < replica.max_threads());
-        *replica.contexts[tkn.thread].op.lock() = Some(op);
+        *crate::replica::lock_slot(&replica.contexts[tkn.thread].op) = Some(op);
         let mut backoff = crate::backoff::Backoff::new();
         loop {
-            if let Some(resp) = replica.contexts[tkn.thread].resp.lock().take() {
+            if let Some(resp) = crate::replica::lock_slot(&replica.contexts[tkn.thread].resp).take() {
                 return resp;
             }
             if let Some(mut guard) = replica.data.try_write() {
                 self.combine(tkn.replica, &mut guard);
                 drop(guard);
-                if let Some(resp) = replica.contexts[tkn.thread].resp.lock().take() {
+                if let Some(resp) = crate::replica::lock_slot(&replica.contexts[tkn.thread].resp).take() {
                     return resp;
                 }
                 // Our op was collected by an earlier combiner whose apply

@@ -9,7 +9,7 @@
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use crossbeam::utils::CachePadded;
+use crate::pad::CachePadded;
 
 /// A distributed readers-writer lock over `T`.
 pub struct DistRwLock<T> {
@@ -60,6 +60,9 @@ impl<T> DistRwLock<T> {
     /// per-thread resource; re-entrant reads are a caller bug).
     pub fn read(&self, slot: usize) -> ReadGuard<'_, T> {
         let me = &self.readers[slot];
+        // lint: allow(atomics-ordering) — own-slot read: the only writer
+        // of this slot is the calling thread itself, so program order
+        // already sequences it.
         assert_eq!(me.load(Ordering::Relaxed), 0, "reader slot {slot} re-entered");
         loop {
             // Publish intent, then check the writer flag. SeqCst on both
@@ -72,6 +75,9 @@ impl<T> DistRwLock<T> {
             // A writer is active or arriving: back off and retry.
             me.store(0, Ordering::SeqCst);
             let mut backoff = crate::backoff::Backoff::new();
+            // lint: allow(atomics-ordering) — spin-wait hint only; the
+            // SeqCst writer-flag check at the top of the loop is what
+            // decides admission.
             while self.writer.load(Ordering::Relaxed) {
                 backoff.wait();
             }
@@ -85,6 +91,8 @@ impl<T> DistRwLock<T> {
     pub fn try_write(&self) -> Option<WriteGuard<'_, T>> {
         if self
             .writer
+            // lint: allow(atomics-ordering) — CAS failure ordering: no
+            // state is read on the failure path, so Relaxed suffices.
             .compare_exchange(false, true, Ordering::SeqCst, Ordering::Relaxed)
             .is_err()
         {
@@ -112,6 +120,8 @@ impl<T> DistRwLock<T> {
         loop {
             if self
                 .writer
+                // lint: allow(atomics-ordering) — CAS failure ordering:
+                // the failure path only retries, reading nothing.
                 .compare_exchange(false, true, Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok()
             {

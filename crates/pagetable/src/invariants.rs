@@ -66,7 +66,7 @@ fn check_table(
                 return Err(format!("huge bit set in PML4 entry {idx} of {table}"));
             }
             let span = PAGE_4K << (9 * (level - 1));
-            if e.addr().0 % span != 0 {
+            if !e.addr().0.is_multiple_of(span) {
                 return Err(format!(
                     "leaf at level {level} idx {idx} of {table} maps misaligned {}",
                     e.addr()

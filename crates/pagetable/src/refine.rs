@@ -108,11 +108,15 @@ fn fresh_world(which: Impl) -> World {
     let mut alloc = StackFrameSource::new(PAddr(16 * PAGE_4K), PAddr(1024 * PAGE_4K));
     let (verified, unverified) = match which {
         Impl::Verified => (
+            // lint: allow(panic-freedom) — checker-harness setup: the
+            // fresh 1024-frame arena always has a root frame, and an
+            // allocation failure here is a harness bug, not a result.
             Some(VerifiedPageTable::new(&mut mem, &mut alloc, true).expect("root frame")),
             None,
         ),
         Impl::Unverified => (
             None,
+            // lint: allow(panic-freedom) — same harness setup as above.
             Some(UnverifiedPageTable::new(&mut mem, &mut alloc).expect("root frame")),
         ),
     };
@@ -303,6 +307,8 @@ pub fn randomized_audit(
     if let Some(v) = &world.verified {
         // View correspondence: the implementation's ghost view (the
         // paper's `view()`) is exactly the spec map.
+        // lint: allow(panic-freedom) — `fresh_world` constructed the
+        // verified table with audit mode on, so the ghost view exists.
         let ghost = v.ghost().expect("audit mode");
         if ghost.flatten() != spec.map {
             return Err(format!("seed {seed}: ghost view diverged from spec map"));

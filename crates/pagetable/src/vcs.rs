@@ -125,7 +125,7 @@ fn register_encoding(engine: &mut VcEngine, p: &Params) {
             engine.register(MODULE, VcKind::Property, name.clone(), move || {
                 let mut rng = SpecRng::for_obligation(&name);
                 for _ in 0..iters {
-                    let pa = PAddr((rng.below(1 << 30)) * size.bytes() & 0x000f_ffff_ffff_f000);
+                    let pa = PAddr(((rng.below(1 << 30)) * size.bytes()) & 0x000f_ffff_ffff_f000);
                     let pa = PAddr(pa.0 & !(size.bytes() - 1));
                     let e = encode_leaf(pa, size, flags);
                     if !e.is_present() {
@@ -227,24 +227,22 @@ fn register_high_spec(engine: &mut VcEngine, _p: &Params) {
     });
     engine.register(MODULE, VcKind::Property, "high_spec::overlap_symmetric", || {
         // Overlap is detected regardless of which mapping came first.
-        for (first, second) in [
-            (MapRequest::rw_4k(0x20_1000, 0x1000), MapRequest {
-                va: VAddr(0x20_0000),
-                pa: PAddr(0x40_0000),
-                size: PageSize::Size2M,
-                flags: MapFlags::user_rw(),
-            }),
-        ] {
-            let mut s = HighSpec::new();
-            s.apply_map(&first).map_err(|e| e.to_string())?;
-            if s.apply_map(&second) != Err(PtError::AlreadyMapped) {
-                return Err("small-then-huge overlap missed".into());
-            }
-            let mut s = HighSpec::new();
-            s.apply_map(&second).map_err(|e| e.to_string())?;
-            if s.apply_map(&first) != Err(PtError::AlreadyMapped) {
-                return Err("huge-then-small overlap missed".into());
-            }
+        let first = MapRequest::rw_4k(0x20_1000, 0x1000);
+        let second = MapRequest {
+            va: VAddr(0x20_0000),
+            pa: PAddr(0x40_0000),
+            size: PageSize::Size2M,
+            flags: MapFlags::user_rw(),
+        };
+        let mut s = HighSpec::new();
+        s.apply_map(&first).map_err(|e| e.to_string())?;
+        if s.apply_map(&second) != Err(PtError::AlreadyMapped) {
+            return Err("small-then-huge overlap missed".into());
+        }
+        let mut s = HighSpec::new();
+        s.apply_map(&second).map_err(|e| e.to_string())?;
+        if s.apply_map(&first) != Err(PtError::AlreadyMapped) {
+            return Err("huge-then-small overlap missed".into());
         }
         Ok(())
     });
@@ -306,7 +304,10 @@ fn register_prefix_tree(engine: &mut VcEngine, p: &Params) {
             },
         );
     }
-    // Randomized long-run tree-vs-flat differential, 8 seeds.
+    // Randomized long-run tree-vs-flat differential, 8 seeds. The op
+    // stream draws from the full `PtOp` surface; veros-lint's
+    // obligation-coverage check cross-references this list.
+    // covers: PtOp::Map, PtOp::Unmap, PtOp::Resolve
     for seed in 0..8u64 {
         let steps = p.tree_random_steps;
         engine.register(
@@ -334,7 +335,7 @@ fn tree_random_differential(seed: u64, steps: usize) -> Result<(), String> {
                 let va = rng.choose(&vas) & !(size.bytes() - 1);
                 PtOp::Map(MapRequest {
                     va: VAddr(va),
-                    pa: PAddr(rng.below(1 << 20) * size.bytes() & !(size.bytes() - 1)),
+                    pa: PAddr((rng.below(1 << 20) * size.bytes()) & !(size.bytes() - 1)),
                     size,
                     flags: *rng.choose(&MapFlags::all_combinations()),
                 })
@@ -783,7 +784,7 @@ fn probe_grid(seed: u64, probes: usize) -> Result<(), String> {
         );
         let req = MapRequest {
             va,
-            pa: PAddr(rng.below(1 << 18) * size.bytes() & !(size.bytes() - 1)),
+            pa: PAddr((rng.below(1 << 18) * size.bytes()) & !(size.bytes() - 1)),
             size,
             flags: *rng.choose(&MapFlags::all_combinations()),
         };

@@ -87,6 +87,13 @@ pub enum ExploreOutcome<M: StateMachine> {
 }
 
 /// Breadth-first exhaustive explorer over a [`StateMachine`].
+/// BFS parent map: each reached state maps to the (predecessor,
+/// action) that first produced it; initial states map to `None`.
+type ParentMap<M> = HashMap<
+    <M as StateMachine>::State,
+    Option<(<M as StateMachine>::State, <M as StateMachine>::Action)>,
+>;
+
 pub struct Explorer<M: StateMachine> {
     machine: M,
     limits: ExploreLimits,
@@ -127,7 +134,7 @@ impl<M: StateMachine> Explorer<M> {
     {
         // Parent map: state -> (parent state, action index into trace
         // reconstruction). Initial states map to themselves.
-        let mut parent: HashMap<M::State, Option<(M::State, M::Action)>> = HashMap::new();
+        let mut parent: ParentMap<M> = HashMap::new();
         let mut queue: VecDeque<(M::State, usize)> = VecDeque::new();
         let mut stats = ExploreStats::default();
 
@@ -227,7 +234,7 @@ impl<M: StateMachine> Explorer<M> {
     /// Rebuilds the action trace from the parent map.
     fn rebuild(
         &self,
-        parent: &HashMap<M::State, Option<(M::State, M::Action)>>,
+        parent: &ParentMap<M>,
         violating: M::State,
     ) -> Trace<M> {
         let mut actions = Vec::new();

@@ -114,6 +114,9 @@ where
     // done and no other *not-done* op responded before its invocation
     // (real-time order: an op can only linearize before ops that it
     // strictly precedes in real time).
+    #[allow(clippy::too_many_arguments)] // internal DFS worker; the
+    // arguments are the search's whole mutable state, grouping them in a
+    // struct would only rename the problem.
     fn search<S: SeqSpec>(
         spec: &S,
         ops: &[OpRecord<S::Op, S::Ret>],

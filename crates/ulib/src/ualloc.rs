@@ -38,7 +38,7 @@ pub struct UAlloc {
 impl UAlloc {
     /// Initializes a heap over `[base_va, base_va + size)`.
     pub fn init(ctx: &mut Ctx<'_>, base_va: u64, size: u64) -> Result<UAlloc, SysError> {
-        assert!(size > 64 && base_va % ALIGN == 0);
+        assert!(size > 64 && base_va.is_multiple_of(ALIGN));
         let first = base_va + ALIGN; // First 16 bytes: free-list head + pad.
         ctx.write_u64(base_va, first)?;
         ctx.write_u64(first, size - ALIGN)?; // Block size.

@@ -61,8 +61,8 @@ fn main() {
     // Processes: spawn a child, let it exit, reap it.
     let child = sys.call(Syscall::Spawn).expect("contract").expect("spawn");
     println!("spawned child pid {child}");
-    // (Drive the child directly through the kernel: it exits with 42.)
-    drop(sys);
+    // (Drive the child directly through the kernel: it exits with 42 —
+    // `sys`'s borrow of the kernel ended at its last use above.)
     let child_tid = kernel
         .processes()
         .get(veros::kernel::Pid(child))

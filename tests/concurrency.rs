@@ -170,7 +170,7 @@ fn nr_history_is_linearizable_under_threads() {
         handles.push(std::thread::spawn(move || {
             let tkn = nr.register(t % 2).expect("slot");
             for i in 0..6u64 {
-                if (t + i as usize) % 2 == 0 {
+                if (t + i as usize).is_multiple_of(2) {
                     let v = t as u64 * 100 + i;
                     rec.invoke(t, (true, v));
                     let r = nr.execute_mut(v, tkn);
