@@ -21,7 +21,7 @@ impl Dispatch for Counter {
         self.0
     }
 
-    fn dispatch_mut(&mut self, n: u64) -> u64 {
+    fn dispatch_mut(&mut self, n: &u64) -> u64 {
         self.0 += n;
         self.0
     }
@@ -65,15 +65,15 @@ fn bench_log_batch_sizes() {
     // Flat-combining ablation: larger batches amortize log appends.
     for batch in [1usize, 8, 64] {
         let log = veros_nr::Log::new(1024, 1);
-        let entries: Vec<veros_nr::LogEntry<u64>> = (0..batch as u64)
-            .map(|i| veros_nr::LogEntry {
-                op: i,
-                replica: 0,
-                thread: 0,
-            })
-            .collect();
         run(&format!("nr_log_batch/append_exec/{batch}"), || {
-            assert!(log.try_append(&entries));
+            let mut entries: Vec<veros_nr::LogEntry<u64>> = (0..batch as u64)
+                .map(|i| veros_nr::LogEntry {
+                    op: i,
+                    replica: 0,
+                    thread: 0,
+                })
+                .collect();
+            assert!(log.try_append(&mut entries));
             let mut sum = 0u64;
             log.exec(0, |e| sum += e.op);
             std::hint::black_box(sum);

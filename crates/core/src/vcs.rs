@@ -161,6 +161,7 @@ pub fn register_all(engine: &mut VcEngine, profile: Profile) {
     // Drives the replicated memory system (the Fig 1b/1c workload
     // structure) against a sequential reference replica.
     // covers: VSpaceWriteOp::MapNew, VSpaceWriteOp::Unmap
+    // covers: VSpaceWriteOp::MapRange, VSpaceWriteOp::UnmapRange
     // covers: VSpaceReadOp::Resolve, VSpaceReadOp::MappedBytes
     for seed in 0..4u64 {
         let steps = p.mapping_steps;
@@ -169,6 +170,20 @@ pub fn register_all(engine: &mut VcEngine, profile: Profile) {
             VcKind::Refinement,
             format!("nr::vspace_replicas_match_reference_s{seed}"),
             move || vspace_replication_consistent(seed, steps),
+        );
+    }
+
+    // --- translation cache coherence ------------------------------------------
+    // The resolve fast path (veros-kernel's software TLB) must be
+    // invisible: cached answers always equal what the high-level spec
+    // map says, across random map/unmap/range traffic.
+    for seed in 0..4u64 {
+        let steps = p.mapping_steps;
+        engine.register(
+            MODULE,
+            VcKind::Refinement,
+            format!("tlb::cache_agrees_with_spec_map_s{seed}"),
+            move || translation_cache_coherent(seed, steps),
         );
     }
 
@@ -294,7 +309,7 @@ impl veros_nr::Dispatch for NrCounter {
         self.0
     }
 
-    fn dispatch_mut(&mut self, n: u64) -> u64 {
+    fn dispatch_mut(&mut self, n: &u64) -> u64 {
         self.0 += n;
         self.0
     }
@@ -364,7 +379,7 @@ fn vspace_replication_consistent(seed: u64, steps: usize) -> Result<(), String> 
     let vas: Vec<u64> = (0..8).map(|i| 0x40_0000 + i * 0x1000).collect();
     for step in 0..steps {
         let va = *rng.choose(&vas);
-        match rng.below(4) {
+        match rng.below(6) {
             0 | 1 => {
                 let op = if rng.chance(1, 2) {
                     VSpaceWriteOp::MapNew { va }
@@ -372,7 +387,7 @@ fn vspace_replication_consistent(seed: u64, steps: usize) -> Result<(), String> 
                     VSpaceWriteOp::Unmap { va }
                 };
                 let got = nr.execute_mut(op, tkns[rng.index(replicas)]);
-                let want = reference.dispatch_mut(op);
+                let want = reference.dispatch_mut(&op);
                 if got != want {
                     return Err(format!(
                         "seed {seed} step {step}: {op:?} -> {got:?}, reference {want:?}"
@@ -380,6 +395,21 @@ fn vspace_replication_consistent(seed: u64, steps: usize) -> Result<(), String> 
                 }
             }
             2 => {
+                let pages = 1 + rng.below(6);
+                let op = if rng.chance(1, 2) {
+                    VSpaceWriteOp::MapRange { va, pages }
+                } else {
+                    VSpaceWriteOp::UnmapRange { va, pages }
+                };
+                let got = nr.execute_mut(op, tkns[rng.index(replicas)]);
+                let want = reference.dispatch_mut(&op);
+                if got != want {
+                    return Err(format!(
+                        "seed {seed} step {step}: {op:?} -> {got:?}, reference {want:?}"
+                    ));
+                }
+            }
+            3 | 4 => {
                 let op = VSpaceReadOp::Resolve { va };
                 let want = reference.dispatch(op);
                 for &tkn in &tkns {
@@ -401,6 +431,100 @@ fn vspace_replication_consistent(seed: u64, steps: usize) -> Result<(), String> 
                         return Err(format!(
                             "seed {seed} step {step}: replica {} mapped bytes {got:?}, reference {want:?}",
                             tkn.replica
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The translation cache never changes what `resolve` answers: after
+/// every operation, resolving twice (a cold walk that fills the cache,
+/// then the cached hit) must agree with the high-level specification map
+/// mirroring the successful operations.
+///
+/// This is the coherence obligation for the resolve fast path: the cache
+/// is an implementation detail below the spec line, so any divergence —
+/// a stale entry surviving an unmap, a wrong offset reconstruction, an
+/// entry outliving a remap — shows up as a spec mismatch here.
+fn translation_cache_coherent(seed: u64, steps: usize) -> Result<(), String> {
+    use veros_hw::{PAddr, PhysMem, VAddr, PAGE_4K};
+    use veros_kernel::vspace::{PtKind, VSpace};
+    use veros_kernel::BuddyAllocator;
+    use veros_pagetable::{HighSpec, MapFlags, MapRequest, PageSize};
+
+    let mut mem = PhysMem::new(512);
+    let mut alloc = BuddyAllocator::new(PAddr(16 * PAGE_4K), 496);
+    let mut v = VSpace::new(&mut mem, &mut alloc, PtKind::Verified).map_err(|e| format!("{e:?}"))?;
+    // The spec mirror: exactly the mappings the successful operations
+    // installed. Failed operations change neither side.
+    let mut spec = HighSpec::new();
+    let mut rng = SpecRng::seeded(seed ^ 0x71b);
+    let vas: Vec<u64> = (0..10).map(|i| 0x40_0000 + i * 0x1000).collect();
+    for step in 0..steps {
+        let va = VAddr(*rng.choose(&vas));
+        match rng.below(4) {
+            0 => {
+                if let Ok(pa) = v.map_new(&mut mem, &mut alloc, va, MapFlags::user_rw()) {
+                    let req = MapRequest { va, pa, size: PageSize::Size4K, flags: MapFlags::user_rw() };
+                    spec.apply_map(&req)
+                        .map_err(|e| format!("seed {seed} step {step}: spec rejects map: {e:?}"))?;
+                }
+            }
+            1 => {
+                let pages = 1 + rng.below(6);
+                if let Ok(base) = v.map_range_new(&mut mem, &mut alloc, va, pages, MapFlags::user_rw()) {
+                    for i in 0..pages {
+                        let req = MapRequest {
+                            va: VAddr(va.0 + i * PAGE_4K),
+                            pa: PAddr(base.0 + i * PAGE_4K),
+                            size: PageSize::Size4K,
+                            flags: MapFlags::user_rw(),
+                        };
+                        spec.apply_map(&req).map_err(|e| {
+                            format!("seed {seed} step {step}: spec rejects range page {i}: {e:?}")
+                        })?;
+                    }
+                }
+            }
+            2 => {
+                if v.unmap(&mut mem, &mut alloc, va).is_ok() {
+                    spec.apply_unmap(va)
+                        .map_err(|e| format!("seed {seed} step {step}: spec rejects unmap: {e:?}"))?;
+                }
+            }
+            _ => {
+                let pages = 1 + rng.below(6);
+                if let Ok(bytes) = v.unmap_range(&mut mem, &mut alloc, va, pages) {
+                    let mut spec_bytes = 0u64;
+                    for i in 0..pages {
+                        let m = spec.apply_unmap(VAddr(va.0 + i * PAGE_4K)).map_err(|e| {
+                            format!("seed {seed} step {step}: spec rejects range slot {i}: {e:?}")
+                        })?;
+                        spec_bytes += m.size.bytes();
+                    }
+                    if spec_bytes != bytes {
+                        return Err(format!(
+                            "seed {seed} step {step}: unmap_range freed {bytes} bytes, spec {spec_bytes}"
+                        ));
+                    }
+                }
+            }
+        }
+        // Probe: cold walk (fills the cache), then the cached hit; both
+        // must equal the spec's answer. Off-page-base offsets exercise
+        // the cache's physical-address reconstruction.
+        for &probe in &vas {
+            for offset in [0u64, 0x123] {
+                let pv = VAddr(probe + offset);
+                let want = spec.resolve(pv);
+                for pass in ["cold", "cached"] {
+                    let got = v.resolve(&mem, pv);
+                    if got != want {
+                        return Err(format!(
+                            "seed {seed} step {step}: {pass} resolve({pv:?}) -> {got:?}, spec {want:?}"
                         ));
                     }
                 }

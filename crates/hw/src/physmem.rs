@@ -21,6 +21,19 @@ pub trait FrameSource {
     /// The frame must have come from `alloc_frame` and must not be used
     /// after being freed.
     fn free_frame(&mut self, frame: PAddr);
+
+    /// Allocates `frames` physically contiguous 4 KiB frames, returning
+    /// the base. Each frame is individually freeable with `free_frame`.
+    ///
+    /// Sources without contiguity support may decline any multi-frame
+    /// request; the default declines everything beyond a single frame.
+    fn alloc_contiguous(&mut self, frames: usize) -> Option<PAddr> {
+        if frames == 1 {
+            self.alloc_frame()
+        } else {
+            None
+        }
+    }
 }
 
 /// Byte-addressable simulated physical memory.

@@ -41,14 +41,16 @@ impl BuddyAllocator {
             allocated_frames: 0,
         };
         // Seed free lists greedily with the largest aligned blocks.
+        // Alignment is absolute (like the buddy pairing in `free_order`):
+        // a misaligned base simply seeds smaller blocks until the
+        // addresses reach the next natural boundary.
         let mut frame = 0usize;
         while frame < frames {
             let pa = PAddr(base.0 + (frame as u64) * PAGE_4K);
             let mut order = MAX_ORDER;
             loop {
                 let block = 1usize << order;
-                if frame.is_multiple_of(block) && frame + block <= frames && pa.is_aligned(block_bytes(order))
-                {
+                if frame + block <= frames && pa.is_aligned(block_bytes(order)) {
                     break;
                 }
                 order -= 1;
@@ -117,14 +119,21 @@ impl BuddyAllocator {
         self.mark(block, false);
         self.allocated_frames -= 1 << order;
 
-        // Coalesce upward while the buddy is free.
+        // Coalesce upward while the buddy is free. Buddy pairing is
+        // absolute (`pa ^ size`), matching the absolute alignment the
+        // seeding loop and the assert above enforce: with a base that is
+        // not MAX_ORDER-aligned, base-relative pairing would put block
+        // boundaries where no seeded block ever sits and freed frames
+        // could never coalesce back to large blocks.
         let mut block = block;
         let mut order = order;
         while order < MAX_ORDER {
-            let buddy = PAddr(((block.0 - self.base.0) ^ block_bytes(order)) + self.base.0);
+            let buddy = PAddr(block.0 ^ block_bytes(order));
             // The buddy must be entirely inside our range and present in
             // the free list of this order.
-            if buddy.0 + block_bytes(order) > self.base.0 + self.frames as u64 * PAGE_4K {
+            if buddy.0 < self.base.0
+                || buddy.0 + block_bytes(order) > self.base.0 + self.frames as u64 * PAGE_4K
+            {
                 break;
             }
             if let Some(pos) = self.free[order].iter().position(|&b| b == buddy) {
@@ -169,6 +178,30 @@ impl FrameSource for BuddyAllocator {
 
     fn free_frame(&mut self, frame: PAddr) {
         self.free_order(frame, 0);
+    }
+
+    fn alloc_contiguous(&mut self, frames: usize) -> Option<PAddr> {
+        if frames == 0 || frames > 1 << MAX_ORDER {
+            return None;
+        }
+        let order = (usize::BITS - (frames - 1).leading_zeros()) as usize;
+        let block = self.alloc_order(order)?;
+        // Re-tag the block as `frames` order-0 allocations so each frame
+        // is individually freeable (callers release range backings one
+        // frame at a time), then hand the unused tail of the rounded-up
+        // power-of-two block straight back.
+        for i in 1..frames as u64 {
+            self.mark(PAddr(block.0 + i * PAGE_4K), true);
+        }
+        for i in frames as u64..(1u64 << order) {
+            let tail = PAddr(block.0 + i * PAGE_4K);
+            // `free_order` unmarks the frame and decrements the count
+            // `alloc_order` charged for it, so accounting nets out to
+            // exactly `frames` held.
+            self.mark(tail, true);
+            self.free_order(tail, 0);
+        }
+        Some(block)
     }
 }
 
@@ -247,6 +280,55 @@ mod tests {
         assert_eq!(a.allocated_frames(), 1);
         pt.destroy(&mut mem, &mut a);
         assert_eq!(a.allocated_frames(), 0);
+    }
+
+    #[test]
+    fn alloc_contiguous_is_contiguous_and_frame_freeable() {
+        let mut a = BuddyAllocator::new(PAddr(0x10_0000), 64);
+        let base = a.alloc_contiguous(5).unwrap();
+        // Exactly 5 frames held, not the rounded-up power-of-two block.
+        assert_eq!(a.allocated_frames(), 5);
+        // No other allocation can land inside the run.
+        for _ in 0..59 {
+            if let Some(f) = a.alloc_frame() {
+                assert!(f.0 < base.0 || f.0 >= base.0 + 5 * PAGE_4K);
+                a.free_order(f, 0);
+            }
+        }
+        // Each frame of the run is individually freeable and the space
+        // coalesces back to the maximal block.
+        for i in 0..5u64 {
+            a.free_order(PAddr(base.0 + i * PAGE_4K), 0);
+        }
+        assert_eq!(a.free_frames(), 64);
+        assert!(a.alloc_order(5).is_some(), "32-frame block re-formed");
+    }
+
+    #[test]
+    fn alloc_contiguous_rejects_degenerate_sizes() {
+        let mut a = BuddyAllocator::new(PAddr(0), 1 << MAX_ORDER);
+        assert!(a.alloc_contiguous(0).is_none());
+        assert!(a.alloc_contiguous((1 << MAX_ORDER) + 1).is_none());
+        assert!(a.alloc_contiguous(1 << MAX_ORDER).is_some());
+    }
+
+    #[test]
+    fn misaligned_base_coalesces_back_to_max_blocks() {
+        // Regression: with a base that is 4 KiB- but not 2 MiB-aligned
+        // (exactly how `VSpaceDispatch` sets its allocator up), freeing a
+        // 512-frame run frame-by-frame must still coalesce back to an
+        // order-9 block. Base-relative buddy pairing silently leaked one
+        // maximal block per alloc/free cycle here.
+        let mut a = BuddyAllocator::new(PAddr(16 * PAGE_4K), 8176);
+        for cycle in 0..32 {
+            let base = a
+                .alloc_contiguous(512)
+                .unwrap_or_else(|| panic!("cycle {cycle}: maximal blocks leaked"));
+            for i in 0..512u64 {
+                a.free_frame(PAddr(base.0 + i * PAGE_4K));
+            }
+            assert_eq!(a.allocated_frames(), 0);
+        }
     }
 
     #[test]

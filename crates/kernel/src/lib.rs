@@ -12,6 +12,8 @@
 //! * [`vspace`] — address spaces over the verified page table, including
 //!   the NR-replicated variant ([`vspace::VSpaceDispatch`]) used by the
 //!   Figure 1b/1c benchmarks.
+//! * [`tlb`] — the lock-free software translation cache fronting each
+//!   address space's resolve path, with epoch-based invalidation.
 //! * [`process`] — process management: spawn, exit, wait, kill.
 //! * [`thread`] — kernel threads and their lifecycle.
 //! * [`scheduler`] — per-core round-robin run queues with affinity.
@@ -30,6 +32,7 @@ pub mod process;
 pub mod scheduler;
 pub mod syscall;
 pub mod thread;
+pub mod tlb;
 pub mod vspace;
 
 pub use frame_alloc::BuddyAllocator;

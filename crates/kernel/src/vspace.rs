@@ -7,6 +7,7 @@
 //! [`Dispatch`], exactly how NrOS replicates its address-space state per
 //! NUMA node — this is the structure the Figure 1b/1c benchmarks drive.
 
+use crate::tlb::TranslationCache;
 use veros_hw::{FrameSource, PAddr, PhysMem, VAddr, PAGE_4K};
 use veros_nr::Dispatch;
 use veros_pagetable::{
@@ -50,6 +51,10 @@ pub struct VSpace {
     /// Frames allocated as mapping backings (so exit can free them).
     owned_frames: Vec<(PAddr, PageSize)>,
     mapped_bytes: u64,
+    /// Software translation cache fronting [`resolve`](Self::resolve).
+    /// Maps never invalidate it (overlapping maps are rejected, so an
+    /// existing translation can't change); every unmap bumps its epoch.
+    cache: TranslationCache,
 }
 
 impl VSpace {
@@ -67,6 +72,7 @@ impl VSpace {
             table,
             owned_frames: Vec::new(),
             mapped_bytes: 0,
+            cache: TranslationCache::new(),
         })
     }
 
@@ -133,6 +139,7 @@ impl VSpace {
         va: VAddr,
     ) -> Result<(), PtError> {
         let mapping = self.table.as_ops().unmap_frame(mem, alloc, va)?;
+        self.cache.invalidate_all();
         self.mapped_bytes -= mapping.size.bytes();
         let pa = PAddr(mapping.pa);
         if let Some(pos) = self
@@ -146,9 +153,89 @@ impl VSpace {
         Ok(())
     }
 
-    /// Resolves a virtual address.
+    /// Allocates `pages` physically contiguous zeroed frames and maps
+    /// them as one range starting at `va`, returning the physical base.
+    /// All-or-nothing: on any failure no frame stays allocated and no
+    /// page stays mapped.
+    pub fn map_range_new(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        va: VAddr,
+        pages: u64,
+        flags: MapFlags,
+    ) -> Result<PAddr, PtError> {
+        let base = alloc
+            .alloc_contiguous(pages as usize)
+            .ok_or(PtError::OutOfMemory)?;
+        for i in 0..pages {
+            mem.zero_frame(PAddr(base.0 + i * PAGE_4K));
+        }
+        let req = MapRequest {
+            va,
+            pa: base,
+            size: PageSize::Size4K,
+            flags,
+        };
+        match self.table.as_ops().map_range(mem, alloc, req, pages) {
+            Ok(()) => {
+                for i in 0..pages {
+                    self.owned_frames
+                        .push((PAddr(base.0 + i * PAGE_4K), PageSize::Size4K));
+                }
+                self.mapped_bytes += pages * PAGE_4K;
+                Ok(base)
+            }
+            Err(e) => {
+                for i in 0..pages {
+                    alloc.free_frame(PAddr(base.0 + i * PAGE_4K));
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Unmaps `pages` consecutive 4 KiB page slots starting at `va` as
+    /// one all-or-nothing operation, returning the bytes unmapped.
+    /// Owned backing frames go back to the allocator.
+    pub fn unmap_range(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        va: VAddr,
+        pages: u64,
+    ) -> Result<u64, PtError> {
+        let removed = self.table.as_ops().unmap_range(mem, alloc, va, pages)?;
+        self.cache.invalidate_all();
+        let mut bytes = 0u64;
+        for mapping in &removed {
+            bytes += mapping.size.bytes();
+            let pa = PAddr(mapping.pa);
+            if let Some(pos) = self
+                .owned_frames
+                .iter()
+                .position(|(f, s)| *f == pa && *s == mapping.size)
+            {
+                self.owned_frames.swap_remove(pos);
+                alloc.free_frame(pa);
+            }
+        }
+        self.mapped_bytes -= bytes;
+        Ok(bytes)
+    }
+
+    /// Resolves a virtual address, answering from the translation cache
+    /// when it can. The epoch is read *before* the table walk so a
+    /// concurrent invalidation between walk and fill leaves the filled
+    /// entry already stale (see [`crate::tlb`]).
     pub fn resolve(&self, mem: &PhysMem, va: VAddr) -> Result<ResolveAnswer, PtError> {
-        self.table.as_ops_ref().resolve(mem, va)
+        if let Some(hit) = self.cache.lookup(va) {
+            return Ok(hit);
+        }
+        let epoch = self.cache.epoch();
+        let ans = self.table.as_ops_ref().resolve(mem, va)?;
+        self.cache.fill(va, &ans, epoch);
+        Ok(ans)
     }
 
     /// Tears down the address space: frees owned backing frames and all
@@ -178,6 +265,20 @@ pub enum VSpaceWriteOp {
     Unmap {
         /// Virtual base.
         va: u64,
+    },
+    /// Map `pages` fresh physically contiguous frames as one range.
+    MapRange {
+        /// Virtual base (4 KiB aligned).
+        va: u64,
+        /// Number of 4 KiB pages.
+        pages: u64,
+    },
+    /// Unmap `pages` consecutive page slots as one range.
+    UnmapRange {
+        /// Virtual base.
+        va: u64,
+        /// Number of 4 KiB page slots.
+        pages: u64,
     },
 }
 
@@ -242,8 +343,8 @@ impl Dispatch for VSpaceDispatch {
         }
     }
 
-    fn dispatch_mut(&mut self, op: VSpaceWriteOp) -> VSpaceResponse {
-        match op {
+    fn dispatch_mut(&mut self, op: &VSpaceWriteOp) -> VSpaceResponse {
+        match *op {
             VSpaceWriteOp::MapNew { va } => self
                 .vspace
                 .map_new(
@@ -257,6 +358,19 @@ impl Dispatch for VSpaceDispatch {
                 .vspace
                 .unmap(&mut self.mem, &mut self.alloc, VAddr(va))
                 .map(|()| 0),
+            VSpaceWriteOp::MapRange { va, pages } => self
+                .vspace
+                .map_range_new(
+                    &mut self.mem,
+                    &mut self.alloc,
+                    VAddr(va),
+                    pages,
+                    MapFlags::user_rw(),
+                )
+                .map(|pa| pa.0),
+            VSpaceWriteOp::UnmapRange { va, pages } => self
+                .vspace
+                .unmap_range(&mut self.mem, &mut self.alloc, VAddr(va), pages),
         }
     }
 }
@@ -316,6 +430,80 @@ mod tests {
             Err(PtError::AlreadyMapped)
         );
         assert_eq!(alloc.allocated_frames(), held, "failed map leaks nothing");
+    }
+
+    #[test]
+    fn map_range_new_accounts_and_resolves() {
+        for kind in [PtKind::Verified, PtKind::Unverified] {
+            let (mut mem, mut alloc, mut v) = setup(kind);
+            let before = alloc.allocated_frames();
+            let base = v
+                .map_range_new(&mut mem, &mut alloc, VAddr(0x40_0000), 12, MapFlags::user_rw())
+                .unwrap();
+            assert_eq!(v.mapped_bytes(), 12 * PAGE_4K);
+            for i in 0..12u64 {
+                let r = v.resolve(&mem, VAddr(0x40_0000 + i * PAGE_4K + 0x4)).unwrap();
+                assert_eq!(r.pa, PAddr(base.0 + i * PAGE_4K + 0x4), "page {i} contiguous");
+            }
+            let bytes = v.unmap_range(&mut mem, &mut alloc, VAddr(0x40_0000), 12).unwrap();
+            assert_eq!(bytes, 12 * PAGE_4K);
+            assert_eq!(v.mapped_bytes(), 0);
+            assert_eq!(alloc.allocated_frames(), before, "backings + dirs returned");
+        }
+    }
+
+    #[test]
+    fn map_range_new_failure_leaks_nothing() {
+        let (mut mem, mut alloc, mut v) = setup(PtKind::Verified);
+        // Pre-existing mapping in the middle of the target range.
+        v.map_new(&mut mem, &mut alloc, VAddr(0x40_3000), MapFlags::user_rw()).unwrap();
+        let held = alloc.allocated_frames();
+        let bytes = v.mapped_bytes();
+        assert_eq!(
+            v.map_range_new(&mut mem, &mut alloc, VAddr(0x40_0000), 8, MapFlags::user_rw()),
+            Err(PtError::AlreadyMapped)
+        );
+        assert_eq!(alloc.allocated_frames(), held, "failed range leaks nothing");
+        assert_eq!(v.mapped_bytes(), bytes);
+    }
+
+    #[test]
+    fn cached_resolve_stays_correct_across_unmap_and_remap() {
+        let (mut mem, mut alloc, mut v) = setup(PtKind::Verified);
+        let va = VAddr(0x40_0000);
+        let pa1 = v.map_new(&mut mem, &mut alloc, va, MapFlags::user_rw()).unwrap();
+        // Populate the cache, then check the hit agrees with the walk.
+        assert_eq!(v.resolve(&mem, va).unwrap().pa, pa1);
+        assert_eq!(v.resolve(&mem, va).unwrap().pa, pa1);
+        v.unmap(&mut mem, &mut alloc, va).unwrap();
+        assert!(v.resolve(&mem, va).is_err(), "cache must not outlive the mapping");
+        // Remap; new frame may differ — the cache must serve the new one.
+        let pa2 = v.map_new(&mut mem, &mut alloc, va, MapFlags::user_rw()).unwrap();
+        assert_eq!(v.resolve(&mem, va).unwrap().pa, pa2);
+        assert_eq!(v.resolve(&mem, va).unwrap().pa, pa2);
+    }
+
+    #[test]
+    fn replicated_range_ops_converge() {
+        let nr = NodeReplicated::new(2, 2, 64, || VSpaceDispatch::new(512, PtKind::Verified));
+        let t0 = nr.register(0).unwrap();
+        let t1 = nr.register(1).unwrap();
+        let base0 = nr
+            .execute_mut(VSpaceWriteOp::MapRange { va: 0x40_0000, pages: 6 }, t0)
+            .unwrap();
+        // Replicas replay the same log over identical initial states, so
+        // the contiguous base is identical on both.
+        for i in 0..6u64 {
+            let pa = nr
+                .execute(VSpaceReadOp::Resolve { va: 0x40_0000 + i * PAGE_4K }, t1)
+                .unwrap();
+            assert_eq!(pa, base0 + i * PAGE_4K);
+        }
+        let bytes = nr
+            .execute_mut(VSpaceWriteOp::UnmapRange { va: 0x40_0000, pages: 6 }, t1)
+            .unwrap();
+        assert_eq!(bytes, 6 * PAGE_4K);
+        assert_eq!(nr.execute(VSpaceReadOp::MappedBytes, t0), Ok(0));
     }
 
     #[test]

@@ -23,7 +23,11 @@ pub trait Dispatch {
     ///
     /// Must be deterministic: the same op applied to the same state
     /// yields the same state and response on every replica.
-    fn dispatch_mut(&mut self, op: Self::WriteOp) -> Self::Response;
+    ///
+    /// The op is passed by reference because every replica replays the
+    /// same log entry: handing out ownership would force one clone per
+    /// replica on the apply hot path.
+    fn dispatch_mut(&mut self, op: &Self::WriteOp) -> Self::Response;
 }
 
 #[cfg(test)]
@@ -56,8 +60,8 @@ pub(crate) mod test_structs {
             self.value
         }
 
-        fn dispatch_mut(&mut self, op: CounterWrite) -> u64 {
-            match op {
+        fn dispatch_mut(&mut self, op: &CounterWrite) -> u64 {
+            match *op {
                 CounterWrite::Add(n) => {
                     self.value += n;
                     self.value
@@ -96,8 +100,8 @@ pub(crate) mod test_structs {
             }
         }
 
-        fn dispatch_mut(&mut self, op: KvWrite) -> Option<u64> {
-            match op {
+        fn dispatch_mut(&mut self, op: &KvWrite) -> Option<u64> {
+            match *op {
                 KvWrite::Put(k, v) => self.map.insert(k, v),
                 KvWrite::Del(k) => self.map.remove(&k),
             }

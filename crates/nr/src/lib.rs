@@ -29,6 +29,7 @@
 //! linearizability VCs).
 
 pub mod backoff;
+pub(crate) mod context;
 pub mod dispatch;
 pub mod log;
 pub mod pad;

@@ -51,7 +51,7 @@ pub struct Log<T> {
     ltails: Vec<CachePadded<AtomicUsize>>,
 }
 
-impl<T: Clone> Log<T> {
+impl<T> Log<T> {
     /// Creates a log of `capacity` slots shared by `replicas` replicas.
     ///
     /// # Panics
@@ -102,21 +102,34 @@ impl<T: Clone> Log<T> {
             .expect("at least one replica")
     }
 
-    /// Tries to reserve and publish `batch` as one contiguous range.
+    /// Tries to reserve and publish `batch` as one contiguous range,
+    /// draining the batch (entries are *moved* into the log — the hot
+    /// path clones nothing).
     ///
-    /// Returns `false` without publishing anything when the ring lacks
+    /// Returns `false` with the batch untouched when the ring lacks
     /// space (the caller must then help lagging replicas consume and
     /// retry — see [`crate::replicated::NodeReplicated`]).
-    pub fn try_append(&self, batch: &[LogEntry<T>]) -> bool {
+    pub fn try_append(&self, batch: &mut Vec<LogEntry<T>>) -> bool {
         let n = batch.len();
         if n == 0 {
             return true;
         }
         debug_assert!(n <= self.capacity(), "batch larger than the log");
+        // Cache the head across CAS retries: `head()` scans every
+        // replica's ltail, and ltails only advance, so a stale value is
+        // conservative — it can only under-report free space, never
+        // admit an overwrite.
+        let mut head = self.head();
         loop {
             let tail = self.tail.load(Ordering::Acquire);
-            if tail + n > self.head() + self.capacity() {
-                return false;
+            if tail + n > head + self.capacity() {
+                // Out of space against the cached head: refresh it once
+                // before giving up, in case other replicas consumed.
+                let fresh = self.head();
+                if tail + n > fresh + self.capacity() {
+                    return false;
+                }
+                head = fresh;
             }
             // Reserve: CAS instead of fetch_add so we never reserve
             // beyond available space (a reservation cannot be undone).
@@ -127,7 +140,7 @@ impl<T: Clone> Log<T> {
             {
                 continue;
             }
-            for (i, entry) in batch.iter().enumerate() {
+            for (i, entry) in batch.drain(..).enumerate() {
                 let idx = tail + i;
                 let slot = &self.slots[idx % self.capacity()];
                 // SAFETY: We hold the unique reservation for logical
@@ -135,7 +148,7 @@ impl<T: Clone> Log<T> {
                 // replica consumed the slot's previous entry, so no
                 // reader or writer accesses this cell concurrently.
                 unsafe {
-                    *slot.value.get() = Some(entry.clone());
+                    *slot.value.get() = Some(entry);
                 }
                 slot.version.store(idx + 1, Ordering::Release);
             }
@@ -191,7 +204,7 @@ mod tests {
     #[test]
     fn append_then_exec_in_order() {
         let log = Log::new(8, 1);
-        assert!(log.try_append(&[entry(1), entry(2), entry(3)]));
+        assert!(log.try_append(&mut vec![entry(1), entry(2), entry(3)]));
         let mut seen = Vec::new();
         let n = log.exec(0, |e| seen.push(e.op));
         assert_eq!(n, 3);
@@ -203,7 +216,7 @@ mod tests {
     #[test]
     fn every_replica_sees_every_entry_once() {
         let log = Log::new(8, 3);
-        log.try_append(&[entry(10), entry(20)]);
+        log.try_append(&mut vec![entry(10), entry(20)]);
         for r in 0..3 {
             let mut seen = Vec::new();
             log.exec(r, |e| seen.push(e.op));
@@ -214,12 +227,15 @@ mod tests {
     #[test]
     fn full_log_rejects_append_until_consumed() {
         let log = Log::new(4, 2);
-        assert!(log.try_append(&[entry(1), entry(2), entry(3), entry(4)]));
-        assert!(!log.try_append(&[entry(5)]), "ring is full");
+        assert!(log.try_append(&mut vec![entry(1), entry(2), entry(3), entry(4)]));
+        let mut batch = vec![entry(5)];
+        assert!(!log.try_append(&mut batch), "ring is full");
+        assert_eq!(batch.len(), 1, "failed append leaves the batch intact");
         log.exec(0, |_| {});
-        assert!(!log.try_append(&[entry(5)]), "replica 1 still lags");
+        assert!(!log.try_append(&mut batch), "replica 1 still lags");
         log.exec(1, |_| {});
-        assert!(log.try_append(&[entry(5)]));
+        assert!(log.try_append(&mut batch));
+        assert!(batch.is_empty(), "successful append drains the batch");
         let mut seen = Vec::new();
         log.exec(0, |e| seen.push(e.op));
         assert_eq!(seen, vec![5]);
@@ -231,9 +247,9 @@ mod tests {
         let mut expected = Vec::new();
         let mut seen = Vec::new();
         for round in 0..10u64 {
-            let ops = [entry(round * 2), entry(round * 2 + 1)];
+            let mut ops = vec![entry(round * 2), entry(round * 2 + 1)];
             expected.extend(ops.iter().map(|e| e.op));
-            assert!(log.try_append(&ops));
+            assert!(log.try_append(&mut ops));
             log.exec(0, |e| seen.push(e.op));
         }
         assert_eq!(seen, expected);
@@ -247,12 +263,12 @@ mod tests {
             let log = Arc::clone(&log);
             handles.push(std::thread::spawn(move || {
                 for i in 0..500u64 {
-                    let e = LogEntry {
+                    let mut batch = vec![LogEntry {
                         op: t * 1000 + i,
                         replica: 0,
                         thread: t as usize,
-                    };
-                    while !log.try_append(std::slice::from_ref(&e)) {
+                    }];
+                    while !log.try_append(&mut batch) {
                         // The single replica must drain; only this test
                         // thread 0 drains, so help by spinning.
                         std::thread::yield_now();

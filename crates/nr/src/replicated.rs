@@ -33,7 +33,7 @@ pub struct ThreadToken {
 ///     type WriteOp = u64;
 ///     type Response = u64;
 ///     fn dispatch(&self, _: ()) -> u64 { self.0 }
-///     fn dispatch_mut(&mut self, n: u64) -> u64 { self.0 += n; self.0 }
+///     fn dispatch_mut(&mut self, n: &u64) -> u64 { self.0 += n; self.0 }
 /// }
 ///
 /// let nr = NodeReplicated::new(2, 4, 32, Counter::default);
@@ -74,18 +74,41 @@ impl<D: Dispatch> NodeReplicated<D> {
 
     /// Registers the calling thread on `replica`, granting it a context
     /// slot. Returns `None` when the replica is fully subscribed.
+    ///
+    /// Claims are a CAS loop rather than a blind `fetch_add`: an
+    /// unconditional increment on a full replica would burn a slot
+    /// forever, so repeated attempts against a full replica could leak
+    /// capacity that a later deregistration scheme can never recover.
     pub fn register(&self, replica: usize) -> Option<ThreadToken> {
-        // lint: allow(atomics-ordering) — slot allocation only needs the
-        // fetch_add's atomicity for uniqueness; no other memory is
-        // published through this counter.
-        let slot = self.registered[replica].fetch_add(1, Ordering::Relaxed);
-        if slot < self.replicas[replica].max_threads() {
-            Some(ThreadToken {
-                replica,
-                thread: slot,
-            })
-        } else {
-            None
+        let max = self.replicas[replica].max_threads();
+        // lint: allow(atomics-ordering) — slot allocation only needs
+        // atomicity for uniqueness of the claimed index; no other
+        // memory is published through this counter (each context cell
+        // carries its own acquire/release protocol).
+        let mut slot = self.registered[replica].load(Ordering::Relaxed);
+        loop {
+            if slot >= max {
+                return None;
+            }
+            let claim = self.registered[replica].compare_exchange_weak(
+                slot,
+                slot + 1,
+                // lint: allow(atomics-ordering) — same argument: the CAS
+                // claims an index, nothing else is ordered by it.
+                Ordering::Relaxed,
+                // lint: allow(atomics-ordering) — failure path re-reads
+                // the counter only to retry the claim.
+                Ordering::Relaxed,
+            );
+            match claim {
+                Ok(_) => {
+                    return Some(ThreadToken {
+                        replica,
+                        thread: slot,
+                    })
+                }
+                Err(current) => slot = current,
+            }
         }
     }
 
@@ -98,16 +121,20 @@ impl<D: Dispatch> NodeReplicated<D> {
     pub fn execute_mut(&self, op: D::WriteOp, tkn: ThreadToken) -> D::Response {
         let replica = &self.replicas[tkn.replica];
         debug_assert!(tkn.thread < replica.max_threads());
-        *crate::replica::lock_slot(&replica.contexts[tkn.thread].op) = Some(op);
+        let ctx = &replica.contexts[tkn.thread];
+        // Sole producer of this op cell (the token is this thread's) and
+        // the cell is empty (we consumed the previous response before
+        // returning from the last call) — `publish`'s contract holds.
+        ctx.op.publish(op);
         let mut backoff = crate::backoff::Backoff::new();
         loop {
-            if let Some(resp) = crate::replica::lock_slot(&replica.contexts[tkn.thread].resp).take() {
+            if let Some(resp) = ctx.resp.take() {
                 return resp;
             }
             if let Some(mut guard) = replica.data.try_write() {
                 self.combine(tkn.replica, &mut guard);
                 drop(guard);
-                if let Some(resp) = crate::replica::lock_slot(&replica.contexts[tkn.thread].resp).take() {
+                if let Some(resp) = ctx.resp.take() {
                     return resp;
                 }
                 // Our op was collected by an earlier combiner whose apply
@@ -159,12 +186,14 @@ impl<D: Dispatch> NodeReplicated<D> {
     }
 
     /// The combiner: collect, append (helping lagging replicas when the
-    /// log is full), apply.
+    /// log is full), apply. Ops move from context cells into the batch
+    /// and from the batch into the log — no clones anywhere on the path.
     fn combine(&self, replica_idx: usize, data: &mut D) {
         let replica = &self.replicas[replica_idx];
-        let batch = replica.collect();
+        let mut batch = Vec::with_capacity(replica.max_threads());
+        replica.collect(&mut batch);
         if !batch.is_empty() {
-            while !self.log.try_append(&batch) {
+            while !self.log.try_append(&mut batch) {
                 // The ring is full: consume on our own replica first,
                 // then help lagging remote replicas drain.
                 replica.apply_log(&self.log, data);

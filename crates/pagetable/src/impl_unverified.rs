@@ -62,6 +62,57 @@ impl UnverifiedPageTable {
     fn table_empty(mem: &PhysMem, table: PAddr) -> bool {
         (0..512u16).all(|i| !PtEntry(mem.read_u64(entry_addr(table, i))).is_present())
     }
+
+    /// Walks to the level-1 table holding `va`'s PTE, when the full
+    /// directory path exists (a missing directory or a huge leaf on the
+    /// way returns `None`).
+    fn walk_to_l1(mem: &PhysMem, cr3: PAddr, va: VAddr) -> Option<PAddr> {
+        let idxs = indices(va);
+        let mut table = cr3;
+        for idx in &idxs[..3] {
+            let entry = PtEntry(mem.read_u64(entry_addr(table, *idx)));
+            if !entry.is_present() || entry.is_huge() {
+                return None;
+            }
+            table = entry.addr();
+        }
+        Some(table)
+    }
+
+    /// Unmaps the `done` pages a failing `map_range` already installed.
+    fn unmap_mapped_prefix(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        req: &MapRequest,
+        done: u64,
+    ) {
+        let step = req.size.bytes();
+        for j in (0..done).rev() {
+            let rolled = self.unmap_frame(mem, alloc, VAddr(req.va.0 + j * step));
+            debug_assert!(rolled.is_ok(), "map_range rollback failed at page {j}");
+        }
+    }
+
+    /// Re-installs the prefix a failing `unmap_range` already removed.
+    fn remap_removed_prefix(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        va: VAddr,
+        removed: &[AbsMapping],
+    ) {
+        for (j, m) in removed.iter().enumerate().rev() {
+            let back = MapRequest {
+                va: VAddr(va.0 + j as u64 * PAGE_4K),
+                pa: PAddr(m.pa),
+                size: m.size,
+                flags: m.flags,
+            };
+            let rolled = self.map_frame(mem, alloc, back);
+            debug_assert!(rolled.is_ok(), "unmap_range rollback failed at slot {j}");
+        }
+    }
 }
 
 impl PageTableOps for UnverifiedPageTable {
@@ -201,6 +252,137 @@ impl PageTableOps for UnverifiedPageTable {
         Ok(mapping)
     }
 
+    /// Amortized override (same structure as the verified version, no
+    /// ghost state): one full descent per level-1 chunk, direct leaf
+    /// writes for the rest of the chunk.
+    fn map_range(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        req: MapRequest,
+        pages: u64,
+    ) -> Result<(), PtError> {
+        let step = req.size.bytes();
+        if crate::range_overflows(req.va.0, step, pages) {
+            return Err(PtError::NonCanonical);
+        }
+        if crate::range_overflows(req.pa.0, step, pages) {
+            return Err(PtError::PhysOutOfRange);
+        }
+        let mut leaf = PtFlags::PRESENT;
+        if req.flags.writable {
+            leaf |= PtFlags::WRITABLE;
+        }
+        if req.flags.user {
+            leaf |= PtFlags::USER;
+        }
+        if req.flags.nx {
+            leaf |= PtFlags::NX;
+        }
+        let mut done: u64 = 0;
+        while done < pages {
+            let head = MapRequest {
+                va: VAddr(req.va.0 + done * step),
+                pa: PAddr(req.pa.0 + done * step),
+                ..req
+            };
+            if let Err(e) = self.map_frame(mem, alloc, head) {
+                self.unmap_mapped_prefix(mem, alloc, &req, done);
+                return Err(e);
+            }
+            done += 1;
+            if req.size != PageSize::Size4K {
+                continue;
+            }
+            let Some(l1) = Self::walk_to_l1(mem, self.cr3, head.va) else {
+                continue;
+            };
+            while done < pages {
+                let va = VAddr(req.va.0 + done * step);
+                if va.0 >> 21 != head.va.0 >> 21 {
+                    break;
+                }
+                let slot = entry_addr(l1, indices(va)[3]);
+                if PtEntry(mem.read_u64(slot)).is_present() {
+                    self.unmap_mapped_prefix(mem, alloc, &req, done);
+                    return Err(PtError::AlreadyMapped);
+                }
+                mem.write_u64(slot, PtEntry::new(PAddr(req.pa.0 + done * step), leaf).0);
+                done += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Amortized override: direct clears for middle slots, the one-page
+    /// path for each chunk's first and last in-range slot so emptied
+    /// tables still get pruned.
+    fn unmap_range(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        va: VAddr,
+        pages: u64,
+    ) -> Result<Vec<AbsMapping>, PtError> {
+        if crate::range_overflows(va.0, PAGE_4K, pages) {
+            return Err(PtError::NonCanonical);
+        }
+        let mut removed: Vec<AbsMapping> = Vec::new();
+        while (removed.len() as u64) < pages {
+            let head = VAddr(va.0 + removed.len() as u64 * PAGE_4K);
+            match self.unmap_frame(mem, alloc, head) {
+                Ok(m) => removed.push(m),
+                Err(e) => {
+                    self.remap_removed_prefix(mem, alloc, va, &removed);
+                    return Err(e);
+                }
+            }
+            let Some(l1) = Self::walk_to_l1(mem, self.cr3, head) else {
+                continue;
+            };
+            loop {
+                let i = removed.len() as u64;
+                if i >= pages {
+                    break;
+                }
+                let cur = VAddr(va.0 + i * PAGE_4K);
+                if cur.0 >> 21 != head.0 >> 21 {
+                    break;
+                }
+                let last_of_chunk = i + 1 >= pages
+                    || (va.0 + (i + 1) * PAGE_4K) >> 21 != head.0 >> 21;
+                if last_of_chunk {
+                    match self.unmap_frame(mem, alloc, cur) {
+                        Ok(m) => removed.push(m),
+                        Err(e) => {
+                            self.remap_removed_prefix(mem, alloc, va, &removed);
+                            return Err(e);
+                        }
+                    }
+                    break;
+                }
+                let slot = entry_addr(l1, indices(cur)[3]);
+                let entry = PtEntry(mem.read_u64(slot));
+                if !entry.is_present() {
+                    self.remap_removed_prefix(mem, alloc, va, &removed);
+                    return Err(PtError::NotMapped);
+                }
+                let f = entry.flags();
+                removed.push(AbsMapping {
+                    pa: entry.addr().0,
+                    size: PageSize::Size4K,
+                    flags: MapFlags {
+                        writable: f.contains(PtFlags::WRITABLE),
+                        user: f.contains(PtFlags::USER),
+                        nx: f.contains(PtFlags::NX),
+                    },
+                });
+                mem.write_u64(slot, PtEntry::zero().0);
+            }
+        }
+        Ok(removed)
+    }
+
     fn resolve(&self, mem: &PhysMem, va: VAddr) -> Result<ResolveAnswer, PtError> {
         if !va.is_canonical() {
             return Err(PtError::NonCanonical);
@@ -312,6 +494,54 @@ mod tests {
         );
         assert_eq!(alloc.free_frames(), 1);
         assert!(veros_hw::interpret_page_table(&mem, pt.root()).is_empty());
+    }
+
+    #[test]
+    fn map_range_matches_per_page_loop_and_mmu() {
+        let (mut mem, mut alloc) = setup();
+        let mut pt = UnverifiedPageTable::new(&mut mem, &mut alloc).unwrap();
+        let req = MapRequest::rw_4k(0x1f_d000, 0x80_0000); // crosses 0x20_0000
+        pt.map_range(&mut mem, &mut alloc, req, 12).unwrap();
+        for i in 0..12u64 {
+            let va = VAddr(req.va.0 + i * 0x1000);
+            assert_eq!(pt.resolve(&mem, va).unwrap().pa, PAddr(req.pa.0 + i * 0x1000));
+            // The MMU sees exactly what resolve reports, fast path or not.
+            let m = veros_hw::walk(&mem, pt.root(), va).unwrap();
+            assert_eq!(m.pa_base, PAddr(req.pa.0 + i * 0x1000));
+        }
+        let removed = pt.unmap_range(&mut mem, &mut alloc, req.va, 12).unwrap();
+        assert_eq!(removed.len(), 12);
+        assert_eq!(pt.resolve(&mem, req.va), Err(PtError::NotMapped));
+    }
+
+    #[test]
+    fn range_failures_roll_back() {
+        let (mut mem, mut alloc) = setup();
+        let mut pt = UnverifiedPageTable::new(&mut mem, &mut alloc).unwrap();
+        pt.map_frame(&mut mem, &mut alloc, MapRequest::rw_4k(0x4000, 0x9000))
+            .unwrap();
+        let held = alloc.free_frames();
+        assert_eq!(
+            pt.map_range(&mut mem, &mut alloc, MapRequest::rw_4k(0x1000, 0x80_0000), 8),
+            Err(PtError::AlreadyMapped)
+        );
+        assert_eq!(alloc.free_frames(), held, "failed map_range leaks nothing");
+        assert_eq!(pt.resolve(&mem, VAddr(0x1000)), Err(PtError::NotMapped));
+        // unmap_range across the hole left after removing 0x4000:
+        pt.unmap_frame(&mut mem, &mut alloc, VAddr(0x4000)).unwrap();
+        pt.map_range(&mut mem, &mut alloc, MapRequest::rw_4k(0x1000, 0x80_0000), 2)
+            .unwrap();
+        assert_eq!(
+            pt.unmap_range(&mut mem, &mut alloc, VAddr(0x1000), 4),
+            Err(PtError::NotMapped)
+        );
+        for i in 0..2u64 {
+            assert_eq!(
+                pt.resolve(&mem, VAddr(0x1000 + i * 0x1000)).unwrap().pa,
+                PAddr(0x80_0000 + i * 0x1000),
+                "removed prefix restored"
+            );
+        }
     }
 
     #[test]

@@ -224,6 +224,60 @@ impl VerifiedPageTable {
         (0..512u16).all(|i| !PtEntry(mem.read_u64(entry_addr(table, i))).is_present())
     }
 
+    // --- range ops ------------------------------------------------------
+
+    /// Walks to the level-1 table holding `va`'s PTE, when the full
+    /// directory path exists (a missing directory or a huge leaf on the
+    /// way returns `None`).
+    fn walk_to_l1(mem: &PhysMem, cr3: PAddr, va: VAddr) -> Option<PAddr> {
+        let mut table = cr3;
+        for level in [4u8, 3, 2] {
+            let entry = PtEntry(mem.read_u64(entry_addr(table, index_at(va, level))));
+            if !entry.is_present() || entry.is_huge() {
+                return None;
+            }
+            table = entry.addr();
+        }
+        Some(table)
+    }
+
+    /// Rolls a partially applied `map_range` back: unmaps the `done`
+    /// pages already installed, newest first.
+    fn unmap_mapped_prefix(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        req: &MapRequest,
+        done: u64,
+    ) {
+        let step = req.size.bytes();
+        for j in (0..done).rev() {
+            let rolled = self.unmap_frame(mem, alloc, VAddr(req.va.0 + j * step));
+            debug_assert!(rolled.is_ok(), "map_range rollback failed at page {j}");
+        }
+    }
+
+    /// Rolls a partially applied `unmap_range` back: re-installs the
+    /// removed prefix so the failing call leaves the table untouched.
+    fn remap_removed_prefix(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        va: VAddr,
+        removed: &[AbsMapping],
+    ) {
+        for (j, m) in removed.iter().enumerate().rev() {
+            let back = MapRequest {
+                va: VAddr(va.0 + j as u64 * PAGE_4K),
+                pa: PAddr(m.pa),
+                size: m.size,
+                flags: m.flags,
+            };
+            let rolled = self.map_frame(mem, alloc, back);
+            debug_assert!(rolled.is_ok(), "unmap_range rollback failed at slot {j}");
+        }
+    }
+
     // --- resolve ----------------------------------------------------------
 
     /// Per-level resolve.
@@ -311,6 +365,159 @@ impl PageTableOps for VerifiedPageTable {
             debug_assert_eq!(g, result, "ghost diverged on unmap");
         }
         result
+    }
+
+    /// Amortized override of the default per-page loop: the first page of
+    /// each 2 MiB-aligned chunk goes through the one-page path (full
+    /// validation, directory creation, ghost lock-step), and every
+    /// further 4 KiB page whose PTE lives in the same level-1 table is a
+    /// single read + write into that table — the descent is reused, not
+    /// repeated. Alignment and canonicality propagate 4 KiB steps inside
+    /// a chunk (the canonical halves are unions of whole 2 MiB chunks),
+    /// so the skipped per-page validations hold for free.
+    fn map_range(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        req: MapRequest,
+        pages: u64,
+    ) -> Result<(), PtError> {
+        let step = req.size.bytes();
+        if crate::range_overflows(req.va.0, step, pages) {
+            return Err(PtError::NonCanonical);
+        }
+        if crate::range_overflows(req.pa.0, step, pages) {
+            return Err(PtError::PhysOutOfRange);
+        }
+        let mut done: u64 = 0;
+        while done < pages {
+            let head = MapRequest {
+                va: VAddr(req.va.0 + done * step),
+                pa: PAddr(req.pa.0 + done * step),
+                ..req
+            };
+            if let Err(e) = self.map_frame(mem, alloc, head) {
+                self.unmap_mapped_prefix(mem, alloc, &req, done);
+                return Err(e);
+            }
+            done += 1;
+            if req.size != PageSize::Size4K {
+                continue;
+            }
+            let Some(l1) = Self::walk_to_l1(mem, self.cr3, head.va) else {
+                continue;
+            };
+            while done < pages {
+                let va = VAddr(req.va.0 + done * step);
+                if va.0 >> 21 != head.va.0 >> 21 {
+                    break;
+                }
+                let pa = PAddr(req.pa.0 + done * step);
+                let page = MapRequest { va, pa, ..req };
+                let slot = entry_addr(l1, index_at(va, 1));
+                if PtEntry(mem.read_u64(slot)).is_present() {
+                    if let Some(ghost) = &mut self.ghost {
+                        let g = ghost.map(&page);
+                        debug_assert_eq!(
+                            g,
+                            Err(PtError::AlreadyMapped),
+                            "ghost diverged on failing map"
+                        );
+                    }
+                    self.unmap_mapped_prefix(mem, alloc, &req, done);
+                    return Err(PtError::AlreadyMapped);
+                }
+                mem.write_u64(slot, encode_leaf(pa, PageSize::Size4K, req.flags).0);
+                if let Some(ghost) = &mut self.ghost {
+                    let g = ghost.map(&page);
+                    debug_assert_eq!(g, Ok(()), "ghost diverged on map");
+                }
+                done += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Amortized override mirroring `map_range`: middle slots of each
+    /// level-1 chunk are cleared with one read + write into the cached
+    /// table; the first and last in-range slot of every chunk go through
+    /// the one-page path, so an emptied level-1 table still gets its
+    /// directories pruned (the no-empty-dirs invariant holds on return,
+    /// success or rollback).
+    fn unmap_range(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut dyn FrameSource,
+        va: VAddr,
+        pages: u64,
+    ) -> Result<Vec<AbsMapping>, PtError> {
+        if crate::range_overflows(va.0, PAGE_4K, pages) {
+            return Err(PtError::NonCanonical);
+        }
+        let mut removed: Vec<AbsMapping> = Vec::new();
+        while (removed.len() as u64) < pages {
+            let head = VAddr(va.0 + removed.len() as u64 * PAGE_4K);
+            match self.unmap_frame(mem, alloc, head) {
+                Ok(m) => removed.push(m),
+                Err(e) => {
+                    self.remap_removed_prefix(mem, alloc, va, &removed);
+                    return Err(e);
+                }
+            }
+            // A pruned path or a removed huge mapping leaves no level-1
+            // table to reuse; the next chunk head descends again.
+            let Some(l1) = Self::walk_to_l1(mem, self.cr3, head) else {
+                continue;
+            };
+            loop {
+                let i = removed.len() as u64;
+                if i >= pages {
+                    break;
+                }
+                let cur = VAddr(va.0 + i * PAGE_4K);
+                if cur.0 >> 21 != head.0 >> 21 {
+                    break;
+                }
+                let last_of_chunk = i + 1 >= pages
+                    || (va.0 + (i + 1) * PAGE_4K) >> 21 != head.0 >> 21;
+                if last_of_chunk {
+                    match self.unmap_frame(mem, alloc, cur) {
+                        Ok(m) => removed.push(m),
+                        Err(e) => {
+                            self.remap_removed_prefix(mem, alloc, va, &removed);
+                            return Err(e);
+                        }
+                    }
+                    break;
+                }
+                let slot = entry_addr(l1, index_at(cur, 1));
+                let entry = PtEntry(mem.read_u64(slot));
+                if !entry.is_present() {
+                    if let Some(ghost) = &mut self.ghost {
+                        let g = ghost.unmap(cur);
+                        debug_assert_eq!(
+                            g,
+                            Err(PtError::NotMapped),
+                            "ghost diverged on failing unmap"
+                        );
+                    }
+                    self.remap_removed_prefix(mem, alloc, va, &removed);
+                    return Err(PtError::NotMapped);
+                }
+                let m = AbsMapping {
+                    pa: entry.addr().0,
+                    size: PageSize::Size4K,
+                    flags: decode_leaf(entry),
+                };
+                mem.write_u64(slot, PtEntry::zero().0);
+                if let Some(ghost) = &mut self.ghost {
+                    let g = ghost.unmap(cur);
+                    debug_assert_eq!(g, Ok(m), "ghost diverged on unmap");
+                }
+                removed.push(m);
+            }
+        }
+        Ok(removed)
     }
 
     fn resolve(&self, mem: &PhysMem, va: VAddr) -> Result<ResolveAnswer, PtError> {
@@ -506,6 +713,145 @@ mod tests {
         .unwrap();
         assert_eq!(pt.resolve(&mem, va).unwrap().pa, PAddr(0x8000));
         assert_eq!(pt.unmap_frame(&mut mem, &mut alloc, va).unwrap().pa, 0x8000);
+    }
+
+    #[test]
+    fn map_range_round_trips_across_chunk_boundary() {
+        let (mut mem, mut alloc) = setup();
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, true).unwrap();
+        // 8 pages straddling the 2 MiB chunk boundary at 0x20_0000:
+        // exercises both the amortized tail and a fresh chunk-head
+        // descent mid-range.
+        let req = MapRequest::rw_4k(0x20_0000 - 4 * 0x1000, 0x80_0000);
+        pt.map_range(&mut mem, &mut alloc, req, 8).unwrap();
+        for i in 0..8u64 {
+            let r = pt.resolve(&mem, VAddr(req.va.0 + i * 0x1000 + 0x123)).unwrap();
+            assert_eq!(r.pa, PAddr(req.pa.0 + i * 0x1000 + 0x123));
+        }
+        assert_eq!(pt.ghost().unwrap().flatten().len(), 8);
+        let removed = pt.unmap_range(&mut mem, &mut alloc, req.va, 8).unwrap();
+        assert_eq!(removed.len(), 8);
+        for (i, m) in removed.iter().enumerate() {
+            assert_eq!(m.pa, req.pa.0 + i as u64 * 0x1000);
+            assert_eq!(m.size, PageSize::Size4K);
+        }
+        assert_eq!(pt.ghost().unwrap().flatten().len(), 0);
+        assert_eq!(pt.resolve(&mem, req.va), Err(PtError::NotMapped));
+    }
+
+    #[test]
+    fn map_range_failure_rolls_back_everything() {
+        let (mut mem, mut alloc) = setup();
+        let free_empty = alloc.free_frames();
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, true).unwrap();
+        // Pre-existing page in the middle of the target range.
+        pt.map_frame(&mut mem, &mut alloc, MapRequest::rw_4k(0x5000, 0x9000))
+            .unwrap();
+        let held = alloc.free_frames();
+        let req = MapRequest::rw_4k(0x1000, 0x80_0000);
+        assert_eq!(
+            pt.map_range(&mut mem, &mut alloc, req, 8),
+            Err(PtError::AlreadyMapped)
+        );
+        // Nothing from the failed range survives: only the pre-existing
+        // page is mapped and no directory frames leaked.
+        assert_eq!(alloc.free_frames(), held);
+        assert_eq!(pt.ghost().unwrap().flatten().len(), 1);
+        assert_eq!(pt.resolve(&mem, VAddr(0x1000)), Err(PtError::NotMapped));
+        assert_eq!(pt.resolve(&mem, VAddr(0x5000)).unwrap().pa, PAddr(0x9000));
+        pt.unmap_frame(&mut mem, &mut alloc, VAddr(0x5000)).unwrap();
+        pt.destroy(&mut mem, &mut alloc);
+        assert_eq!(alloc.free_frames(), free_empty);
+    }
+
+    #[test]
+    fn unmap_range_failure_rolls_back_removed_prefix() {
+        let (mut mem, mut alloc) = setup();
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, true).unwrap();
+        let req = MapRequest::rw_4k(0x1000, 0x80_0000);
+        pt.map_range(&mut mem, &mut alloc, req, 6).unwrap();
+        // Punch a hole at slot 3, then try to unmap all 6 slots.
+        pt.unmap_frame(&mut mem, &mut alloc, VAddr(0x4000)).unwrap();
+        assert_eq!(
+            pt.unmap_range(&mut mem, &mut alloc, VAddr(0x1000), 6),
+            Err(PtError::NotMapped)
+        );
+        // The removed prefix (slots 0..3) came back.
+        for i in [0u64, 1, 2, 4, 5] {
+            let r = pt.resolve(&mem, VAddr(0x1000 + i * 0x1000)).unwrap();
+            assert_eq!(r.pa, PAddr(0x80_0000 + i * 0x1000));
+        }
+        assert_eq!(pt.ghost().unwrap().flatten().len(), 5);
+    }
+
+    #[test]
+    fn map_range_frees_directories_like_per_page_loop() {
+        // The amortized version must be observationally identical to the
+        // per-page default: same resolves, same frame accounting.
+        let (mut mem, mut alloc) = setup();
+        let before = alloc.free_frames();
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, true).unwrap();
+        let req = MapRequest::rw_4k(0x3f_e000, 0x100_0000); // crosses a chunk edge
+        pt.map_range(&mut mem, &mut alloc, req, 520).unwrap();
+        let (mut mem2, mut alloc2) = setup();
+        let mut ref_pt = VerifiedPageTable::new(&mut mem2, &mut alloc2, true).unwrap();
+        for i in 0..520u64 {
+            ref_pt
+                .map_frame(
+                    &mut mem2,
+                    &mut alloc2,
+                    MapRequest::rw_4k(req.va.0 + i * 0x1000, req.pa.0 + i * 0x1000),
+                )
+                .unwrap();
+        }
+        assert_eq!(alloc.free_frames(), alloc2.free_frames());
+        for i in (0..520u64).step_by(37) {
+            let va = VAddr(req.va.0 + i * 0x1000);
+            assert_eq!(pt.resolve(&mem, va), ref_pt.resolve(&mem2, va));
+        }
+        let removed = pt.unmap_range(&mut mem, &mut alloc, req.va, 520).unwrap();
+        assert_eq!(removed.len(), 520);
+        pt.destroy(&mut mem, &mut alloc);
+        assert_eq!(alloc.free_frames(), before);
+    }
+
+    #[test]
+    fn unmap_range_removing_huge_mapping_at_last_slot() {
+        let (mut mem, mut alloc) = setup();
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, true).unwrap();
+        // A 4 KiB page followed by... a huge mapping based at the next
+        // chunk: unmap_range over [page, huge_base] removes both (the
+        // huge one whole), per the slot-by-slot spec.
+        pt.map_frame(&mut mem, &mut alloc, MapRequest::rw_4k(0x1f_f000, 0x8000))
+            .unwrap();
+        let huge = MapRequest {
+            va: VAddr(0x20_0000),
+            pa: PAddr(0x40_0000),
+            size: PageSize::Size2M,
+            flags: MapFlags::user_ro(),
+        };
+        pt.map_frame(&mut mem, &mut alloc, huge).unwrap();
+        let removed = pt
+            .unmap_range(&mut mem, &mut alloc, VAddr(0x1f_f000), 2)
+            .unwrap();
+        assert_eq!(removed.len(), 2);
+        assert_eq!(removed[1].size, PageSize::Size2M);
+        assert_eq!(pt.ghost().unwrap().flatten().len(), 0);
+    }
+
+    #[test]
+    fn range_overflow_is_rejected_up_front() {
+        let (mut mem, mut alloc) = setup();
+        let mut pt = VerifiedPageTable::new(&mut mem, &mut alloc, true).unwrap();
+        let req = MapRequest::rw_4k(0xffff_ffff_ffff_f000, 0x8000);
+        assert_eq!(
+            pt.map_range(&mut mem, &mut alloc, req, u64::MAX),
+            Err(PtError::NonCanonical)
+        );
+        assert_eq!(
+            pt.unmap_range(&mut mem, &mut alloc, VAddr(0xffff_ffff_ffff_f000), u64::MAX),
+            Err(PtError::NonCanonical)
+        );
     }
 
     #[test]

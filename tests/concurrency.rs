@@ -138,8 +138,8 @@ fn nr_history_is_linearizable_under_threads() {
         fn dispatch(&self, _: ()) -> u64 {
             self.0
         }
-        fn dispatch_mut(&mut self, v: u64) -> u64 {
-            self.0 = v;
+        fn dispatch_mut(&mut self, v: &u64) -> u64 {
+            self.0 = *v;
             0
         }
     }
