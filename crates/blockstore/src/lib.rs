@@ -23,9 +23,20 @@
 //! `veros-bench --bin audit` check client-visible linearizability,
 //! checksum integrity end to end, crash recovery of acknowledged writes,
 //! and failover to the backup.
+//!
+//! # Telemetry
+//!
+//! With the `telemetry` cargo feature (on by default) the storage
+//! engine and the node maintain the instruments in [`metrics`] —
+//! put/get/delete latency histograms, a checksum-failure counter, and a
+//! replication round-trip counter. Reporting binaries call
+//! [`metrics::export`] to register them under the `blockstore.` prefix;
+//! see `OBSERVABILITY.md`. Disabling the feature compiles every
+//! instrument to a no-op.
 
 pub mod client;
 pub mod cluster;
+pub mod metrics;
 pub mod node;
 pub mod store;
 pub mod wire;

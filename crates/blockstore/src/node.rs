@@ -171,6 +171,7 @@ impl StorageNode {
                 };
                 if let Some((idx, held)) = self.pending.pop_front() {
                     debug_assert_eq!(resp.id(), held.id(), "replication acks out of order");
+                    crate::metrics::REPLICATION_ROUNDTRIPS.inc();
                     // If the backup failed the write, report that
                     // instead of the held success.
                     let out = match resp {

@@ -83,7 +83,9 @@ impl BlockStore {
     /// Stores a block, verifying the client checksum first. One
     /// committed transaction: after `Ok`, the block survives crashes.
     pub fn put(&mut self, key: &str, data: &[u8], checksum: u64) -> Result<(), StoreError> {
+        let _latency = crate::metrics::PUT_LATENCY.timer();
         if block_checksum(data) != checksum {
+            crate::metrics::CHECKSUM_FAILURES.inc();
             return Err(StoreError::ChecksumMismatch);
         }
         let path = key_path(key);
@@ -112,6 +114,7 @@ impl BlockStore {
 
     /// Fetches a block and its stored checksum, verifying integrity.
     pub fn get(&self, key: &str) -> Result<(Vec<u8>, u64), StoreError> {
+        let _latency = crate::metrics::GET_LATENCY.timer();
         let path = Path::parse(&key_path(key)).expect("hex path");
         let raw = self.fs.fs.read_file(&path).map_err(|_| StoreError::NotFound)?;
         if raw.len() < 8 {
@@ -120,6 +123,7 @@ impl BlockStore {
         let checksum = u64::from_le_bytes(raw[..8].try_into().expect("8 bytes"));
         let data = raw[8..].to_vec();
         if block_checksum(&data) != checksum {
+            crate::metrics::CHECKSUM_FAILURES.inc();
             return Err(StoreError::Corrupt);
         }
         Ok((data, checksum))
@@ -127,6 +131,7 @@ impl BlockStore {
 
     /// Deletes a block (committed transaction).
     pub fn delete(&mut self, key: &str) -> Result<(), StoreError> {
+        let _latency = crate::metrics::DELETE_LATENCY.timer();
         let path = key_path(key);
         self.fs
             .apply(FsOp::Unlink(path))

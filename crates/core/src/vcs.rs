@@ -206,6 +206,25 @@ pub fn register_all(engine: &mut VcEngine, profile: Profile) {
             move || rdt_prefix_spec(seed),
         );
     }
+
+    // --- telemetry coherence ---------------------------------------------------
+    // The observability layer must agree with spec-visible behaviour:
+    // with instruments live, counters are exact and own-thread
+    // increments immediately visible, so a single-threaded workload's
+    // deltas are hard lower bounds (concurrent VCs can only inflate
+    // them); with the feature off, every instrument must read zero.
+    engine.register(
+        MODULE,
+        VcKind::Property,
+        "telemetry::tlb_counters_match_resolve_behaviour",
+        telemetry_tlb_counters_coherent,
+    );
+    engine.register(
+        MODULE,
+        VcKind::Property,
+        "telemetry::journal_counters_match_commit_replay",
+        telemetry_journal_counters_coherent,
+    );
 }
 
 /// Random scheduler workouts asserting the sanity invariant throughout.
@@ -536,6 +555,122 @@ fn translation_cache_coherent(seed: u64, steps: usize) -> Result<(), String> {
 
 /// Journal crash-safety over random histories (the spec from
 /// `veros-fs::journal`).
+///// Telemetry coherence: the TLB counters must track resolve-path
+/// behaviour (misses, epoch invalidations) as exact lower bounds, the
+/// *uninstrumented* hit path must leave the miss counter untouched, and
+/// everything reads zero in a telemetry-off build.
+fn telemetry_tlb_counters_coherent() -> Result<(), String> {
+    use veros_hw::{PAddr, PhysMem, VAddr, PAGE_4K};
+    use veros_kernel::metrics::{TLB_EPOCH_INVALIDATIONS, TLB_MISSES};
+    use veros_kernel::vspace::{PtKind, VSpace};
+    use veros_kernel::BuddyAllocator;
+    use veros_pagetable::MapFlags;
+
+    let misses0 = TLB_MISSES.get();
+    let inval0 = TLB_EPOCH_INVALIDATIONS.get();
+
+    let mut mem = PhysMem::new(512);
+    let mut alloc = BuddyAllocator::new(PAddr(16 * PAGE_4K), 496);
+    let mut v = VSpace::new(&mut mem, &mut alloc, PtKind::Verified).map_err(|e| format!("{e:?}"))?;
+    let vas: Vec<u64> = (0..8).map(|i| 0x40_0000 + i * PAGE_4K).collect();
+    for &va in &vas {
+        v.map_new(&mut mem, &mut alloc, VAddr(va), MapFlags::user_rw())
+            .map_err(|e| format!("map {va:#x}: {e:?}"))?;
+    }
+    // Warm pass: every resolve is a cold walk (8 misses), filling the
+    // cache; then 50 hot rounds (400 hits — uncounted by design, the
+    // hit path carries no instrument; see DESIGN.md §10).
+    for &va in &vas {
+        v.resolve(&mem, VAddr(va)).map_err(|e| format!("warm resolve: {e:?}"))?;
+    }
+    for _ in 0..50 {
+        for &va in &vas {
+            v.resolve(&mem, VAddr(va)).map_err(|e| format!("hot resolve: {e:?}"))?;
+        }
+    }
+    // Unmap one page: the whole cache is epoch-invalidated, so the next
+    // pass over all 8 addresses misses again (including the failing
+    // resolve of the unmapped page, counted before the walk).
+    v.unmap(&mut mem, &mut alloc, VAddr(vas[0]))
+        .map_err(|e| format!("unmap: {e:?}"))?;
+    let misses_before_repass = TLB_MISSES.get();
+    for &va in &vas {
+        let _ = v.resolve(&mem, VAddr(va)); // vas[0] now errs, by design.
+    }
+
+    if !veros_telemetry::enabled() {
+        if TLB_MISSES.get() != 0 || TLB_EPOCH_INVALIDATIONS.get() != 0 {
+            return Err("telemetry disabled but TLB counters are nonzero".into());
+        }
+        return Ok(());
+    }
+    let d_misses = TLB_MISSES.get() - misses0;
+    let d_inval = TLB_EPOCH_INVALIDATIONS.get() - inval0;
+    let d_repass = TLB_MISSES.get() - misses_before_repass;
+    if d_misses < 8 {
+        return Err(format!("8 cold walks recorded only {d_misses} misses"));
+    }
+    if d_inval < 1 {
+        return Err(format!("unmap recorded {d_inval} epoch invalidations"));
+    }
+    if d_repass < 8 {
+        return Err(format!(
+            "post-invalidation pass over 8 pages recorded only {d_repass} misses"
+        ));
+    }
+    Ok(())
+}
+
+/// Telemetry coherence: journal counters must track commits, recovery
+/// replay (cross-checked against the instance-exact `replayed_ops`),
+/// and the WAL's on-disk footprint; and read zero with telemetry off.
+fn telemetry_journal_counters_coherent() -> Result<(), String> {
+    use veros_fs::journal::{FsOp, JournaledFs};
+    use veros_fs::metrics::{JOURNAL_COMMITS, JOURNAL_REPLAYED, WAL_BYTES};
+    use veros_hw::{SimDisk, SECTOR_SIZE};
+
+    let commits0 = JOURNAL_COMMITS.get();
+    let replayed0 = JOURNAL_REPLAYED.get();
+    let wal0 = WAL_BYTES.get();
+
+    let mut jfs = JournaledFs::format(SimDisk::new(1024));
+    for i in 0..5u32 {
+        let f = format!("/vc{i}");
+        jfs.apply(FsOp::Create(f.clone())).map_err(|e| e.to_string())?;
+        jfs.apply(FsOp::WriteAt(f, 0, vec![i as u8; 64])).map_err(|e| e.to_string())?;
+        jfs.commit().map_err(|e| e.to_string())?;
+    }
+    let recovered = JournaledFs::recover(jfs.into_disk());
+    if recovered.replayed_ops != 10 {
+        return Err(format!(
+            "recovery replayed {} ops, spec says exactly 10",
+            recovered.replayed_ops
+        ));
+    }
+
+    if !veros_telemetry::enabled() {
+        if JOURNAL_COMMITS.get() != 0 || JOURNAL_REPLAYED.get() != 0 || WAL_BYTES.get() != 0 {
+            return Err("telemetry disabled but journal counters are nonzero".into());
+        }
+        return Ok(());
+    }
+    let d_commits = JOURNAL_COMMITS.get() - commits0;
+    let d_replayed = JOURNAL_REPLAYED.get() - replayed0;
+    let d_wal = WAL_BYTES.get() - wal0;
+    if d_commits < 5 {
+        return Err(format!("5 commits recorded only {d_commits}"));
+    }
+    if d_replayed < 10 {
+        return Err(format!("10 replayed ops recorded only {d_replayed}"));
+    }
+    // 10 op records + 5 commit records, each at least one padded sector.
+    let floor = 15 * SECTOR_SIZE as u64;
+    if d_wal < floor {
+        return Err(format!("WAL footprint {d_wal} below the {floor}-byte floor"));
+    }
+    Ok(())
+}
+
 fn fs_crash_safety(seed: u64) -> Result<(), String> {
     use veros_fs::journal::{FsOp, JournaledFs};
     use veros_fs::MemFs;

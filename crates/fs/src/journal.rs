@@ -213,6 +213,10 @@ pub struct JournaledFs {
     /// Ops buffered in the current (uncommitted) transaction.
     pending: Vec<FsOp>,
     journaling: bool,
+    /// Operations this instance replayed at recovery (0 for a freshly
+    /// formatted filesystem) — the instance-exact companion to the
+    /// process-global [`crate::metrics::JOURNAL_REPLAYED`] counter.
+    pub replayed_ops: u64,
 }
 
 /// Journal area size in sectors (the journal is the whole disk in this
@@ -231,6 +235,7 @@ impl JournaledFs {
             txn: 1,
             pending: Vec::new(),
             journaling: true,
+            replayed_ops: 0,
         }
     }
 
@@ -265,6 +270,7 @@ impl JournaledFs {
         if self.journaling {
             self.append_record(KIND_COMMIT, &[])?;
             self.disk.flush();
+            crate::metrics::JOURNAL_COMMITS.inc();
         }
         self.pending.clear();
         self.txn += 1;
@@ -283,6 +289,7 @@ impl JournaledFs {
         let mut txn_ops: Vec<FsOp> = Vec::new();
         let mut committed_end = 0u64;
         let mut txns = 0u64;
+        let mut replayed = 0u64;
         'scan: while let Some((kind, payload, next)) = read_record(&disk, pos) {
             match kind {
                 KIND_OP => {
@@ -293,6 +300,7 @@ impl JournaledFs {
                     }
                 }
                 KIND_COMMIT => {
+                    replayed += txn_ops.len() as u64;
                     for op in txn_ops.drain(..) {
                         // Replay of a committed op cannot fail: it
                         // succeeded against this exact state before
@@ -310,6 +318,9 @@ impl JournaledFs {
             }
             pos = next;
         }
+        if replayed > 0 {
+            crate::metrics::JOURNAL_REPLAYED.add(replayed);
+        }
         Self {
             fs,
             disk,
@@ -319,6 +330,7 @@ impl JournaledFs {
             txn: txns + 1,
             pending: Vec::new(),
             journaling: true,
+            replayed_ops: replayed,
         }
     }
 
@@ -344,6 +356,7 @@ impl JournaledFs {
             self.disk.write(first + s, &sector).map_err(|_| FsError::NoSpace)?;
         }
         self.write_pos = (first + sectors) * SECTOR_SIZE as u64;
+        crate::metrics::WAL_BYTES.add(sectors * SECTOR_SIZE as u64);
         Ok(())
     }
 }

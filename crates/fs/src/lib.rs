@@ -14,11 +14,20 @@
 //! * [`spec`] — the abstract filesystem spec (map path → bytes, fd
 //!   states) including a literal transcription of the paper's
 //!   `read_spec`, plus differential checking.
+//!
+//! # Telemetry
+//!
+//! With the `telemetry` cargo feature (on by default) the journal layer
+//! maintains the instruments in [`metrics`] — commit, replay, and
+//! WAL-byte counters. Reporting binaries call [`metrics::export`] to
+//! register them under the `fs.` prefix; see `OBSERVABILITY.md`.
+//! Disabling the feature compiles every instrument to a no-op.
 
 pub mod file;
 pub mod inode;
 pub mod journal;
 pub mod memfs;
+pub mod metrics;
 pub mod path;
 pub mod spec;
 

@@ -90,11 +90,15 @@ impl BuddyAllocator {
             return None;
         }
         let block = self.free[o].pop()?;
+        let splits = (o - order) as u64;
         while o > order {
             o -= 1;
             // Split: push the upper buddy, keep the lower half.
             let upper = PAddr(block.0 + block_bytes(o));
             self.free[o].push(upper);
+        }
+        if splits > 0 {
+            crate::metrics::FRAME_SPLITS.add(splits);
         }
         self.mark(block, true);
         self.allocated_frames += 1 << order;
@@ -126,6 +130,7 @@ impl BuddyAllocator {
         // boundaries where no seeded block ever sits and freed frames
         // could never coalesce back to large blocks.
         let mut block = block;
+        let freed_order = order;
         let mut order = order;
         while order < MAX_ORDER {
             let buddy = PAddr(block.0 ^ block_bytes(order));
@@ -143,6 +148,9 @@ impl BuddyAllocator {
             } else {
                 break;
             }
+        }
+        if order > freed_order {
+            crate::metrics::FRAME_MERGES.add((order - freed_order) as u64);
         }
         self.free[order].push(block);
     }

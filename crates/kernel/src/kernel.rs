@@ -233,6 +233,16 @@ impl Kernel {
 
     /// Typed syscall dispatch.
     pub fn syscall(&mut self, caller: (Pid, Tid), call: Syscall) -> SysRet {
+        let variant = crate::metrics::syscall_index(&call);
+        let _latency = crate::metrics::SYSCALL_LATENCY[variant].timer();
+        let ret = self.syscall_inner(caller, call);
+        crate::metrics::SYSCALL_TRACE.record(variant as u64, u64::from(ret.is_ok()));
+        ret
+    }
+
+    /// The dispatch body, separated so [`Kernel::syscall`] can wrap it
+    /// with latency and trace instrumentation.
+    fn syscall_inner(&mut self, caller: (Pid, Tid), call: Syscall) -> SysRet {
         let (pid, tid) = caller;
         match call {
             Syscall::Spawn => {

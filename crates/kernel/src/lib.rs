@@ -24,10 +24,21 @@
 //!   (with the §3 round-trip obligation), and dispatch.
 //! * [`kernel`] — the composed kernel object exposing the whole
 //!   interface the `veros-core` `Sys` contract abstracts.
+//!
+//! # Telemetry
+//!
+//! With the `telemetry` cargo feature (on by default) the resolve path,
+//! the buddy allocator, and the syscall dispatcher maintain the
+//! instruments in [`metrics`] — TLB hit/miss/invalidation counters,
+//! split/merge counters, per-variant syscall latency histograms, and a
+//! syscall trace ring. Reporting binaries call [`metrics::export`] to
+//! register them under the `kernel.` prefix; see `OBSERVABILITY.md`.
+//! Disabling the feature compiles every instrument to a no-op.
 
 pub mod frame_alloc;
 pub mod futex;
 pub mod kernel;
+pub mod metrics;
 pub mod process;
 pub mod scheduler;
 pub mod syscall;

@@ -1,0 +1,212 @@
+//! Telemetry instruments for the kernel's hot paths.
+//!
+//! Three groups, all backed by `veros-telemetry` (no-ops with the
+//! `telemetry` feature off):
+//!
+//! * **Translation cache** — a miss counter on the [`crate::vspace`]
+//!   resolve path and an epoch-invalidation counter bumped by every
+//!   unmap. The hit path is deliberately *not* instrumented: a cache
+//!   hit costs ~5ns and even a sharded counter add is measurable there
+//!   (DESIGN.md §10 records the measurement that forced this). Misses
+//!   already pay for a multi-level table walk, so the bump is noise.
+//! * **Frame allocator** — buddy split/merge counters, accumulated
+//!   locally inside [`crate::frame_alloc::BuddyAllocator`] loops and
+//!   flushed with one add per call.
+//! * **Syscalls** — a per-variant latency histogram plus a trace ring
+//!   recording the most recent dispatches (code = variant index, value =
+//!   1 for Ok / 0 for Err).
+//!
+//! [`export`] registers everything under the `kernel.` prefix; names and
+//! units are catalogued in `OBSERVABILITY.md`.
+
+use crate::syscall::Syscall;
+use veros_telemetry::{Counter, Histogram, Registry, TraceRing};
+
+/// Translation-cache misses (resolve fell through to the table walk).
+/// Hits are uncounted by design — see the module docs.
+pub static TLB_MISSES: Counter = Counter::new();
+
+/// Bumps [`TLB_MISSES`]. Outlined and cold with telemetry on so the
+/// counter machinery never bloats `resolve`'s body (which would push
+/// the uninstrumented hit path out of its tight code layout); inlined
+/// to nothing with telemetry off.
+#[cfg_attr(feature = "telemetry", cold, inline(never))]
+#[cfg_attr(not(feature = "telemetry"), inline(always))]
+pub fn tlb_miss() {
+    TLB_MISSES.inc();
+}
+
+/// Epoch bumps: every unmap invalidates the whole translation cache.
+pub static TLB_EPOCH_INVALIDATIONS: Counter = Counter::new();
+
+/// Buddy blocks split while serving an allocation.
+pub static FRAME_SPLITS: Counter = Counter::new();
+
+/// Buddy pairs coalesced while freeing a block.
+pub static FRAME_MERGES: Counter = Counter::new();
+
+/// Number of [`Syscall`] variants (and latency histograms).
+pub const SYSCALL_VARIANTS: usize = 16;
+
+/// Per-variant syscall latency, in nanoseconds, indexed by
+/// [`syscall_index`].
+pub static SYSCALL_LATENCY: [Histogram; SYSCALL_VARIANTS] =
+    [const { Histogram::new() }; SYSCALL_VARIANTS];
+
+/// The most recent syscall dispatches: code = [`syscall_index`],
+/// value = 1 for `Ok`, 0 for `Err`.
+pub static SYSCALL_TRACE: TraceRing = TraceRing::new();
+
+/// Metric-name and trace-legend labels, indexed by [`syscall_index`].
+pub static SYSCALL_NAMES: [&str; SYSCALL_VARIANTS] = [
+    "spawn",
+    "exit",
+    "wait",
+    "map",
+    "unmap",
+    "open",
+    "read",
+    "write",
+    "seek",
+    "close",
+    "unlink",
+    "futex_wait",
+    "futex_wake",
+    "thread_spawn",
+    "yield",
+    "clock_read",
+];
+
+/// The trace-ring legend decoding [`SYSCALL_TRACE`] codes.
+pub static SYSCALL_LEGEND: [(u64, &str); SYSCALL_VARIANTS] = [
+    (0, "spawn"),
+    (1, "exit"),
+    (2, "wait"),
+    (3, "map"),
+    (4, "unmap"),
+    (5, "open"),
+    (6, "read"),
+    (7, "write"),
+    (8, "seek"),
+    (9, "close"),
+    (10, "unlink"),
+    (11, "futex_wait"),
+    (12, "futex_wake"),
+    (13, "thread_spawn"),
+    (14, "yield"),
+    (15, "clock_read"),
+];
+
+/// Maps a syscall to its stable instrument index (the order of
+/// [`SYSCALL_NAMES`]).
+pub fn syscall_index(call: &Syscall) -> usize {
+    match call {
+        Syscall::Spawn => 0,
+        Syscall::Exit { .. } => 1,
+        Syscall::Wait { .. } => 2,
+        Syscall::Map { .. } => 3,
+        Syscall::Unmap { .. } => 4,
+        Syscall::Open { .. } => 5,
+        Syscall::Read { .. } => 6,
+        Syscall::Write { .. } => 7,
+        Syscall::Seek { .. } => 8,
+        Syscall::Close { .. } => 9,
+        Syscall::Unlink { .. } => 10,
+        Syscall::FutexWait { .. } => 11,
+        Syscall::FutexWake { .. } => 12,
+        Syscall::ThreadSpawn { .. } => 13,
+        Syscall::Yield => 14,
+        Syscall::ClockRead => 15,
+    }
+}
+
+/// Registers every kernel instrument with `reg` under the `kernel.`
+/// prefix. Syscall latency histograms are registered per variant
+/// (`kernel.syscall.latency.<name>`).
+pub fn export(reg: &mut Registry) {
+    reg.counter("kernel.tlb.misses", "lookups", &TLB_MISSES);
+    reg.counter(
+        "kernel.tlb.epoch_invalidations",
+        "invalidations",
+        &TLB_EPOCH_INVALIDATIONS,
+    );
+    reg.counter("kernel.frame_alloc.splits", "blocks", &FRAME_SPLITS);
+    reg.counter("kernel.frame_alloc.merges", "blocks", &FRAME_MERGES);
+    // Static registration names for the per-variant histograms: the
+    // registry wants `&'static str`, so the names are spelled out rather
+    // than formatted at runtime.
+    static LATENCY_NAMES: [&str; SYSCALL_VARIANTS] = [
+        "kernel.syscall.latency.spawn",
+        "kernel.syscall.latency.exit",
+        "kernel.syscall.latency.wait",
+        "kernel.syscall.latency.map",
+        "kernel.syscall.latency.unmap",
+        "kernel.syscall.latency.open",
+        "kernel.syscall.latency.read",
+        "kernel.syscall.latency.write",
+        "kernel.syscall.latency.seek",
+        "kernel.syscall.latency.close",
+        "kernel.syscall.latency.unlink",
+        "kernel.syscall.latency.futex_wait",
+        "kernel.syscall.latency.futex_wake",
+        "kernel.syscall.latency.thread_spawn",
+        "kernel.syscall.latency.yield",
+        "kernel.syscall.latency.clock_read",
+    ];
+    for (name, hist) in LATENCY_NAMES.iter().zip(SYSCALL_LATENCY.iter()) {
+        reg.histogram(name, "ns", hist);
+    }
+    reg.trace("kernel.syscall.trace", &SYSCALL_TRACE, &SYSCALL_LEGEND);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syscall_index_covers_every_variant_distinctly() {
+        let calls = [
+            Syscall::Spawn,
+            Syscall::Exit { code: 0 },
+            Syscall::Wait { pid: 1 },
+            Syscall::Map { va: 0, pages: 1, writable: true },
+            Syscall::Unmap { va: 0, pages: 1 },
+            Syscall::Open { path_ptr: 0, path_len: 0, create: false },
+            Syscall::Read { fd: 0, buf_ptr: 0, buf_len: 0 },
+            Syscall::Write { fd: 0, buf_ptr: 0, buf_len: 0 },
+            Syscall::Seek { fd: 0, offset: 0 },
+            Syscall::Close { fd: 0 },
+            Syscall::Unlink { path_ptr: 0, path_len: 0 },
+            Syscall::FutexWait { va: 0, expected: 0 },
+            Syscall::FutexWake { va: 0, count: 0 },
+            Syscall::ThreadSpawn { affinity_plus_one: 0 },
+            Syscall::Yield,
+            Syscall::ClockRead,
+        ];
+        let mut seen = [false; SYSCALL_VARIANTS];
+        for call in &calls {
+            let i = syscall_index(call);
+            assert!(!seen[i], "index {i} assigned twice");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every index covered");
+        assert_eq!(SYSCALL_NAMES.len(), calls.len());
+    }
+
+    #[test]
+    fn legend_matches_names() {
+        for (i, &(code, name)) in SYSCALL_LEGEND.iter().enumerate() {
+            assert_eq!(code, i as u64);
+            assert_eq!(name, SYSCALL_NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn export_registers_tlb_frame_and_syscall_metrics() {
+        let mut reg = Registry::new();
+        export(&mut reg);
+        // 4 tlb/frame metrics + 16 latency histograms (trace excluded).
+        assert_eq!(reg.metric_count(), 4 + SYSCALL_VARIANTS);
+        assert!(reg.metric_names().contains(&"kernel.tlb.misses"));
+    }
+}

@@ -140,6 +140,7 @@ impl VSpace {
     ) -> Result<(), PtError> {
         let mapping = self.table.as_ops().unmap_frame(mem, alloc, va)?;
         self.cache.invalidate_all();
+        crate::metrics::TLB_EPOCH_INVALIDATIONS.inc();
         self.mapped_bytes -= mapping.size.bytes();
         let pa = PAddr(mapping.pa);
         if let Some(pos) = self
@@ -207,6 +208,7 @@ impl VSpace {
     ) -> Result<u64, PtError> {
         let removed = self.table.as_ops().unmap_range(mem, alloc, va, pages)?;
         self.cache.invalidate_all();
+        crate::metrics::TLB_EPOCH_INVALIDATIONS.inc();
         let mut bytes = 0u64;
         for mapping in &removed {
             bytes += mapping.size.bytes();
@@ -230,8 +232,11 @@ impl VSpace {
     /// entry already stale (see [`crate::tlb`]).
     pub fn resolve(&self, mem: &PhysMem, va: VAddr) -> Result<ResolveAnswer, PtError> {
         if let Some(hit) = self.cache.lookup(va) {
+            // Deliberately uninstrumented: the hit path is ~5ns and a
+            // counter add here measurably regresses it (DESIGN.md §10).
             return Ok(hit);
         }
+        crate::metrics::tlb_miss();
         let epoch = self.cache.epoch();
         let ans = self.table.as_ops_ref().resolve(mem, va)?;
         self.cache.fill(va, &ans, epoch);

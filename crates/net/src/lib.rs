@@ -17,6 +17,15 @@
 //! * [`stack`] — one host's stack: NIC ↔ IP demux ↔ sockets.
 //! * [`sim`] — the wire: moves frames between NICs with deterministic
 //!   fault injection.
+//!
+//! # Telemetry
+//!
+//! With the `telemetry` cargo feature (on by default) the transport and
+//! the wire simulator maintain the instruments in [`metrics`] —
+//! retransmit, window-stall, and wire drop/delivery counters. Reporting
+//! binaries call [`metrics::export`] to register them under the `net.`
+//! prefix; see `OBSERVABILITY.md`. Disabling the feature compiles every
+//! instrument to a no-op.
 
 /// Copies `N` bytes of `buf` starting at `off` into an array, without a
 /// panicking `try_into` conversion. Callers check lengths before calling
@@ -32,6 +41,7 @@ pub(crate) fn take_arr<const N: usize>(buf: &[u8], off: usize) -> [u8; N] {
 
 pub mod frame;
 pub mod ip;
+pub mod metrics;
 pub mod rdt;
 pub mod sim;
 pub mod socket;

@@ -119,6 +119,9 @@ impl RdtEndpoint {
                 self.timer_deadline = Some(now + self.timeout);
             }
         }
+        if !self.backlog.is_empty() {
+            crate::metrics::WINDOW_STALLS.inc();
+        }
         Ok(())
     }
 
@@ -150,6 +153,7 @@ impl RdtEndpoint {
                 for (seq, payload) in window {
                     self.transmit_data(stack, seq, &payload)?;
                     self.retransmissions += 1;
+                    crate::metrics::RETRANSMITS.inc();
                 }
                 self.timer_deadline = Some(now + self.timeout);
             }

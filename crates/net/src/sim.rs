@@ -105,6 +105,7 @@ impl Network {
         for f in self.in_flight.drain(..) {
             if self.rng.chance(self.plan.loss.0, self.plan.loss.1) {
                 self.dropped_frames += 1;
+                crate::metrics::DROPS.inc();
                 continue;
             }
             if self.rng.chance(self.plan.duplicate.0, self.plan.duplicate.1) {
@@ -124,6 +125,7 @@ impl Network {
         for f in surviving {
             let Some(frame) = EthFrame::decode(&f) else {
                 self.dropped_frames += 1;
+                crate::metrics::DROPS.inc();
                 continue;
             };
             let mut hit = false;
@@ -135,8 +137,10 @@ impl Network {
             }
             if hit {
                 self.delivered_frames += 1;
+                crate::metrics::DELIVERED.inc();
             } else {
                 self.dropped_frames += 1;
+                crate::metrics::DROPS.inc();
             }
         }
         // Demux.

@@ -27,11 +27,21 @@
 //! workspace checks dynamically with the Wing–Gong checker in
 //! `veros-spec` (see this crate's `tests` and `veros-core`'s
 //! linearizability VCs).
+//!
+//! # Telemetry
+//!
+//! With the `telemetry` cargo feature (on by default) the combiner
+//! maintains the instruments in [`metrics`] — log-append and retry
+//! counters plus sampled batch-size and replay-lag histograms. Reporting
+//! binaries call [`metrics::export`] to register them under the `nr.`
+//! prefix; see `OBSERVABILITY.md` for names, units, and the snapshot
+//! schema. Disabling the feature compiles every instrument to a no-op.
 
 pub mod backoff;
 pub(crate) mod context;
 pub mod dispatch;
 pub mod log;
+pub mod metrics;
 pub mod pad;
 pub mod replica;
 pub mod replicated;

@@ -24,6 +24,13 @@ pub struct Replica<D: Dispatch> {
     pub(crate) id: usize,
     pub(crate) data: DistRwLock<D>,
     pub(crate) contexts: Vec<CachePadded<Context<D>>>,
+    /// Telemetry accumulator: operations appended but not yet flushed to
+    /// the process-global counter (see `metrics::combine_pass`). Only
+    /// the combiner — which holds this replica's write lock — touches
+    /// it, so it rides the combiner's cache traffic for free. Present
+    /// (and zero) even with telemetry off so the struct layout does not
+    /// depend on the feature.
+    pub(crate) pending_appends: CachePadded<core::sync::atomic::AtomicU64>,
 }
 
 impl<D: Dispatch> Replica<D> {
@@ -35,6 +42,7 @@ impl<D: Dispatch> Replica<D> {
             contexts: (0..threads)
                 .map(|_| CachePadded::new(Context::default()))
                 .collect(),
+            pending_appends: CachePadded::new(core::sync::atomic::AtomicU64::new(0)),
         }
     }
 

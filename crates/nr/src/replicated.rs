@@ -192,14 +192,22 @@ impl<D: Dispatch> NodeReplicated<D> {
         let replica = &self.replicas[replica_idx];
         let mut batch = Vec::with_capacity(replica.max_threads());
         replica.collect(&mut batch);
+        let collected = batch.len() as u64;
         if !batch.is_empty() {
             while !self.log.try_append(&mut batch) {
+                crate::metrics::APPEND_RETRIES.inc();
                 // The ring is full: consume on our own replica first,
                 // then help lagging remote replicas drain.
                 replica.apply_log(&self.log, data);
                 self.help_lagging(replica_idx);
             }
         }
+        // Instrumented after the append so the accumulator's L1 traffic
+        // overlaps the append's store-buffer drain; the lag closure is
+        // only evaluated on a flush, pre-apply (the interesting lag).
+        crate::metrics::combine_pass(&replica.pending_appends, collected, || {
+            self.log.tail().saturating_sub(self.log.ltail(replica_idx)) as u64
+        });
         replica.apply_log(&self.log, data);
     }
 
