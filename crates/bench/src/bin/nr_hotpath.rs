@@ -3,8 +3,8 @@
 //! `BENCH_nr.json` through the results mirror.
 //!
 //! Usage:
-//!   cargo run --release -p veros-bench --bin nr_hotpath [--quick]
-//!       [--baseline <path>] [--tolerance <frac>]
+//!   `cargo run --release -p veros-bench --bin nr_hotpath [--quick]
+//!   [--baseline <path>] [--tolerance <frac>]`
 //!
 //! With `--baseline`, the run is additionally compared against a
 //! committed `BENCH_nr.json`: any throughput cell more than

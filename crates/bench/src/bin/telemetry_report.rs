@@ -1,5 +1,5 @@
 //! Emits one merged telemetry snapshot covering every instrumented
-//! crate (nr, kernel, fs, net, blockstore).
+//! crate (nr, kernel, fs, net, blockstore, uring).
 //!
 //! Runs a small representative workload per subsystem — the NR hot
 //! path, a kernel boot with a syscall sequence, a journaled filesystem
@@ -12,7 +12,15 @@
 //! structurally complete snapshot whose `telemetry_enabled` field is
 //! `false` and whose values are all zero.
 //!
-//! Usage: `cargo run --release -p veros-bench --bin telemetry_report`
+//! With `--check`, the run additionally evaluates the standing alert
+//! policy ([`veros_telemetry::default_rules`]) against the snapshot and
+//! fails on any violation. Check mode skips the deliberate
+//! checksum-rejection probe — its whole point is to tick the counter
+//! the policy says must stay at zero — so a clean stack passes and a
+//! real integrity failure or replay-lag blowup trips the gate.
+//!
+//! Usage: `cargo run --release -p veros-bench --bin telemetry_report
+//! [--check]`
 
 use veros_blockstore::cluster::Cluster;
 use veros_blockstore::wire::block_checksum;
@@ -73,6 +81,29 @@ fn exercise_kernel() {
     k.syscall(caller, Syscall::Unmap { va: base, pages: 8 }).expect("unmap");
 }
 
+/// Uring: a submission-ring batch through the engine, including one
+/// parked-and-woken futex wait so the pending-table instruments tick.
+fn exercise_uring() {
+    let mut k = Kernel::boot(KernelConfig::default()).expect("default config boots");
+    let owner = (k.init_pid, k.init_tid);
+    let base = 0x50_0000u64;
+    k.syscall(owner, Syscall::Map { va: base, pages: 1, writable: true })
+        .expect("map futex page");
+    let (mut user, kring) = veros_uring::pair(8);
+    let mut engine = veros_uring::Engine::new(kring, owner);
+    for i in 0..4u64 {
+        user.submit(i, &Syscall::ClockRead).expect("sq has room");
+    }
+    user.submit(4, &Syscall::FutexWait { va: base, expected: 0 })
+        .expect("sq has room");
+    engine.submit_batch(&mut k);
+    k.syscall(owner, Syscall::FutexWake { va: base, count: 1 })
+        .expect("wake the parked worker");
+    engine.reap(&mut k);
+    while user.complete().is_some() {}
+    engine.shutdown(&mut k);
+}
+
 /// Filesystem: committed transactions plus a recovery replay.
 fn exercise_fs() {
     let mut jfs = JournaledFs::format(SimDisk::new(1024));
@@ -87,9 +118,9 @@ fn exercise_fs() {
 }
 
 /// Net + blockstore: a replicated cluster over the hostile wire (drops,
-/// retransmits, replication round-trips) plus a direct checksum
-/// rejection.
-fn exercise_cluster() {
+/// retransmits, replication round-trips) plus — outside check mode — a
+/// direct checksum rejection.
+fn exercise_cluster(check: bool) {
     let mut c = Cluster::new(FaultPlan::hostile(), 7);
     for i in 0..4u32 {
         let key = format!("k{i}");
@@ -102,16 +133,23 @@ fn exercise_cluster() {
     }
     c.rpc(|cl, s, t| cl.delete(s, t, "k0")).expect("delete acked");
 
-    // A client-side checksum mismatch, rejected before storage.
-    let mut store = BlockStore::format(1 << 12);
-    assert!(store.put("bad", b"data", block_checksum(b"data") ^ 1).is_err());
+    // A client-side checksum mismatch, rejected before storage. The
+    // probe proves the rejection path is live, but it also ticks the
+    // exact counter the alert policy holds at zero, so check mode
+    // leaves it out.
+    if !check {
+        let mut store = BlockStore::format(1 << 12);
+        assert!(store.put("bad", b"data", block_checksum(b"data") ^ 1).is_err());
+    }
 }
 
 fn main() {
+    let check = std::env::args().any(|a| a == "--check");
     exercise_nr();
     exercise_kernel();
+    exercise_uring();
     exercise_fs();
-    exercise_cluster();
+    exercise_cluster(check);
 
     let mut reg = Registry::new();
     veros_nr::metrics::export(&mut reg);
@@ -119,9 +157,10 @@ fn main() {
     veros_fs::metrics::export(&mut reg);
     veros_net::metrics::export(&mut reg);
     veros_blockstore::metrics::export(&mut reg);
+    veros_uring::metrics::export(&mut reg);
 
     let names = reg.metric_names();
-    let prefixes = ["nr.", "kernel.", "fs.", "net.", "blockstore."];
+    let prefixes = ["nr.", "kernel.", "fs.", "net.", "blockstore.", "uring."];
     let all_crates_covered = prefixes
         .iter()
         .all(|p| names.iter().any(|n| n.starts_with(p)));
@@ -146,14 +185,27 @@ fn main() {
         };
         counter_value("nr.log.appends") > 0
             && counter_value("kernel.tlb.misses") > 0
+            && counter_value("uring.cqe.posted") > 0
+            && counter_value("uring.pending.parked") > 0
             && counter_value("fs.journal.commits") > 0
             && counter_value("net.sim.delivered") > 0
-            && counter_value("blockstore.checksum_failures") > 0
+            && (check || counter_value("blockstore.checksum_failures") > 0)
     } else {
         true
     };
 
-    let ok = all_crates_covered && enough_metrics && observed;
+    let mut ok = all_crates_covered && enough_metrics && observed;
+    if check {
+        let alerts = veros_telemetry::evaluate(&snapshot, &veros_telemetry::default_rules());
+        for a in &alerts {
+            eprintln!("ALERT: {}", a.message);
+        }
+        if alerts.is_empty() {
+            eprintln!("telemetry_report --check: no alerts");
+        } else {
+            ok = false;
+        }
+    }
     eprintln!(
         "telemetry_report: {} metrics, all crates covered: {all_crates_covered}, \
          observations recorded: {observed} (enabled: {})",

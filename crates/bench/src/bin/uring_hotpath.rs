@@ -1,0 +1,92 @@
+//! The uring hot-path comparison: per-op `ClockRead` latency through
+//! the synchronous trap path vs. the submission ring at batch sizes
+//! 1/8/64, emitted as `BENCH_uring.json` through the results mirror.
+//!
+//! Usage:
+//!   `cargo run --release -p veros-bench --bin uring_hotpath [--quick]
+//!   [--baseline <path>] [--tolerance <frac>]`
+//!
+//! Two gates decide the exit status:
+//!
+//! * **Amortization** (telemetry builds only): the batched ring must be
+//!   no slower than the trap path at batch sizes 8 and 64 — the whole
+//!   point of the ring is amortizing per-call entry overhead across a
+//!   batch, and with telemetry compiled out there is no per-call
+//!   overhead left to amortize, so the claim is only meaningful (and
+//!   only checked) when the instrumentation is in the build.
+//! * **Baseline** (with `--baseline`): any latency cell more than
+//!   `--tolerance` (default 0.35) *above* its committed value fails the
+//!   run — inverted relative to the NR throughput gate because lower is
+//!   better here.
+
+use veros_bench::uring::{regressions_against, UringReport};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let baseline_path = flag_value(&args, "--baseline");
+    let tolerance: f64 = flag_value(&args, "--tolerance")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.35);
+
+    eprintln!(
+        "uring_hotpath: {} run...",
+        if quick { "quick" } else { "full" }
+    );
+    let report = UringReport::measure(quick);
+    let json = report.to_json();
+    print!("{json}");
+
+    let mut ok = report
+        .cells
+        .iter()
+        .all(|c| c.ns_per_op.is_finite() && c.ns_per_op > 0.0);
+
+    if veros_telemetry::enabled() {
+        let sync = report.sync_ns();
+        for batch in [8usize, 64] {
+            let ring = report.ring_ns(batch).unwrap_or(f64::INFINITY);
+            if ring <= sync {
+                eprintln!("amortization check batch={batch}: {ring:.1} <= sync {sync:.1} ns/op");
+            } else {
+                eprintln!(
+                    "amortization check batch={batch} FAILED: {ring:.1} > sync {sync:.1} ns/op"
+                );
+                ok = false;
+            }
+        }
+    } else {
+        eprintln!("telemetry compiled out: skipping amortization check");
+    }
+
+    if let Some(path) = baseline_path {
+        match std::fs::read_to_string(&path) {
+            Ok(baseline) => {
+                let regressions = regressions_against(&report, &baseline, tolerance);
+                if regressions.is_empty() {
+                    eprintln!(
+                        "baseline check vs {path}: all cells within {:.0}%",
+                        tolerance * 100.0
+                    );
+                } else {
+                    eprintln!("baseline check vs {path} FAILED:");
+                    for r in &regressions {
+                        eprintln!("  regression: {r}");
+                    }
+                    ok = false;
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                ok = false;
+            }
+        }
+    }
+
+    veros_bench::out::finish("BENCH_uring.json", &json, ok);
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let idx = args.iter().position(|a| a == flag)?;
+    args.get(idx + 1).cloned()
+}

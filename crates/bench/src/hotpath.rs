@@ -64,6 +64,7 @@ pub const CELL_POINTS: [(usize, usize); 5] = [(1, 1), (2, 1), (4, 1), (4, 2), (8
 /// Runs one contended `execute_mut` cell: `threads` workers split across
 /// `replicas` replicas, each performing `ops_per_thread` increments.
 /// Returns aggregate throughput in ops/sec.
+#[inline(never)]
 pub fn contended_execute_mut(threads: usize, replicas: usize, ops_per_thread: u64) -> f64 {
     let per_replica = threads.div_ceil(replicas);
     let nr = Arc::new(NodeReplicated::new(
@@ -109,6 +110,7 @@ pub fn contended_execute_mut(threads: usize, replicas: usize, ops_per_thread: u6
 /// With a small `pages` the working set fits the translation cache (hot
 /// path); with a large one every resolve is effectively a full 4-level
 /// descent (cold path).
+#[inline(never)]
 pub fn resolve_latency_ns(pages: u64, iters: u64) -> f64 {
     let mut d = VSpaceDispatch::new(1 << 13, PtKind::Verified);
     let base = 0x4000_0000u64;
@@ -139,6 +141,7 @@ pub fn resolve_latency_ns(pages: u64, iters: u64) -> f64 {
 /// Measures mean map+unmap cost per page (ns) for a 512-page region,
 /// either as batched range ops (one log entry, one amortized descent)
 /// or as the per-page loop the seed paid.
+#[inline(never)]
 pub fn range_ns_per_page(pages: u64, reps: u64, batched: bool) -> f64 {
     let mut d = VSpaceDispatch::new(1 << 13, PtKind::Verified);
     let base = 0x4000_0000u64;
@@ -190,13 +193,22 @@ impl HotpathReport {
     /// noise, and the best trial is the stable estimator of what the
     /// implementation can do (same min-of-N discipline as the Figure
     /// 1b/1c sweep).
+    ///
+    /// Quick sizing is deliberately 3× the original budget (and the
+    /// measurement loops are `#[inline(never)]`, pinning their code
+    /// layout against unrelated edits): the extra samples plus the
+    /// stable layout cut run-to-run spread enough for CI to gate at a
+    /// 18% tolerance instead of the original 25%.
     pub fn measure(quick: bool) -> Self {
-        let ops_per_thread: u64 = if quick { 2_000 } else { 20_000 };
-        let resolve_iters: u64 = if quick { 50_000 } else { 400_000 };
-        const TRIALS: usize = 3;
+        let ops_per_thread: u64 = if quick { 6_000 } else { 20_000 };
+        let resolve_iters: u64 = if quick { 200_000 } else { 400_000 };
+        // Quick runs take extra trials: each is cheap at quick sizing,
+        // and the max over five is what keeps the 18% CI gate quiet on
+        // an oversubscribed runner.
+        let trials = if quick { 5 } else { 3 };
         let mut cells = Vec::new();
         for (threads, replicas) in CELL_POINTS {
-            let ops_per_sec = (0..TRIALS)
+            let ops_per_sec = (0..trials)
                 .map(|_| contended_execute_mut(threads, replicas, ops_per_thread))
                 .fold(0.0f64, f64::max);
             eprintln!("  execute_mut t{threads}xr{replicas}: {ops_per_sec:.0} ops/s");
@@ -207,20 +219,20 @@ impl HotpathReport {
                 ops_per_sec,
             });
         }
-        let resolve_hot_ns = (0..TRIALS)
+        let resolve_hot_ns = (0..trials)
             .map(|_| resolve_latency_ns(8, resolve_iters))
             .fold(f64::INFINITY, f64::min);
         eprintln!("  resolve hot (8 pages): {resolve_hot_ns:.1} ns/op");
-        let resolve_cold_ns = (0..TRIALS)
+        let resolve_cold_ns = (0..trials)
             .map(|_| resolve_latency_ns(2048, resolve_iters / 4))
             .fold(f64::INFINITY, f64::min);
         eprintln!("  resolve cold (2048 pages): {resolve_cold_ns:.1} ns/op");
-        let range_reps: u64 = if quick { 20 } else { 200 };
-        let range_batched_ns = (0..TRIALS)
+        let range_reps: u64 = if quick { 60 } else { 200 };
+        let range_batched_ns = (0..trials)
             .map(|_| range_ns_per_page(512, range_reps, true))
             .fold(f64::INFINITY, f64::min);
         eprintln!("  map+unmap 512 pages, batched range: {range_batched_ns:.1} ns/page");
-        let range_per_page_ns = (0..TRIALS)
+        let range_per_page_ns = (0..trials)
             .map(|_| range_ns_per_page(512, range_reps, false))
             .fold(f64::INFINITY, f64::min);
         eprintln!("  map+unmap 512 pages, per-page loop: {range_per_page_ns:.1} ns/page");

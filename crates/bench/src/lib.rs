@@ -22,3 +22,4 @@ pub mod out;
 pub mod ratio;
 pub mod survey;
 pub mod sweep;
+pub mod uring;

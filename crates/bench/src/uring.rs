@@ -1,0 +1,281 @@
+//! The `uring_hotpath` workload: per-op syscall latency through the
+//! synchronous trap path vs. the asynchronous submission ring at
+//! increasing batch sizes, emitted as `BENCH_uring.json`.
+//!
+//! The measured claim mirrors io_uring's: per-syscall entry overhead
+//! (here, the per-call telemetry timer and trace record of
+//! [`veros_kernel::Kernel::syscall`]) is paid once per *batch* on the
+//! ring path, so per-op cost should fall below the trap path once a
+//! batch carries more than a handful of operations. The workload is
+//! `ClockRead` — the cheapest syscall, so the entry overhead is the
+//! largest possible fraction of the measured cost and the comparison is
+//! the most demanding one for the ring (any fixed ring overhead shows
+//! up undiluted).
+//!
+//! The JSON mirror doubles as the CI regression baseline, with the same
+//! scanner/gate discipline as `BENCH_nr.json`: latency cells are keyed
+//! by stable names and a cell regresses when it exceeds the committed
+//! value by more than the tolerance.
+
+use std::time::Instant;
+
+use veros_kernel::syscall::Syscall;
+use veros_kernel::{Kernel, KernelConfig};
+use veros_uring::{pair, Engine};
+
+/// Batch sizes every run measures. Names derived from these must stay
+/// stable: the committed baseline keys on them.
+pub const BATCH_POINTS: [usize; 3] = [1, 8, 64];
+
+/// One latency cell of the comparison.
+#[derive(Clone, Debug)]
+pub struct LatCell {
+    /// Cell name (stable across runs; the baseline comparison keys on it).
+    pub name: String,
+    /// Mean cost per completed operation, nanoseconds.
+    pub ns_per_op: f64,
+}
+
+/// Measures mean per-op cost (ns) of `ops` `ClockRead` calls through the
+/// synchronous trap path, per-call instrumentation included — this is
+/// exactly what a process pays today for every syscall.
+#[inline(never)]
+pub fn sync_ns_per_op(ops: u64) -> f64 {
+    let mut k = Kernel::boot(KernelConfig::default()).expect("boot");
+    let caller = (k.init_pid, k.init_tid);
+    let t0 = Instant::now();
+    for _ in 0..ops {
+        std::hint::black_box(k.syscall(caller, Syscall::ClockRead).expect("clock_read"));
+    }
+    t0.elapsed().as_nanos() as f64 / ops as f64
+}
+
+/// Measures mean per-op cost (ns) of `ops` `ClockRead` calls submitted
+/// through the ring in batches of `batch`: fill the SQ, one
+/// `submit_batch` kernel entry, drain the CQ. Completion results are
+/// consumed (and checked) so the ring's decode side is part of the
+/// measured cost, not just its submit side.
+#[inline(never)]
+pub fn ring_ns_per_op(ops: u64, batch: usize) -> f64 {
+    let mut k = Kernel::boot(KernelConfig::default()).expect("boot");
+    let owner = (k.init_pid, k.init_tid);
+    let (mut user, kring) = pair(batch.next_power_of_two().max(2));
+    let mut engine = Engine::new(kring, owner);
+    let rounds = ops / batch as u64;
+    let t0 = Instant::now();
+    for round in 0..rounds {
+        for i in 0..batch as u64 {
+            user.submit(round * batch as u64 + i, &Syscall::ClockRead)
+                .expect("sq sized to batch");
+        }
+        engine.submit_batch(&mut k);
+        for _ in 0..batch {
+            let cqe = user.complete().expect("clock_read completes in-batch");
+            std::hint::black_box(cqe.result.expect("clock_read succeeds"));
+        }
+    }
+    t0.elapsed().as_nanos() as f64 / (rounds * batch as u64) as f64
+}
+
+/// A full `uring_hotpath` run.
+#[derive(Clone, Debug)]
+pub struct UringReport {
+    /// True when run with `--quick` sizing.
+    pub quick: bool,
+    /// Latency cells: the sync reference, then one per [`BATCH_POINTS`]
+    /// entry.
+    pub cells: Vec<LatCell>,
+}
+
+impl UringReport {
+    /// Runs the full comparison. Quick mode shrinks op counts, not the
+    /// cell list, so baselines generated in either mode share names.
+    /// Every cell is best-of-3 (min latency), the same discipline as
+    /// the NR hot-path sweep.
+    pub fn measure(quick: bool) -> Self {
+        let ops: u64 = if quick { 60_000 } else { 400_000 };
+        const TRIALS: usize = 3;
+        let mut cells = Vec::new();
+        let sync_ns = (0..TRIALS)
+            .map(|_| sync_ns_per_op(ops))
+            .fold(f64::INFINITY, f64::min);
+        eprintln!("  sync trap path: {sync_ns:.1} ns/op");
+        cells.push(LatCell {
+            name: "sync/per_op".into(),
+            ns_per_op: sync_ns,
+        });
+        for batch in BATCH_POINTS {
+            let ns = (0..TRIALS)
+                .map(|_| ring_ns_per_op(ops, batch))
+                .fold(f64::INFINITY, f64::min);
+            eprintln!("  ring batch={batch}: {ns:.1} ns/op");
+            cells.push(LatCell {
+                name: format!("ring/batch{batch}"),
+                ns_per_op: ns,
+            });
+        }
+        Self { quick, cells }
+    }
+
+    /// The sync reference cell.
+    pub fn sync_ns(&self) -> f64 {
+        self.cells
+            .iter()
+            .find(|c| c.name == "sync/per_op")
+            .map(|c| c.ns_per_op)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// The ring cell for a given batch size, if measured.
+    pub fn ring_ns(&self, batch: usize) -> Option<f64> {
+        let name = format!("ring/batch{batch}");
+        self.cells
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.ns_per_op)
+    }
+
+    /// Renders the report as the `BENCH_uring.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"uring_hotpath\",\n");
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let comma = if i + 1 < self.cells.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"ns_per_op\": {:.1} }}{}\n",
+                c.name, c.ns_per_op, comma
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Extracts `(name, ns_per_op)` pairs from a `BENCH_uring.json`
+/// document. Same line-oriented scanner discipline as the NR baseline:
+/// it reads exactly what [`UringReport::to_json`] writes and skips
+/// lines it cannot fully read.
+pub fn parse_baseline_cells(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name) = field_str(line, "name") else {
+            continue;
+        };
+        let Some(ns) = field_num(line, "ns_per_op") else {
+            continue;
+        };
+        out.push((name, ns));
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares a fresh report against a committed baseline: every cell
+/// present in both must stay under `1 + tolerance` times the baseline
+/// latency (lower is better here, so the gate is inverted relative to
+/// the NR throughput gate). Returns the list of regressions (empty =
+/// pass).
+pub fn regressions_against(
+    current: &UringReport,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Vec<String> {
+    let baseline = parse_baseline_cells(baseline_json);
+    let mut out = Vec::new();
+    for (name, base_ns) in &baseline {
+        let Some(cur) = current.cells.iter().find(|c| &c.name == name) else {
+            out.push(format!("cell {name} missing from current run"));
+            continue;
+        };
+        let ceiling = base_ns * (1.0 + tolerance);
+        if cur.ns_per_op > ceiling {
+            out.push(format!(
+                "{name}: {:.1} ns/op > {:.1} ({}% above baseline {:.1})",
+                cur.ns_per_op,
+                ceiling,
+                ((cur.ns_per_op / base_ns - 1.0) * 100.0).round(),
+                base_ns
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_paths_produce_finite_latencies() {
+        let sync = sync_ns_per_op(200);
+        assert!(sync > 0.0 && sync.is_finite());
+        for batch in [1, 8] {
+            let ring = ring_ns_per_op(200, batch);
+            assert!(ring > 0.0 && ring.is_finite(), "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_scanner() {
+        let report = UringReport {
+            quick: true,
+            cells: vec![
+                LatCell {
+                    name: "sync/per_op".into(),
+                    ns_per_op: 120.5,
+                },
+                LatCell {
+                    name: "ring/batch8".into(),
+                    ns_per_op: 80.25,
+                },
+            ],
+        };
+        let parsed = parse_baseline_cells(&report.to_json());
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "sync/per_op");
+        assert!((parsed[0].1 - 120.5).abs() < 0.1);
+        assert!((report.sync_ns() - 120.5).abs() < f64::EPSILON);
+        assert_eq!(report.ring_ns(8), Some(80.25));
+        assert_eq!(report.ring_ns(64), None);
+    }
+
+    #[test]
+    fn regression_gate_is_inverted_for_latency() {
+        let mut report = UringReport {
+            quick: true,
+            cells: vec![LatCell {
+                name: "ring/batch8".into(),
+                ns_per_op: 110.0,
+            }],
+        };
+        let baseline = "{ \"name\": \"ring/batch8\", \"ns_per_op\": 100.0 }";
+        // 10% up with 35% tolerance: fine.
+        assert!(regressions_against(&report, baseline, 0.35).is_empty());
+        // 50% up: regression.
+        report.cells[0].ns_per_op = 150.0;
+        assert_eq!(regressions_against(&report, baseline, 0.35).len(), 1);
+        // Unknown baseline cells are reported, not ignored.
+        let stale = "{ \"name\": \"gone\", \"ns_per_op\": 5.0 }";
+        assert_eq!(regressions_against(&report, stale, 0.35).len(), 1);
+    }
+}

@@ -5,7 +5,7 @@
 //! verifying, consider the data-storage node in a distributed block
 //! store like GFS or S3. In fact, Amazon even describes their use of
 //! lightweight formal methods to verify such a storage node" (§1,
-//! citing [8]). This crate is that node, built on the verified stack:
+//! citing \[8\]). This crate is that node, built on the verified stack:
 //!
 //! * [`wire`] — the client protocol, marshalled with the same
 //!   round-trip discipline as the syscall ABI.

@@ -11,7 +11,7 @@
 //!   processes with virtual memory, fd tables, threads; the shared
 //!   filesystem) and the transition function for every syscall,
 //!   value-level (buffers are sequences, not pointers).
-//! * [`view`] — the abstraction function from a live [`veros_kernel::
+//! * [mod@view] — the abstraction function from a live [`veros_kernel::
 //!   Kernel`] to [`sys_spec::SysState`]. Memory is abstracted through
 //!   the **MMU's interpretation of the page tables** — the process-
 //!   centric spec the paper argues for.
@@ -25,15 +25,20 @@
 //!   behaviour (syscall return values, memory read results) of the
 //!   kernel-on-hardware matches the abstract model, over randomized
 //!   multi-process workloads.
+//! * [`uring`] — differential verification of the asynchronous
+//!   submission/completion rings: a ring-driven kernel against a
+//!   synchronous twin, compared on every completion and on the final
+//!   abstract state.
 //! * [`vcs`] — the verification-condition population for the whole OS
 //!   contract (scheduler sanity, NR linearizability, FS crash safety,
-//!   network transport spec, and the above), complementing the page
-//!   table's 220 VCs.
+//!   network transport spec, uring linearization, and the above),
+//!   complementing the page table's 220 VCs.
 
 pub mod obligations;
 pub mod sys;
 pub mod sys_spec;
 pub mod theorem;
+pub mod uring;
 pub mod vcs;
 pub mod view;
 

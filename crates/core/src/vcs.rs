@@ -37,6 +37,8 @@ struct Params {
     nr_ops_per_thread: usize,
     fs_crash_seeds: u64,
     rdt_seeds: u64,
+    uring_seeds: u64,
+    uring_steps: usize,
 }
 
 impl Profile {
@@ -51,6 +53,8 @@ impl Profile {
                 nr_ops_per_thread: 6,
                 fs_crash_seeds: 4,
                 rdt_seeds: 4,
+                uring_seeds: 4,
+                uring_steps: 48,
             },
             Profile::Full => Params {
                 refine_steps: 3_000,
@@ -61,6 +65,8 @@ impl Profile {
                 nr_ops_per_thread: 10,
                 fs_crash_seeds: 24,
                 rdt_seeds: 16,
+                uring_seeds: 8,
+                uring_steps: 240,
             },
         }
     }
@@ -206,6 +212,40 @@ pub fn register_all(engine: &mut VcEngine, profile: Profile) {
             move || rdt_prefix_spec(seed),
         );
     }
+
+    // --- uring: asynchronous submission/completion rings ----------------------
+    // The ring path must be invisible to the OS contract: every CQE
+    // result equals the synchronous dispatch result of its SQE in the
+    // single order the engine performed them (witnessed by its dispatch
+    // log and by a policy-mirroring synchronous twin on a second
+    // kernel), non-blocking submissions complete FIFO, and the final
+    // abstract kernel states are identical.
+    for seed in 0..p.uring_seeds {
+        let steps = p.uring_steps;
+        engine.register(
+            MODULE,
+            VcKind::Linearizability,
+            format!("uring::ring_linearizes_to_sync_dispatch_s{seed}"),
+            move || crate::uring::differential_run(seed, steps),
+        );
+    }
+    // Exactly-once delivery across wraparound and full/empty boundaries
+    // of a deliberately tiny ring (depth 4, constant backpressure).
+    for seed in 0..p.uring_seeds {
+        let steps = p.uring_steps * 4;
+        engine.register(
+            MODULE,
+            VcKind::Property,
+            format!("uring::no_entry_lost_or_duplicated_s{seed}"),
+            move || crate::uring::ring_exactly_once(seed, steps),
+        );
+    }
+    engine.register(
+        MODULE,
+        VcKind::Property,
+        "uring::telemetry_counters_coherent",
+        crate::uring::telemetry_counters_coherent,
+    );
 
     // --- telemetry coherence ---------------------------------------------------
     // The observability layer must agree with spec-visible behaviour:

@@ -6,7 +6,7 @@
 //! * [`path`] — normalized absolute paths.
 //! * [`inode`] — the inode table: files and directories.
 //! * [`memfs`] — the in-memory filesystem over the inode table.
-//! * [`file`] — open-file handles with offsets; `read`/`write` implement
+//! * [mod@file] — open-file handles with offsets; `read`/`write` implement
 //!   the paper's `read_spec` semantics literally.
 //! * [`journal`] — persistence: a write-ahead operation journal on the
 //!   simulated disk with commit records; recovery replays exactly the

@@ -100,7 +100,7 @@ impl PhysMem {
     ///
     /// # Panics
     ///
-    /// Panics when the range exceeds the memory (see [`read_bytes`]
+    /// Panics when the range exceeds the memory (see [`Self::read_bytes`]
     /// (Self::read_bytes)).
     pub fn write_bytes(&mut self, pa: PAddr, buf: &[u8]) {
         assert!(

@@ -105,7 +105,7 @@ impl BuddyAllocator {
         Some(block)
     }
 
-    /// Frees a block previously returned by [`alloc_order`]
+    /// Frees a block previously returned by [`Self::alloc_order`]
     /// (Self::alloc_order) with the same order, coalescing buddies.
     ///
     /// # Panics

@@ -240,6 +240,15 @@ impl Kernel {
         ret
     }
 
+    /// Typed dispatch without the per-call latency timer and trace
+    /// record. Semantically identical to [`Kernel::syscall`]; batched
+    /// entry paths (the uring engine) use it and account their cost at
+    /// batch granularity instead, which is the modelled analogue of
+    /// io_uring amortizing per-syscall entry overhead.
+    pub fn syscall_batched(&mut self, caller: (Pid, Tid), call: Syscall) -> SysRet {
+        self.syscall_inner(caller, call)
+    }
+
     /// The dispatch body, separated so [`Kernel::syscall`] can wrap it
     /// with latency and trace instrumentation.
     fn syscall_inner(&mut self, caller: (Pid, Tid), call: Syscall) -> SysRet {

@@ -59,6 +59,19 @@ impl Encoder {
         self.buf
     }
 
+    /// The bytes encoded so far, without consuming the encoder. Paired
+    /// with [`Encoder::clear`] this lets hot paths (the uring SQE/CQE
+    /// codecs) reuse one scratch encoder instead of allocating a fresh
+    /// buffer per entry.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Empties the buffer for reuse, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     /// Appends a `u8`.
     pub fn u8(&mut self, v: u8) -> &mut Self {
         self.buf.push(v);

@@ -5,7 +5,7 @@
 //!
 //! # Structure
 //!
-//! A direct-mapped array of [`SLOTS`] entries keyed by the 4 KiB page of
+//! A direct-mapped array of `SLOTS` entries keyed by the 4 KiB page of
 //! the queried address. Each slot is a tiny seqlock: a stamp (`seq`,
 //! even = stable, odd = a fill is in flight) guarding a `(page, data,
 //! epoch)` triple. All three fields are individual `AtomicU64`s, so no

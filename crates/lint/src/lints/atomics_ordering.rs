@@ -1,7 +1,9 @@
-//! L4 `atomics-ordering`: `Ordering::Relaxed` in `crates/nr` must be an
-//! explicitly reviewed site. The NR log's correctness argument leans on
-//! acquire/release edges; a stray `Relaxed` is exactly the kind of bug
-//! the linearizability checker can miss on a lucky schedule. Reviewed
+//! L4 `atomics-ordering`: `Ordering::Relaxed` in `crates/nr` and
+//! `crates/uring` must be an explicitly reviewed site. The NR log's
+//! correctness argument leans on acquire/release edges, and the uring
+//! SPSC rings publish slot contents with a Release store that a stray
+//! `Relaxed` would silently unorder; both are exactly the kind of bug
+//! the linearizability checkers can miss on a lucky schedule. Reviewed
 //! sites carry `// lint: allow(atomics-ordering) — <why Relaxed is
 //! sound here>`.
 
@@ -18,15 +20,15 @@ impl super::Lint for AtomicsOrdering {
     }
 
     fn describe(&self) -> &'static str {
-        "`Ordering::Relaxed` in crates/nr outside reviewed sites"
+        "`Ordering::Relaxed` in crates/nr or crates/uring outside reviewed sites"
     }
 
     fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
         for file in &ws.files {
-            let in_nr_src = file.crate_name.as_deref() == Some("nr")
+            let in_scope = matches!(file.crate_name.as_deref(), Some("nr" | "uring"))
                 && !file.test_path
                 && file.rel_path.contains("/src/");
-            if !in_nr_src {
+            if !in_scope {
                 continue;
             }
             for (idx, line) in file.lines.iter().enumerate() {
@@ -75,6 +77,13 @@ mod tests {
         let src = "// lint: allow(atomics-ordering) — monotonic counter, read for stats only.\n\
                    let x = a.load(Ordering::Relaxed);\n";
         assert!(run_on("crates/nr/src/log.rs", src).is_empty());
+    }
+
+    #[test]
+    fn uring_is_in_scope() {
+        let out = run_on("crates/uring/src/spsc.rs", "let x = a.load(Ordering::Relaxed);
+");
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

@@ -9,7 +9,8 @@ use std::path::{Path, PathBuf};
 /// Crates on the kernel path: code that executes under the verified
 /// stack's no-panic discipline (see ISSUE/DESIGN). `panic-freedom`
 /// applies only to these crates' `src/` trees.
-pub const KERNEL_PATH_CRATES: &[&str] = &["kernel", "pagetable", "nr", "hw", "fs", "net"];
+pub const KERNEL_PATH_CRATES: &[&str] =
+    &["kernel", "pagetable", "nr", "hw", "fs", "net", "uring"];
 
 /// One scanned workspace file.
 #[derive(Clone, Debug)]

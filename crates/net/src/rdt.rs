@@ -28,7 +28,7 @@ pub const DEFAULT_WINDOW: usize = 8;
 /// Default retransmission timeout in virtual ticks.
 pub const DEFAULT_TIMEOUT: u64 = 4;
 
-/// Events surfaced by [`RdtEndpoint::on_datagram`].
+/// Events surfaced by [`RdtEndpoint::poll`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RdtEvent {
     /// A new in-order message became available via `recv`.

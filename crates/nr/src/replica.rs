@@ -14,7 +14,7 @@ use crate::rwlock::DistRwLock;
 /// replica, appends them to the shared log as one batch, and applies the
 /// log to the local copy.
 ///
-/// Contexts are lock-free [`SeqCell`](crate::context::SeqCell) pairs —
+/// Contexts are lock-free `SeqCell` pairs —
 /// the issuing thread and the combiner exchange op and response through
 /// sequence-stamped SPSC cells, so the per-operation cost is two
 /// release-stores and two acquire-loads instead of four `Mutex`

@@ -259,7 +259,7 @@ impl PrefixTree {
 }
 
 /// The prefix tree as a finite [`StateMachine`] over an op universe, for
-/// the forward-simulation VC against [`HighSpecMachine`]
+/// the forward-simulation VC against [`HighSpecMachine`](crate::high_spec::HighSpecMachine)
 /// (crate::high_spec::HighSpecMachine).
 pub struct PrefixTreeMachine {
     /// Candidate operations.

@@ -18,8 +18,8 @@ use std::hash::Hash;
 
 /// A labelled transition system used as an executable specification.
 ///
-/// `State` must be cheaply clonable and hashable so the [`explorer`]
-/// (crate::explorer) can deduplicate the reachable set. `Action` labels
+/// `State` must be cheaply clonable and hashable so the [explorer](mod@crate::explorer)
+/// can deduplicate the reachable set. `Action` labels
 /// identify transitions both for counterexample traces and for
 /// refinement mapping.
 pub trait StateMachine {
@@ -33,8 +33,8 @@ pub trait StateMachine {
 
     /// Returns the actions enabled in `state`.
     ///
-    /// An action returned here must succeed when passed to [`step`]
-    /// (Self::step); returning an action whose `step` yields `None` is a
+    /// An action returned here must succeed when passed to
+    /// [`step`](Self::step); returning an action whose `step` yields `None` is a
     /// specification bug and is reported as such by the explorer.
     fn actions(&self, state: &Self::State) -> Vec<Self::Action>;
 

@@ -1,0 +1,196 @@
+//! Threshold alerting over telemetry snapshots.
+//!
+//! A [`Rule`] names a metric and a bound; [`evaluate`] checks every
+//! rule against a [`Snapshot`] and returns
+//! the violations. The standing fleet policy lives in
+//! [`default_rules`]: data-integrity counters that must never tick
+//! (a checksum failure is corruption reaching the client boundary) and
+//! tail-latency bounds on distributions whose blowup signals a stalled
+//! subsystem (a replica that stopped replaying the shared log).
+//!
+//! `telemetry_report --check` is the consumer: it evaluates the default
+//! rules after running the representative workloads and exits nonzero
+//! on any violation, which is the CI form of "the instruments say the
+//! system is healthy". With telemetry compiled out every reading is
+//! zero, so evaluation passes trivially — the check gates observations,
+//! not build configuration.
+
+use crate::registry::{MetricValue, Snapshot};
+
+/// One alerting rule.
+#[derive(Clone, Copy, Debug)]
+pub enum Rule {
+    /// The named counter (or gauge) must not exceed `max`.
+    CounterAtMost {
+        /// Dotted metric name to match in the snapshot.
+        metric: &'static str,
+        /// Inclusive upper bound.
+        max: u64,
+    },
+    /// The named histogram's p99 estimate must not exceed `max`.
+    P99AtMost {
+        /// Dotted metric name to match in the snapshot.
+        metric: &'static str,
+        /// Inclusive upper bound on the p99 bucket estimate.
+        max: u64,
+    },
+}
+
+impl Rule {
+    /// The metric name this rule watches.
+    pub fn metric(&self) -> &'static str {
+        match self {
+            Rule::CounterAtMost { metric, .. } | Rule::P99AtMost { metric, .. } => metric,
+        }
+    }
+}
+
+/// A rule violation: which metric, what was observed, what was allowed.
+#[derive(Clone, Debug)]
+pub struct Alert {
+    /// The violated rule's metric name.
+    pub metric: &'static str,
+    /// The reading that broke the bound.
+    pub observed: u64,
+    /// The bound it broke.
+    pub allowed: u64,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// The standing alert policy checked by `telemetry_report --check`.
+pub fn default_rules() -> Vec<Rule> {
+    vec![
+        // Corruption must never reach the client boundary silently:
+        // every checksum rejection in a healthy run is deliberate test
+        // traffic, so in the health check the budget is zero.
+        Rule::CounterAtMost { metric: "blockstore.checksum_failures", max: 0 },
+        // A replica whose replay lag blows past the log's flat-combining
+        // batch scale has effectively stopped consuming the shared log;
+        // the bound is generous (the log itself holds 1024 entries in
+        // the default sweeps) so only a wedged replica trips it.
+        Rule::P99AtMost { metric: "nr.replica.replay_lag", max: 1024 },
+    ]
+}
+
+/// Evaluates `rules` against a snapshot, returning every violation.
+/// Metrics absent from the snapshot are not violations (a report may
+/// legitimately register a subset of crates); a rule kind mismatching
+/// the metric's actual type is reported, since a silently unevaluated
+/// rule is worse than a loud one.
+pub fn evaluate(snapshot: &Snapshot, rules: &[Rule]) -> Vec<Alert> {
+    let mut alerts = Vec::new();
+    for rule in rules {
+        let Some(metric) = snapshot.metrics.iter().find(|m| m.name == rule.metric()) else {
+            continue;
+        };
+        match (rule, &metric.value) {
+            (
+                Rule::CounterAtMost { metric: name, max },
+                MetricValue::Counter(v) | MetricValue::Gauge(v),
+            ) => {
+                if v > max {
+                    alerts.push(Alert {
+                        metric: name,
+                        observed: *v,
+                        allowed: *max,
+                        message: format!("{name} = {v}, allowed at most {max}"),
+                    });
+                }
+            }
+            (Rule::P99AtMost { metric: name, max }, MetricValue::Histogram(h)) => {
+                if h.p99 > *max {
+                    alerts.push(Alert {
+                        metric: name,
+                        observed: h.p99,
+                        allowed: *max,
+                        message: format!(
+                            "{name} p99 = {} (count {}), allowed at most {max}",
+                            h.p99, h.count
+                        ),
+                    });
+                }
+            }
+            (rule, _) => {
+                alerts.push(Alert {
+                    metric: rule.metric(),
+                    observed: 0,
+                    allowed: 0,
+                    message: format!(
+                        "{}: rule kind does not match the metric's type",
+                        rule.metric()
+                    ),
+                });
+            }
+        }
+    }
+    alerts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Counter, Histogram, Registry};
+
+    static CLEAN: Counter = Counter::new();
+    static DIRTY: Counter = Counter::new();
+    static LAG: Histogram = Histogram::new();
+
+    fn snapshot() -> Snapshot {
+        let mut reg = Registry::new();
+        reg.counter("test.clean_failures", "events", &CLEAN);
+        reg.counter("test.dirty_failures", "events", &DIRTY);
+        reg.histogram("test.lag", "entries", &LAG);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn clean_snapshot_raises_no_alerts() {
+        let rules = [
+            Rule::CounterAtMost { metric: "test.clean_failures", max: 0 },
+            Rule::P99AtMost { metric: "test.lag", max: 1024 },
+            // Absent metrics are skipped, not violations.
+            Rule::CounterAtMost { metric: "test.not_registered", max: 0 },
+        ];
+        assert!(evaluate(&snapshot(), &rules).is_empty());
+    }
+
+    #[test]
+    fn violations_surface_with_observed_and_allowed() {
+        if !crate::enabled() {
+            return;
+        }
+        DIRTY.inc();
+        for _ in 0..100 {
+            LAG.record(5000);
+        }
+        let rules = [
+            Rule::CounterAtMost { metric: "test.dirty_failures", max: 0 },
+            Rule::P99AtMost { metric: "test.lag", max: 1024 },
+        ];
+        let alerts = evaluate(&snapshot(), &rules);
+        assert_eq!(alerts.len(), 2);
+        assert_eq!(alerts[0].metric, "test.dirty_failures");
+        assert_eq!(alerts[0].observed, 1);
+        assert_eq!(alerts[0].allowed, 0);
+        assert_eq!(alerts[1].metric, "test.lag");
+        assert!(alerts[1].observed > 1024, "p99 {}", alerts[1].observed);
+    }
+
+    #[test]
+    fn kind_mismatch_is_loud() {
+        let rules = [Rule::P99AtMost { metric: "test.clean_failures", max: 10 }];
+        let alerts = evaluate(&snapshot(), &rules);
+        assert_eq!(alerts.len(), 1);
+        assert!(alerts[0].message.contains("does not match"));
+    }
+
+    #[test]
+    fn default_rules_cover_integrity_and_lag() {
+        let rules = default_rules();
+        assert!(rules
+            .iter()
+            .any(|r| r.metric() == "blockstore.checksum_failures"));
+        assert!(rules.iter().any(|r| r.metric() == "nr.replica.replay_lag"));
+    }
+}

@@ -165,6 +165,35 @@ impl Histogram {
         }
     }
 
+    /// Folds another histogram into this one: bucket-wise count add,
+    /// `count`/`sum` add, `max` of maxes. The usual consumer is a
+    /// report aggregating per-shard histograms (e.g. one per replica or
+    /// per worker) into a single distribution; the merge is as
+    /// statistically faithful as the inputs (see the module docs).
+    /// With telemetry compiled out this is a no-op on two empty shells.
+    pub fn merge(&self, other: &Histogram) {
+        #[cfg(feature = "telemetry")]
+        {
+            let bump = |cell: &AtomicU64, n: u64| {
+                cell.store(cell.load(Ordering::Relaxed).wrapping_add(n), Ordering::Relaxed);
+            };
+            for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+                let n = theirs.load(Ordering::Relaxed);
+                if n > 0 {
+                    bump(mine, n);
+                }
+            }
+            bump(&self.count, other.count.load(Ordering::Relaxed));
+            bump(&self.sum, other.sum.load(Ordering::Relaxed));
+            let theirs = other.max.load(Ordering::Relaxed);
+            if theirs > self.max.load(Ordering::Relaxed) {
+                self.max.store(theirs, Ordering::Relaxed);
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = other;
+    }
+
     /// A coherent-enough copy of the whole distribution for reporting.
     pub fn snapshot(&self) -> HistogramSnapshot {
         #[cfg(feature = "telemetry")]
@@ -209,8 +238,9 @@ impl Histogram {
 }
 
 /// Quantile over an explicit bucket-count array (the shared math behind
-/// [`Histogram::quantile`] and snapshots).
-#[cfg(feature = "telemetry")]
+/// [`Histogram::quantile`], snapshots, and snapshot diffs). Ungated:
+/// snapshot diffing works on plain data and must behave identically in
+/// telemetry-off builds, where snapshots are simply empty.
 fn quantile_from_buckets(counts: &[u64], q: f64) -> u64 {
     let total: u64 = counts.iter().sum();
     if total == 0 {
@@ -251,6 +281,47 @@ pub struct HistogramSnapshot {
     pub p99: u64,
     /// `(bucket_index, count)` for every non-empty bucket.
     pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The distribution recorded *between* two snapshots of the same
+    /// histogram: per-bucket saturating subtraction of `earlier` from
+    /// `self`, with `count`/`sum` diffed the same way and quantiles
+    /// recomputed over the interval's buckets. The saturation absorbs
+    /// the racy-recording model (a bucket observed slightly ahead in
+    /// the earlier snapshot must not underflow into a 2^64 count).
+    ///
+    /// `max` cannot be windowed from bucket data — it stays the
+    /// lifetime max (`self.max`), which is the conservative reading for
+    /// alerting.
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut counts = vec![0u64; BUCKETS];
+        for &(i, n) in &self.buckets {
+            if i < BUCKETS {
+                counts[i] = n;
+            }
+        }
+        for &(i, n) in &earlier.buckets {
+            if i < BUCKETS {
+                counts[i] = counts[i].saturating_sub(n);
+            }
+        }
+        let buckets: Vec<(usize, u64)> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect();
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+            p50: quantile_from_buckets(&counts, 0.50),
+            p95: quantile_from_buckets(&counts, 0.95),
+            p99: quantile_from_buckets(&counts, 0.99),
+            buckets,
+        }
+    }
 }
 
 /// Drop-guard returned by [`Histogram::timer`].
@@ -341,6 +412,66 @@ mod tests {
         // Degenerate inputs.
         assert_eq!(Histogram::new().quantile(0.5), 0);
         assert_eq!(h.quantile(0.0), 3); // rank clamps to 1, not 0
+    }
+
+    #[test]
+    fn merge_folds_buckets_count_sum_and_max() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [3u64, 3, 1000] {
+            a.record(v);
+        }
+        for v in [3u64, 7, 4000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        if crate::enabled() {
+            assert_eq!(a.count(), 6);
+            assert_eq!(a.sum(), 3 + 3 + 1000 + 3 + 7 + 4000);
+            assert_eq!(a.max(), 4000);
+            // Bucket 2 (values 2-3) now holds three entries.
+            let snap = a.snapshot();
+            assert_eq!(snap.buckets.iter().find(|&&(i, _)| i == 2), Some(&(2, 3)));
+            // b is untouched.
+            assert_eq!(b.count(), 3);
+        } else {
+            assert_eq!((a.count(), a.sum(), a.max()), (0, 0, 0));
+        }
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_the_interval() {
+        if !crate::enabled() {
+            return;
+        }
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(3);
+        }
+        let before = h.snapshot();
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let after = h.snapshot();
+        let window = after.diff(&before);
+        // Only the interval's 10 large recordings remain, so the
+        // whole-window quantiles sit in the 1000s bucket even though
+        // the lifetime p50 is still 3.
+        assert_eq!(window.count, 10);
+        assert_eq!(window.sum, 10_000);
+        assert_eq!(window.buckets, vec![(10, 10)]);
+        assert_eq!(window.p50, 1023);
+        assert_eq!(window.p99, 1023);
+        assert_eq!(after.p50, 3);
+        // Diffing identical snapshots yields an empty window.
+        let empty = after.diff(&after);
+        assert_eq!(empty.count, 0);
+        assert!(empty.buckets.is_empty());
+        assert_eq!(empty.p99, 0);
+        // Saturation: a stale "later" snapshot cannot underflow.
+        let inverted = before.diff(&after);
+        assert_eq!(inverted.count, 0);
+        assert!(inverted.buckets.is_empty());
     }
 
     #[test]

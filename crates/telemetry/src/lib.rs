@@ -16,7 +16,9 @@
 //! A [`Registry`] collects references to the instruments each crate
 //! exports (every instrumented crate has a `metrics` module with a
 //! `pub fn export(&mut Registry)`) and renders one JSON snapshot in the
-//! `results/` report format (honouring `VEROS_RESULTS_DIR`).
+//! `results/` report format (honouring `VEROS_RESULTS_DIR`). The
+//! [`alerts`] module evaluates threshold rules over those snapshots —
+//! the health-check half of the report pipeline.
 //!
 //! # The no-overhead contract
 //!
@@ -29,11 +31,13 @@
 
 #![warn(missing_docs)]
 
+pub mod alerts;
 pub mod counter;
 pub mod histogram;
 pub mod registry;
 pub mod trace;
 
+pub use alerts::{default_rules, evaluate, Alert, Rule};
 pub use counter::Counter;
 pub use histogram::{Histogram, HistogramSnapshot, Timer};
 pub use registry::{Registry, Snapshot};

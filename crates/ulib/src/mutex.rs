@@ -2,7 +2,7 @@
 //!
 //! The paper's §3 names this exact artifact: "we might expose futexes
 //! from the kernel and then verify a userspace mutex implementation on
-//! top", citing Drepper's *Futexes are tricky* [14]. The word in user
+//! top", citing Drepper's *Futexes are tricky* \[14\]. The word in user
 //! memory takes three values:
 //!
 //! * `0` — unlocked,

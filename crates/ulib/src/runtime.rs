@@ -10,10 +10,25 @@
 //! expected to retry its protocol step (exactly how syscall restarts
 //! work after a futex wake).
 
+//!
+//! The runtime has two syscall entry paths. The default is the
+//! synchronous register ABI (one trap per call). Enabling the ring
+//! ([`Runtime::enable_uring`]) reroutes [`Ctx::sys`] through a
+//! [`RingExec`] — an executor over a `veros-uring` submission/completion
+//! queue pair — while preserving synchronous *semantics*: non-blocking
+//! calls submit, drain, and return their CQE result inline; blocking
+//! calls park the calling task thread until its completion arrives, and
+//! the task observes exactly the return values the trap path produces
+//! (`Ok(0)` for a blocking futex wait, `Err(StillRunning)` for a wait
+//! that must be retried). Tasks therefore run unmodified on either
+//! path, which is what the differential ring tests exploit.
+
 use std::collections::BTreeMap;
 
 use veros_kernel::syscall::{abi, SysError, SysRet, Syscall};
+use veros_kernel::thread::BlockReason;
 use veros_kernel::{Kernel, Pid, Tid};
+use veros_uring::{pair, Engine, SqFull, UserRing};
 
 /// What a task step produced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,6 +45,9 @@ pub struct Ctx<'k> {
     /// The kernel (all access goes through syscalls or the user-memory
     /// helpers, which enforce the page-table mapping).
     pub kernel: &'k mut Kernel,
+    /// The ring executor, when the runtime has one enabled. `None`
+    /// routes every syscall through the synchronous register ABI.
+    pub ring: Option<&'k mut RingExec>,
     /// The calling process.
     pub pid: Pid,
     /// The calling thread.
@@ -37,9 +55,19 @@ pub struct Ctx<'k> {
 }
 
 impl Ctx<'_> {
-    /// Performs a syscall through the full register ABI (so every call
-    /// exercises the marshalling path).
+    /// Performs a syscall. With no ring enabled this goes through the
+    /// full register ABI (so every call exercises the marshalling
+    /// path); with a ring it goes through SQE/CQE marshalling instead,
+    /// with identical observable semantics. `Exit` and calls from
+    /// processes other than the ring owner always take the trap path.
     pub fn sys(&mut self, call: Syscall) -> SysRet {
+        if let Some(ring) = self.ring.as_deref_mut() {
+            if ring.owns(self.pid) && !matches!(call, Syscall::Exit { .. }) {
+                if let Some(ret) = ring.route(self.kernel, self.tid, &call) {
+                    return ret;
+                }
+            }
+        }
         let regs = abi::encode_regs(&call);
         let (status, value) = self.kernel.syscall_regs((self.pid, self.tid), regs);
         abi::decode_ret(status, value).expect("kernel emits well-formed returns")
@@ -92,12 +120,193 @@ impl Ctx<'_> {
 /// A task body.
 pub type TaskFn = Box<dyn FnMut(&mut Ctx<'_>) -> Step>;
 
+/// Correlation handle for an asynchronous submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Ticket(pub u64);
+
+/// The asynchronous syscall executor: the user side of a `veros-uring`
+/// queue pair plus the kernel-side [`Engine`] that drives it.
+///
+/// Two usage styles share one ring:
+///
+/// * **Explicit async**: [`RingExec::submit`] returns a [`Ticket`];
+///   [`RingExec::poll`] / [`RingExec::wait`] retrieve its completion.
+/// * **Transparent sync**: [`Ctx::sys`] calls `RingExec::route`,
+///   which preserves trap-path semantics — non-blocking calls complete
+///   inline; blocking calls park the calling task thread (scheduler
+///   block, reason `Sleep(ticket)`) and unpark it when the CQE lands,
+///   returning the same surrogate value the trap path would
+///   (`Ok(0)` for a blocked futex wait, `Err(StillRunning)` for an
+///   unfinished child wait, which the task retries).
+///
+/// Retries are recognized by the `(thread, register image)` pair: a
+/// woken task re-issuing the identical call picks up the stored
+/// completion instead of double-submitting.
+pub struct RingExec {
+    user: UserRing,
+    engine: Engine,
+    next_ticket: u64,
+    /// Completions waiting to be claimed, by ticket.
+    completions: BTreeMap<u64, SysRet>,
+    /// In-flight blocking submission per task thread: the register
+    /// image it will retry with, and its ticket.
+    outstanding: BTreeMap<u64, (abi::Regs, u64)>,
+    /// Task threads parked on a ticket, and whether the task will
+    /// retry the call (child wait) or already has its final surrogate
+    /// result (futex wait).
+    parked: BTreeMap<u64, (Tid, bool)>,
+}
+
+impl RingExec {
+    /// Builds a ring of at least `depth` slots owned by `owner`.
+    pub fn new(depth: usize, owner: (Pid, Tid)) -> Self {
+        let (user, kring) = pair(depth);
+        Self {
+            user,
+            engine: Engine::new(kring, owner),
+            next_ticket: 0,
+            completions: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
+            parked: BTreeMap::new(),
+        }
+    }
+
+    /// Whether `pid` is the ring's owning process (only its syscalls
+    /// may route through the ring).
+    pub fn owns(&self, pid: Pid) -> bool {
+        self.engine.owner().0 == pid
+    }
+
+    /// Entries parked kernel-side (blocked submissions).
+    pub fn pending_len(&self) -> usize {
+        self.engine.pending_len()
+    }
+
+    /// Submits a syscall asynchronously. The entry is queued; the
+    /// kernel dispatches it at the next [`RingExec::pump`] (or any
+    /// poll/wait/route). `Err(SqFull)` is backpressure: pump and retry.
+    pub fn submit(&mut self, call: &Syscall) -> Result<Ticket, SqFull> {
+        let ticket = self.next_ticket;
+        self.user.submit(ticket, call)?;
+        self.next_ticket += 1;
+        Ok(Ticket(ticket))
+    }
+
+    /// Drives the ring once (dispatch new submissions, reap woken
+    /// blocked ones, drain completions) and takes `t`'s result if its
+    /// completion has landed.
+    pub fn poll(&mut self, k: &mut Kernel, t: Ticket) -> Option<SysRet> {
+        self.pump(k);
+        self.completions.remove(&t.0)
+    }
+
+    /// Polls up to `max_pumps` times. A blocked submission completes
+    /// only after something else (another task, an environment event)
+    /// wakes its worker, so a `None` here means "still pending", not
+    /// "lost" — the CQE is delivered exactly once whenever it lands.
+    pub fn wait(&mut self, k: &mut Kernel, t: Ticket, max_pumps: usize) -> Option<SysRet> {
+        for _ in 0..max_pumps {
+            if let Some(ret) = self.poll(k, t) {
+                return Some(ret);
+            }
+        }
+        None
+    }
+
+    /// Dispatches everything submitted, reaps woken blocked entries,
+    /// and drains the completion queue (unparking any task threads
+    /// whose ticket completed).
+    pub fn pump(&mut self, k: &mut Kernel) {
+        self.engine.submit_batch(k);
+        self.engine.reap(k);
+        self.drain_cq(k);
+    }
+
+    /// The [`Ctx::sys`] entry: synchronous semantics over the ring.
+    /// Returns `None` when the caller should fall back to the trap
+    /// path (persistent submission-queue backpressure).
+    pub(crate) fn route(&mut self, k: &mut Kernel, tid: Tid, call: &Syscall) -> Option<SysRet> {
+        let regs = abi::encode_regs(call);
+        if let Some(&(out_regs, ticket)) = self.outstanding.get(&tid.0) {
+            if out_regs == regs {
+                // A woken task retrying its blocking call: hand over
+                // the completion, or re-park on a spurious wake.
+                self.pump(k);
+                if let Some(res) = self.completions.remove(&ticket) {
+                    self.outstanding.remove(&tid.0);
+                    return Some(res);
+                }
+                self.park(k, tid, ticket, call);
+                return Some(surrogate(call));
+            }
+            // The task abandoned its retry protocol (moved on to a
+            // different call): drop the stale bookkeeping.
+            self.outstanding.remove(&tid.0);
+            self.completions.remove(&ticket);
+        }
+        let ticket = self.next_ticket;
+        if self.user.submit(ticket, call).is_err() {
+            self.pump(k);
+            if self.user.submit(ticket, call).is_err() {
+                return None;
+            }
+        }
+        self.next_ticket += 1;
+        self.engine.submit_batch(k);
+        self.drain_cq(k);
+        if let Some(res) = self.completions.remove(&ticket) {
+            return Some(res);
+        }
+        // The submission blocked kernel-side: park the task thread
+        // until its CQE lands, exactly as the trap path would have
+        // blocked it directly.
+        self.outstanding.insert(tid.0, (regs, ticket));
+        self.park(k, tid, ticket, call);
+        Some(surrogate(call))
+    }
+
+    fn park(&mut self, k: &mut Kernel, tid: Tid, ticket: u64, call: &Syscall) {
+        let retry = matches!(call, Syscall::Wait { .. });
+        self.parked.insert(ticket, (tid, retry));
+        k.sched.force_block(tid, BlockReason::Sleep(ticket));
+    }
+
+    fn drain_cq(&mut self, k: &mut Kernel) {
+        while let Some(cqe) = self.user.complete() {
+            match self.parked.remove(&cqe.user_data) {
+                Some((tid, retry)) => {
+                    let _ = k.sched.unblock(tid);
+                    if retry {
+                        self.completions.insert(cqe.user_data, cqe.result);
+                    } else {
+                        // The surrogate return already was the final
+                        // result (futex wait: Ok(0)); nothing to claim.
+                        self.outstanding.remove(&tid.0);
+                    }
+                }
+                None => {
+                    self.completions.insert(cqe.user_data, cqe.result);
+                }
+            }
+        }
+    }
+}
+
+/// What the trap path returns at the moment it blocks the caller.
+fn surrogate(call: &Syscall) -> SysRet {
+    match call {
+        Syscall::FutexWait { .. } => Ok(0),
+        _ => Err(SysError::StillRunning),
+    }
+}
+
 /// The runtime: kernel + tasks keyed by thread id.
 pub struct Runtime {
     /// The kernel being driven.
     pub kernel: Kernel,
     tasks: BTreeMap<Tid, (Pid, TaskFn)>,
     exit_codes: BTreeMap<Tid, i32>,
+    ring: Option<RingExec>,
 }
 
 impl Runtime {
@@ -107,7 +316,22 @@ impl Runtime {
             kernel,
             tasks: BTreeMap::new(),
             exit_codes: BTreeMap::new(),
+            ring: None,
         }
+    }
+
+    /// Switches [`Ctx::sys`] onto an asynchronous ring of at least
+    /// `depth` slots, owned by the init process. Tasks keep working
+    /// unmodified — the executor preserves trap-path semantics.
+    pub fn enable_uring(&mut self, depth: usize) {
+        let owner = (self.kernel.init_pid, self.kernel.init_tid);
+        self.ring = Some(RingExec::new(depth, owner));
+    }
+
+    /// The ring executor, when enabled — for explicit async
+    /// ([`RingExec::submit`] / [`RingExec::poll`]) use.
+    pub fn ring_mut(&mut self) -> Option<&mut RingExec> {
+        self.ring.as_mut()
     }
 
     /// Attaches a task to an existing thread.
@@ -156,6 +380,7 @@ impl Runtime {
                 };
                 let mut ctx = Ctx {
                     kernel: &mut self.kernel,
+                    ring: self.ring.as_mut(),
                     pid,
                     tid,
                 };
@@ -168,6 +393,12 @@ impl Runtime {
                         let _ = self.kernel.thread_exit(pid, tid, code);
                     }
                 }
+            }
+            // Reap ring completions whose wake came from outside the
+            // ring (e.g. a trap-path futex wake), so parked tasks make
+            // progress every tick.
+            if let Some(ring) = &mut self.ring {
+                ring.pump(&mut self.kernel);
             }
             if self.tasks.is_empty() {
                 return true;
@@ -186,6 +417,132 @@ mod tests {
         let kernel = Kernel::boot(KernelConfig::default()).unwrap();
         let (pid, tid) = (kernel.init_pid, kernel.init_tid);
         (Runtime::new(kernel), pid, tid)
+    }
+
+    /// Same scenario set, run through both syscall entry paths: the
+    /// `uring` flag is the only difference between the `*_sync` and
+    /// `*_on_the_ring` tests below.
+    fn boot_runtime_with(uring: bool) -> (Runtime, Pid, Tid) {
+        let (mut rt, pid, tid) = boot_runtime();
+        if uring {
+            rt.enable_uring(8);
+        }
+        (rt, pid, tid)
+    }
+
+    fn scenario_syscalls_from_tasks(uring: bool) {
+        let (mut rt, pid, tid) = boot_runtime_with(uring);
+        rt.attach(
+            pid,
+            tid,
+            Box::new(move |ctx| {
+                ctx.sys(Syscall::Map {
+                    va: 0x10_0000,
+                    pages: 1,
+                    writable: true,
+                })
+                .unwrap();
+                ctx.write_u32(0x10_0000, 0x1234).unwrap();
+                assert_eq!(ctx.read_u32(0x10_0000).unwrap(), 0x1234);
+                Step::Done(0)
+            }),
+        );
+        assert!(rt.run(50));
+    }
+
+    fn scenario_blocked_tasks_not_stepped(uring: bool) {
+        let (mut rt, pid, tid) = boot_runtime_with(uring);
+        // Map the futex page up front so task ordering cannot race the
+        // setup.
+        rt.kernel
+            .syscall(
+                (pid, tid),
+                Syscall::Map {
+                    va: 0x20_0000,
+                    pages: 1,
+                    writable: true,
+                },
+            )
+            .unwrap();
+        let waiter_steps = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let ws = std::sync::Arc::clone(&waiter_steps);
+        // Main: keep trying to wake exactly one waiter; done once it
+        // actually woke somebody (which requires the waiter to have
+        // blocked first).
+        rt.attach(
+            pid,
+            tid,
+            Box::new(move |ctx| {
+                let woken = ctx
+                    .sys(Syscall::FutexWake {
+                        va: 0x20_0000,
+                        count: 1,
+                    })
+                    .unwrap();
+                if woken == 1 {
+                    Step::Done(0)
+                } else {
+                    Step::Yield
+                }
+            }),
+        );
+        let mut waited = false;
+        rt.spawn_task(
+            (pid, tid),
+            None,
+            Box::new(move |ctx| {
+                ws.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if !waited {
+                    waited = true;
+                    // Word is 0; this blocks the thread.
+                    ctx.sys(Syscall::FutexWait {
+                        va: 0x20_0000,
+                        expected: 0,
+                    })
+                    .unwrap();
+                    Step::Yield
+                } else {
+                    Step::Done(7)
+                }
+            }),
+        )
+        .unwrap();
+        assert!(rt.run(500));
+        // The waiter stepped exactly twice: once to block, once after
+        // the wake — while blocked it was never stepped.
+        assert_eq!(waiter_steps.load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert_eq!(rt.exit_code(tid), Some(0));
+    }
+
+    fn scenario_wait_for_child(uring: bool) {
+        let (mut rt, pid, tid) = boot_runtime_with(uring);
+        let child = Pid(rt.kernel.syscall((pid, tid), Syscall::Spawn).unwrap());
+        let child_tid = rt.kernel.processes().get(child).unwrap().threads[0];
+        let mut exited = false;
+        rt.attach(
+            child,
+            child_tid,
+            Box::new(move |ctx| {
+                // Let the parent block on the wait first, then exit.
+                if !exited {
+                    exited = true;
+                    return Step::Yield;
+                }
+                ctx.sys(Syscall::Exit { code: 5 }).unwrap();
+                Step::Done(0)
+            }),
+        );
+        rt.attach(
+            pid,
+            tid,
+            Box::new(move |ctx| match ctx.sys(Syscall::Wait { pid: child.0 }) {
+                Ok(code) => Step::Done(code as i32),
+                Err(SysError::StillRunning) => Step::Yield,
+                Err(e) => panic!("unexpected wait error {e:?}"),
+            }),
+        );
+        assert!(rt.run(500));
+        assert_eq!(rt.exit_code(tid), Some(5), "parent reaped the child's code");
     }
 
     #[test]
@@ -258,87 +615,64 @@ mod tests {
 
     #[test]
     fn syscalls_work_from_tasks() {
-        let (mut rt, pid, tid) = boot_runtime();
-        rt.attach(
-            pid,
-            tid,
-            Box::new(move |ctx| {
-                ctx.sys(Syscall::Map {
-                    va: 0x10_0000,
-                    pages: 1,
-                    writable: true,
-                })
-                .unwrap();
-                ctx.write_u32(0x10_0000, 0x1234).unwrap();
-                assert_eq!(ctx.read_u32(0x10_0000).unwrap(), 0x1234);
-                Step::Done(0)
-            }),
-        );
-        assert!(rt.run(50));
+        scenario_syscalls_from_tasks(false);
+    }
+
+    #[test]
+    fn syscalls_work_from_tasks_on_the_ring() {
+        scenario_syscalls_from_tasks(true);
     }
 
     #[test]
     fn blocked_tasks_are_not_stepped() {
-        let (mut rt, pid, tid) = boot_runtime();
-        // Map the futex page up front so task ordering cannot race the
-        // setup.
+        scenario_blocked_tasks_not_stepped(false);
+    }
+
+    #[test]
+    fn blocked_tasks_are_not_stepped_on_the_ring() {
+        scenario_blocked_tasks_not_stepped(true);
+    }
+
+    #[test]
+    fn wait_for_child_sync() {
+        scenario_wait_for_child(false);
+    }
+
+    #[test]
+    fn wait_for_child_on_the_ring() {
+        scenario_wait_for_child(true);
+    }
+
+    #[test]
+    fn explicit_async_submit_and_poll() {
+        let (mut rt, _pid, _tid) = boot_runtime_with(true);
+        let ring = rt.ring.as_mut().unwrap();
+        let a = ring.submit(&Syscall::ClockRead).unwrap();
+        let b = ring.submit(&Syscall::ClockRead).unwrap();
+        assert_ne!(a, b);
+        // Nothing dispatched yet; poll pumps and both complete.
+        let ra = ring.poll(&mut rt.kernel, a).expect("completed");
+        let rb = ring.poll(&mut rt.kernel, b).expect("completed");
+        assert!(ra.is_ok() && rb.is_ok());
+        // A completion is delivered exactly once.
+        assert_eq!(ring.poll(&mut rt.kernel, a), None);
+    }
+
+    #[test]
+    fn explicit_async_wait_on_blocked_ticket() {
+        let (mut rt, pid, tid) = boot_runtime_with(true);
         rt.kernel
-            .syscall(
-                (pid, tid),
-                Syscall::Map {
-                    va: 0x20_0000,
-                    pages: 1,
-                    writable: true,
-                },
-            )
+            .syscall((pid, tid), Syscall::Map { va: 0x30_0000, pages: 1, writable: true })
             .unwrap();
-        let waiter_steps = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
-        let ws = std::sync::Arc::clone(&waiter_steps);
-        // Main: keep trying to wake exactly one waiter; done once it
-        // actually woke somebody (which requires the waiter to have
-        // blocked first).
-        rt.attach(
-            pid,
-            tid,
-            Box::new(move |ctx| {
-                let woken = ctx
-                    .sys(Syscall::FutexWake {
-                        va: 0x20_0000,
-                        count: 1,
-                    })
-                    .unwrap();
-                if woken == 1 {
-                    Step::Done(0)
-                } else {
-                    Step::Yield
-                }
-            }),
-        );
-        let mut waited = false;
-        rt.spawn_task(
-            (pid, tid),
-            None,
-            Box::new(move |ctx| {
-                ws.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if !waited {
-                    waited = true;
-                    // Word is 0; this blocks the thread.
-                    ctx.sys(Syscall::FutexWait {
-                        va: 0x20_0000,
-                        expected: 0,
-                    })
-                    .unwrap();
-                    Step::Yield
-                } else {
-                    Step::Done(7)
-                }
-            }),
-        )
-        .unwrap();
-        assert!(rt.run(500));
-        // The waiter stepped exactly twice: once to block, once after
-        // the wake — while blocked it was never stepped.
-        assert_eq!(waiter_steps.load(std::sync::atomic::Ordering::Relaxed), 2);
-        assert_eq!(rt.exit_code(tid), Some(0));
+        let ring = rt.ring.as_mut().unwrap();
+        let t = ring.submit(&Syscall::FutexWait { va: 0x30_0000, expected: 0 }).unwrap();
+        // Blocked kernel-side: bounded wait reports "still pending".
+        assert_eq!(ring.wait(&mut rt.kernel, t, 3), None);
+        assert_eq!(ring.pending_len(), 1);
+        // Wake through the trap path; the next poll reaps it.
+        rt.kernel
+            .syscall((pid, tid), Syscall::FutexWake { va: 0x30_0000, count: 1 })
+            .unwrap();
+        assert_eq!(ring.wait(&mut rt.kernel, t, 3), Some(Ok(0)));
     }
 }

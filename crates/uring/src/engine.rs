@@ -1,0 +1,498 @@
+//! The kernel-side ring engine: drain, dispatch, complete.
+//!
+//! [`Engine::submit_batch`] drains the submission queue and pushes each
+//! entry through the kernel's typed dispatch
+//! ([`Kernel::syscall_batched`] — identical semantics to the trap
+//! path, with per-op bookkeeping hoisted to the ring's batch-level
+//! instruments). Non-blocking operations complete inline, in submission
+//! order. Operations that *block* their calling thread (futex wait,
+//! wait on a running child) are dispatched on an engine-owned **worker
+//! thread** and moved to the **pending table**, so one stuck entry
+//! never head-of-line-blocks the ring; [`Engine::reap`] completes them
+//! — possibly out of submission order — once their worker is woken.
+//!
+//! Workers are ordinary threads of the ring's owner process, created
+//! lazily through the `ThreadSpawn` syscall and recycled through a free
+//! list. That policy is deliberately deterministic (spawn on demand,
+//! LIFO reuse, release in pending-scan order) because the synchronous
+//! twin ([`crate::twin::SyncTwin`]) mirrors it thread for thread — the
+//! differential VCs compare *entire* kernel views, thread ids included.
+//!
+//! Completion never loses an entry: if the completion queue is full the
+//! CQE parks in an engine-side overflow backlog (counted by
+//! `uring.cq.overflows`) and is flushed, order preserved, ahead of
+//! later completions.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use veros_kernel::syscall::marshal::Encoder;
+use veros_kernel::syscall::{SysError, SysRet, Syscall};
+use veros_kernel::thread::ThreadState;
+use veros_kernel::{Kernel, Pid, Tid};
+
+use crate::entry::{Cqe, Sqe};
+use crate::metrics;
+use crate::ring::KernelRing;
+
+/// One dispatch the engine performed on behalf of an SQE, in the single
+/// order the engine performed them — the linearization witness the VCs
+/// replay. Blocking retries (a `Wait` redispatched after a wake) append
+/// one record per dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatchRecord {
+    /// The SQE's correlation token.
+    pub user_data: u64,
+    /// The dispatched syscall.
+    pub call: Syscall,
+    /// What the kernel returned for this dispatch.
+    pub result: SysRet,
+}
+
+/// A blocked submission parked in the pending table.
+struct Pending {
+    user_data: u64,
+    call: Syscall,
+    worker: Tid,
+    /// Dispatch timestamp for completion latency (None with telemetry
+    /// off — no clock is read).
+    t0: Option<Instant>,
+}
+
+/// The kernel-side ring driver. One engine per ring; the owner is the
+/// process (and nominal thread) the ring belongs to.
+pub struct Engine {
+    ring: KernelRing,
+    owner: (Pid, Tid),
+    pending: VecDeque<Pending>,
+    free_workers: Vec<Tid>,
+    workers: Vec<Tid>,
+    backlog: VecDeque<Cqe>,
+    scratch: Encoder,
+    log: Option<Vec<DispatchRecord>>,
+}
+
+impl Engine {
+    /// Wraps the kernel side of a ring for `owner`.
+    pub fn new(ring: KernelRing, owner: (Pid, Tid)) -> Self {
+        Self {
+            ring,
+            owner,
+            pending: VecDeque::new(),
+            free_workers: Vec::new(),
+            workers: Vec::new(),
+            backlog: VecDeque::new(),
+            scratch: Encoder::new(),
+            log: None,
+        }
+    }
+
+    /// Enables the dispatch log (used by the linearization VCs).
+    pub fn with_dispatch_log(mut self) -> Self {
+        self.log = Some(Vec::new());
+        self
+    }
+
+    /// The ring's owning `(pid, tid)`.
+    pub fn owner(&self) -> (Pid, Tid) {
+        self.owner
+    }
+
+    /// Entries currently parked in the pending table.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Worker threads spawned so far (never reclaimed until
+    /// [`Engine::shutdown`]).
+    pub fn workers_spawned(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Takes the accumulated dispatch log (empty unless
+    /// [`Engine::with_dispatch_log`] was used).
+    pub fn take_dispatch_log(&mut self) -> Vec<DispatchRecord> {
+        self.log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Drains the submission queue, dispatching every entry. Returns
+    /// the number of SQEs consumed.
+    pub fn submit_batch(&mut self, k: &mut Kernel) -> usize {
+        self.flush_backlog();
+        metrics::SQ_DEPTH.record(self.ring.sq.len());
+        let t0 = veros_telemetry::enabled().then(Instant::now);
+        let mut drained = 0u64;
+        while let Some(bytes) = self.ring.sq.pop() {
+            drained += 1;
+            let Ok(sqe) = Sqe::decode(&bytes) else {
+                // Unreachable through UserRing (slots are fixed-size
+                // and written by the SQE codec), kept non-fatal so a
+                // hostile shared-memory writer cannot wedge the drain.
+                continue;
+            };
+            match sqe.syscall() {
+                Ok(call) => self.dispatch(k, sqe.user_data, call),
+                Err(e) => self.post(Cqe { user_data: sqe.user_data, result: Err(e) }),
+            }
+        }
+        // Completion latency is accounted at batch granularity on the
+        // fast path (one clock read per drain, not per op — a per-CQE
+        // clock read would cost more than the per-syscall overhead the
+        // ring exists to amortize); parked entries record individually
+        // at reap, where latency genuinely varies per op.
+        if drained > 0 {
+            if let Some(t0) = t0 {
+                metrics::COMPLETION_LATENCY
+                    .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
+        }
+        metrics::SUBMIT_BATCH.record(drained);
+        drained as usize
+    }
+
+    /// Routes one decoded submission.
+    fn dispatch(&mut self, k: &mut Kernel, user_data: u64, call: Syscall) {
+        match call {
+            // Tearing down the owner would tear down the ring (and
+            // every worker) mid-drain; process exit stays synchronous.
+            Syscall::Exit { .. } => {
+                self.post(Cqe { user_data, result: Err(SysError::Invalid) });
+            }
+            Syscall::FutexWait { .. } | Syscall::Wait { .. } => {
+                self.dispatch_blocking(k, user_data, call);
+            }
+            _ => {
+                let result = k.syscall_batched(self.owner, call);
+                self.record(user_data, call, result);
+                self.post(Cqe { user_data, result });
+            }
+        }
+    }
+
+    /// Dispatches a blocking-capable operation on a worker thread and
+    /// parks it in the pending table if it did block.
+    fn dispatch_blocking(&mut self, k: &mut Kernel, user_data: u64, call: Syscall) {
+        let worker = match self.acquire_worker(k) {
+            Ok(w) => w,
+            Err(e) => {
+                self.post(Cqe { user_data, result: Err(e) });
+                return;
+            }
+        };
+        let result = k.syscall_batched((self.owner.0, worker), call);
+        self.record(user_data, call, result);
+        if worker_state(k, worker) == WorkerState::Blocked {
+            metrics::OPS_PARKED.inc();
+            let t0 = veros_telemetry::enabled().then(Instant::now);
+            self.pending.push_back(Pending { user_data, call, worker, t0 });
+        } else {
+            self.free_workers.push(worker);
+            self.post(Cqe { user_data, result });
+        }
+    }
+
+    /// Completes pending entries whose workers have been woken. Returns
+    /// the number of CQEs posted. Entries whose wake turns out spurious
+    /// (a `Wait` whose child is still running) re-park.
+    pub fn reap(&mut self, k: &mut Kernel) -> usize {
+        self.flush_backlog();
+        let mut completed = 0u64;
+        let in_table = self.pending.len();
+        for _ in 0..in_table {
+            let Some(p) = self.pending.pop_front() else {
+                break;
+            };
+            match worker_state(k, p.worker) {
+                WorkerState::Blocked => self.pending.push_back(p),
+                WorkerState::Gone => {
+                    // The worker died under the entry (owner teardown
+                    // raced the ring): complete, do not recycle.
+                    completed += 1;
+                    self.post_pending(p.t0, Cqe {
+                        user_data: p.user_data,
+                        result: Err(SysError::NoSuchProcess),
+                    });
+                }
+                WorkerState::Runnable => match p.call {
+                    // A woken futex waiter's return value is the 0 the
+                    // dispatch already produced; redispatching would
+                    // re-block the worker.
+                    Syscall::FutexWait { .. } => {
+                        completed += 1;
+                        self.free_workers.push(p.worker);
+                        self.post_pending(p.t0, Cqe { user_data: p.user_data, result: Ok(0) });
+                    }
+                    // A woken waiter retries the reap, exactly like the
+                    // synchronous restart protocol after a child exit.
+                    Syscall::Wait { .. } => {
+                        let result = k.syscall_batched((self.owner.0, p.worker), p.call);
+                        self.record(p.user_data, p.call, result);
+                        if worker_state(k, p.worker) == WorkerState::Blocked {
+                            self.pending.push_back(p); // Spurious wake.
+                        } else {
+                            completed += 1;
+                            self.free_workers.push(p.worker);
+                            self.post_pending(p.t0, Cqe { user_data: p.user_data, result });
+                        }
+                    }
+                    // Only the two blocking ops ever park (see
+                    // `dispatch`); anything else is a table corruption
+                    // surfaced as an explicit error, not a panic.
+                    _ => {
+                        completed += 1;
+                        self.free_workers.push(p.worker);
+                        self.post_pending(p.t0, Cqe {
+                            user_data: p.user_data,
+                            result: Err(SysError::Invalid),
+                        });
+                    }
+                },
+            }
+        }
+        metrics::REAP_BATCH.record(completed);
+        completed as usize
+    }
+
+    /// Cancels whatever is still pending (CQE = `Err(Invalid)`) and
+    /// exits every worker thread. Returns the number cancelled.
+    pub fn shutdown(&mut self, k: &mut Kernel) -> usize {
+        let mut cancelled = 0;
+        while let Some(p) = self.pending.pop_front() {
+            cancelled += 1;
+            self.post_pending(p.t0, Cqe { user_data: p.user_data, result: Err(SysError::Invalid) });
+        }
+        self.free_workers.clear();
+        for w in self.workers.drain(..) {
+            let _ = k.thread_exit(self.owner.0, w, 0);
+        }
+        cancelled
+    }
+
+    /// Pops a recycled worker or spawns a fresh one through the typed
+    /// syscall path (so worker threads are ordinary, spec-visible
+    /// threads of the owner process).
+    fn acquire_worker(&mut self, k: &mut Kernel) -> Result<Tid, SysError> {
+        if let Some(w) = self.free_workers.pop() {
+            return Ok(w);
+        }
+        let tid = k.syscall_batched(self.owner, Syscall::ThreadSpawn { affinity_plus_one: 0 })?;
+        let tid = Tid(tid);
+        self.workers.push(tid);
+        Ok(tid)
+    }
+
+    /// Appends to the dispatch log, when enabled.
+    fn record(&mut self, user_data: u64, call: Syscall, result: SysRet) {
+        if let Some(log) = &mut self.log {
+            log.push(DispatchRecord { user_data, call, result });
+        }
+    }
+
+    /// Posts a parked entry's CQE, recording its individual
+    /// submission-to-completion latency first.
+    fn post_pending(&mut self, t0: Option<Instant>, cqe: Cqe) {
+        if let Some(t0) = t0 {
+            metrics::COMPLETION_LATENCY
+                .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        self.post(cqe);
+    }
+
+    /// Posts a CQE, preserving order across CQ backpressure.
+    fn post(&mut self, cqe: Cqe) {
+        metrics::CQES_POSTED.inc();
+        if !self.backlog.is_empty() {
+            // Older overflowed entries must drain first.
+            metrics::CQ_OVERFLOWS.inc();
+            self.backlog.push_back(cqe);
+            return;
+        }
+        let bytes = cqe.encode(&mut self.scratch);
+        if self.ring.cq.push(bytes).is_err() {
+            metrics::CQ_OVERFLOWS.inc();
+            self.backlog.push_back(cqe);
+        }
+    }
+
+    /// Moves overflowed CQEs into the queue as slots free up.
+    fn flush_backlog(&mut self) {
+        while let Some(cqe) = self.backlog.pop_front() {
+            let bytes = cqe.encode(&mut self.scratch);
+            if self.ring.cq.push(bytes).is_err() {
+                self.backlog.push_front(cqe);
+                break;
+            }
+        }
+    }
+}
+
+/// How a pending entry's worker looks to the scheduler (tag only — the
+/// engine never cares which core a runnable worker landed on).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WorkerState {
+    Blocked,
+    Runnable,
+    Gone,
+}
+
+fn worker_state(k: &Kernel, tid: Tid) -> WorkerState {
+    match k.sched.thread(tid).map(|t| t.state) {
+        Some(ThreadState::Blocked(_)) => WorkerState::Blocked,
+        Some(ThreadState::Ready) | Some(ThreadState::Running { .. }) => WorkerState::Runnable,
+        Some(ThreadState::Exited) | None => WorkerState::Gone,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::SQE_BYTES;
+    use crate::ring::pair;
+    use veros_kernel::KernelConfig;
+
+    fn boot() -> (Kernel, (Pid, Tid)) {
+        // lint: allow(panic-freedom) — test setup.
+        let k = Kernel::boot(KernelConfig::default()).expect("boot");
+        let owner = (k.init_pid, k.init_tid);
+        (k, owner)
+    }
+
+    #[test]
+    fn non_blocking_ops_complete_in_submission_order() {
+        let (mut k, owner) = boot();
+        let (mut user, kring) = pair(8);
+        let mut eng = Engine::new(kring, owner).with_dispatch_log();
+        for ud in 0..3 {
+            user.submit(ud, &Syscall::ClockRead).unwrap();
+        }
+        assert_eq!(eng.submit_batch(&mut k), 3);
+        let mut got = Vec::new();
+        while let Some(cqe) = user.complete() {
+            got.push(cqe);
+        }
+        assert_eq!(got.len(), 3);
+        for (i, cqe) in got.iter().enumerate() {
+            assert_eq!(cqe.user_data, i as u64, "FIFO completion order");
+            assert!(cqe.result.is_ok());
+        }
+        let log = eng.take_dispatch_log();
+        assert_eq!(log.len(), 3);
+        assert_eq!(
+            log.iter().map(|r| (r.user_data, r.result)).collect::<Vec<_>>(),
+            got.iter().map(|c| (c.user_data, c.result)).collect::<Vec<_>>(),
+            "dispatch log agrees with posted CQEs"
+        );
+    }
+
+    #[test]
+    fn bad_opcode_sqe_gets_a_badsyscall_cqe() {
+        let (mut k, owner) = boot();
+        let (mut user, kring) = pair(4);
+        let mut eng = Engine::new(kring, owner);
+        let mut scratch = Encoder::new();
+        scratch.u64(77);
+        for r in [999u64, 0, 0, 0, 0, 0] {
+            scratch.u64(r);
+        }
+        let mut raw = [0u8; SQE_BYTES];
+        raw.copy_from_slice(scratch.as_slice());
+        user.submit_raw(raw).unwrap();
+        assert_eq!(eng.submit_batch(&mut k), 1);
+        let cqe = user.complete().expect("rejection still completes");
+        assert_eq!(cqe.user_data, 77);
+        assert_eq!(cqe.result, Err(SysError::BadSyscall));
+    }
+
+    #[test]
+    fn exit_is_refused_on_the_ring() {
+        let (mut k, owner) = boot();
+        let (mut user, kring) = pair(4);
+        let mut eng = Engine::new(kring, owner);
+        user.submit(1, &Syscall::Exit { code: 0 }).unwrap();
+        eng.submit_batch(&mut k);
+        assert_eq!(user.complete().unwrap().result, Err(SysError::Invalid));
+        assert!(k.processes().get(owner.0).is_ok(), "owner still alive");
+    }
+
+    #[test]
+    fn blocked_entry_does_not_head_of_line_block() {
+        let (mut k, owner) = boot();
+        k.syscall(owner, Syscall::Map { va: 0x50_0000, pages: 1, writable: true }).unwrap();
+        let (mut user, kring) = pair(8);
+        let mut eng = Engine::new(kring, owner);
+        // Word at the va is 0, so expected=0 blocks the worker...
+        user.submit(10, &Syscall::FutexWait { va: 0x50_0000, expected: 0 }).unwrap();
+        // ...and the op behind it must still complete this batch.
+        user.submit(11, &Syscall::ClockRead).unwrap();
+        assert_eq!(eng.submit_batch(&mut k), 2);
+        let cqe = user.complete().expect("ClockRead overtook the blocked wait");
+        assert_eq!(cqe.user_data, 11);
+        assert_eq!(user.complete(), None);
+        assert_eq!(eng.pending_len(), 1);
+        assert_eq!(eng.workers_spawned(), 1);
+
+        // Not woken yet: reap completes nothing.
+        assert_eq!(eng.reap(&mut k), 0);
+        // Wake the futex; the parked entry completes with Ok(0).
+        assert_eq!(k.syscall(owner, Syscall::FutexWake { va: 0x50_0000, count: 1 }), Ok(1));
+        assert_eq!(eng.reap(&mut k), 1);
+        let cqe = user.complete().expect("woken wait completed");
+        assert_eq!(cqe.user_data, 10);
+        assert_eq!(cqe.result, Ok(0));
+        assert_eq!(eng.pending_len(), 0);
+    }
+
+    #[test]
+    fn workers_are_recycled_lifo() {
+        let (mut k, owner) = boot();
+        k.syscall(owner, Syscall::Map { va: 0x50_0000, pages: 1, writable: true }).unwrap();
+        let (mut user, kring) = pair(8);
+        let mut eng = Engine::new(kring, owner);
+        user.submit(1, &Syscall::FutexWait { va: 0x50_0000, expected: 0 }).unwrap();
+        eng.submit_batch(&mut k);
+        k.syscall(owner, Syscall::FutexWake { va: 0x50_0000, count: 1 }).unwrap();
+        eng.reap(&mut k);
+        assert_eq!(eng.workers_spawned(), 1);
+        // A second blocking op reuses the freed worker, no new spawn.
+        user.submit(2, &Syscall::FutexWait { va: 0x50_0000, expected: 0 }).unwrap();
+        eng.submit_batch(&mut k);
+        assert_eq!(eng.workers_spawned(), 1, "freed worker reused");
+        k.syscall(owner, Syscall::FutexWake { va: 0x50_0000, count: 1 }).unwrap();
+        eng.reap(&mut k);
+        while user.complete().is_some() {}
+    }
+
+    #[test]
+    fn shutdown_cancels_pending_and_exits_workers() {
+        let (mut k, owner) = boot();
+        k.syscall(owner, Syscall::Map { va: 0x50_0000, pages: 1, writable: true }).unwrap();
+        let (mut user, kring) = pair(8);
+        let mut eng = Engine::new(kring, owner);
+        user.submit(5, &Syscall::FutexWait { va: 0x50_0000, expected: 0 }).unwrap();
+        eng.submit_batch(&mut k);
+        assert_eq!(eng.pending_len(), 1);
+        assert_eq!(eng.shutdown(&mut k), 1);
+        let cqe = user.complete().expect("cancelled entry still completes");
+        assert_eq!(cqe.user_data, 5);
+        assert_eq!(cqe.result, Err(SysError::Invalid));
+        assert_eq!(eng.workers_spawned(), 0);
+    }
+
+    #[test]
+    fn cq_backpressure_overflows_to_backlog_in_order() {
+        let (mut k, owner) = boot();
+        // CQ depth 2: three completions overflow by one.
+        let (mut user, kring) = pair(2);
+        let mut eng = Engine::new(kring, owner);
+        user.submit(0, &Syscall::ClockRead).unwrap();
+        user.submit(1, &Syscall::ClockRead).unwrap();
+        eng.submit_batch(&mut k);
+        user.submit(2, &Syscall::ClockRead).unwrap();
+        eng.submit_batch(&mut k); // CQ full: token 2 parks in the backlog.
+        assert_eq!(user.complete().map(|c| c.user_data), Some(0));
+        assert_eq!(user.complete().map(|c| c.user_data), Some(1));
+        assert_eq!(user.complete(), None, "overflowed CQE not yet flushed");
+        eng.submit_batch(&mut k); // Any engine call flushes the backlog.
+        assert_eq!(user.complete().map(|c| c.user_data), Some(2), "order preserved");
+    }
+}

@@ -1,0 +1,220 @@
+//! Wire formats for submission and completion entries.
+//!
+//! Both entries reuse the kernel's marshalling layers rather than
+//! inventing a new encoding: an SQE carries the caller's correlation
+//! token plus the *register image* of the syscall — exactly what
+//! [`veros_kernel::syscall::abi::encode_regs`] produces for the
+//! synchronous trap path — serialized with
+//! [`veros_kernel::syscall::marshal`]. The kernel side re-derives the
+//! typed [`Syscall`] through [`abi::decode_regs`], so a ring entry goes
+//! through the *same* marshalling obligation as a synchronous trap, and
+//! a bad opcode is rejected the same way (`SysError::BadSyscall`),
+//! just reported through a CQE instead of a register pair.
+//!
+//! A CQE is the mirror image: the correlation token plus the
+//! `(status, value)` pair of [`abi::encode_ret`].
+
+use veros_kernel::syscall::abi::{self, Regs};
+use veros_kernel::syscall::marshal::{Decoder, Encoder, MarshalError};
+use veros_kernel::syscall::{SysError, SysRet, Syscall};
+
+/// Serialized size of an SQE: token + six registers.
+pub const SQE_BYTES: usize = 8 * 7;
+/// Serialized size of a CQE: token + status + value.
+pub const CQE_BYTES: usize = 8 * 3;
+
+/// One slot of the submission queue, as shared-memory bytes.
+pub type SqeBytes = [u8; SQE_BYTES];
+/// One slot of the completion queue, as shared-memory bytes.
+pub type CqeBytes = [u8; CQE_BYTES];
+
+/// A submission entry: correlation token + syscall register image.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sqe {
+    /// Caller-chosen correlation token, echoed verbatim in the CQE.
+    pub user_data: u64,
+    /// The syscall in its register ABI encoding.
+    pub regs: Regs,
+}
+
+impl Sqe {
+    /// Builds an entry for a typed syscall (the user-side constructor).
+    pub fn new(user_data: u64, call: &Syscall) -> Self {
+        Self { user_data, regs: abi::encode_regs(call) }
+    }
+
+    /// Re-derives the typed syscall; `Err(BadSyscall)`/`Err(Invalid)`
+    /// are the ring's bad-opcode rejection path.
+    pub fn syscall(&self) -> Result<Syscall, SysError> {
+        abi::decode_regs(&self.regs)
+    }
+
+    /// Serializes into a ring slot through `scratch` (reused across
+    /// entries so the hot path never allocates).
+    pub fn encode(&self, scratch: &mut Encoder) -> SqeBytes {
+        scratch.clear();
+        scratch.u64(self.user_data);
+        for r in self.regs {
+            scratch.u64(r);
+        }
+        let mut out = [0u8; SQE_BYTES];
+        out.copy_from_slice(scratch.as_slice());
+        out
+    }
+
+    /// Deserializes a ring slot (or any byte buffer — short buffers are
+    /// `Truncated`, long ones `TrailingBytes`).
+    pub fn decode(bytes: &[u8]) -> Result<Self, MarshalError> {
+        let mut d = Decoder::new(bytes);
+        let user_data = d.u64()?;
+        let mut regs: Regs = [0; 6];
+        for r in &mut regs {
+            *r = d.u64()?;
+        }
+        d.finish()?;
+        Ok(Self { user_data, regs })
+    }
+}
+
+/// A completion entry: the echoed token + the syscall result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cqe {
+    /// The submitting SQE's correlation token.
+    pub user_data: u64,
+    /// The dispatch result (identical domain to a synchronous return).
+    pub result: SysRet,
+}
+
+impl Cqe {
+    /// Serializes into a ring slot through `scratch`.
+    pub fn encode(&self, scratch: &mut Encoder) -> CqeBytes {
+        let (status, value) = abi::encode_ret(self.result);
+        scratch.clear();
+        scratch.u64(self.user_data).u64(status).u64(value);
+        let mut out = [0u8; CQE_BYTES];
+        out.copy_from_slice(scratch.as_slice());
+        out
+    }
+
+    /// Deserializes a ring slot; a status outside the `SysError` code
+    /// domain is `Truncated`-style garbage and surfaces as an error
+    /// rather than a fabricated result.
+    pub fn decode(bytes: &[u8]) -> Result<Self, MarshalError> {
+        let mut d = Decoder::new(bytes);
+        let user_data = d.u64()?;
+        let status = d.u64()?;
+        let value = d.u64()?;
+        d.finish()?;
+        let result = abi::decode_ret(status, value).map_err(|_| MarshalError::Truncated)?;
+        Ok(Self { user_data, result })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_calls() -> Vec<Syscall> {
+        vec![
+            Syscall::Spawn,
+            Syscall::Exit { code: -3 },
+            Syscall::Wait { pid: 7 },
+            Syscall::Map { va: 0x40_0000, pages: 4, writable: true },
+            Syscall::Unmap { va: 0x40_0000, pages: 4 },
+            Syscall::Open { path_ptr: 0x1000, path_len: 9, create: false },
+            Syscall::Read { fd: 3, buf_ptr: 0x2000, buf_len: 128 },
+            Syscall::Write { fd: 3, buf_ptr: 0x3000, buf_len: 64 },
+            Syscall::Seek { fd: 3, offset: 12 },
+            Syscall::Close { fd: 3 },
+            Syscall::Unlink { path_ptr: 0x1000, path_len: 9 },
+            Syscall::FutexWait { va: 0x50_0000, expected: 42 },
+            Syscall::FutexWake { va: 0x50_0000, count: u32::MAX },
+            Syscall::ThreadSpawn { affinity_plus_one: 2 },
+            Syscall::Yield,
+            Syscall::ClockRead,
+        ]
+    }
+
+    #[test]
+    fn sqe_round_trips_every_syscall_variant() {
+        let mut scratch = Encoder::new();
+        for (i, call) in sample_calls().into_iter().enumerate() {
+            let sqe = Sqe::new(0xa000 + i as u64, &call);
+            let bytes = sqe.encode(&mut scratch);
+            let back = Sqe::decode(&bytes).expect("well-formed SQE decodes");
+            assert_eq!(back, sqe);
+            assert_eq!(back.syscall().expect("valid opcode"), call);
+        }
+    }
+
+    #[test]
+    fn cqe_round_trips_ok_and_every_error_code() {
+        let mut scratch = Encoder::new();
+        let mut results: Vec<SysRet> = vec![Ok(0), Ok(u64::MAX), Ok(0x1234)];
+        for code in 1..=16u32 {
+            results.push(Err(SysError::from_code(code).expect("defined code")));
+        }
+        for (i, result) in results.into_iter().enumerate() {
+            let cqe = Cqe { user_data: i as u64, result };
+            let bytes = cqe.encode(&mut scratch);
+            assert_eq!(Cqe::decode(&bytes).expect("well-formed CQE decodes"), cqe);
+        }
+    }
+
+    #[test]
+    fn truncated_buffers_are_rejected_at_every_length() {
+        let mut scratch = Encoder::new();
+        let sqe = Sqe::new(9, &Syscall::Yield).encode(&mut scratch);
+        for len in 0..SQE_BYTES {
+            assert_eq!(
+                Sqe::decode(&sqe[..len]),
+                Err(MarshalError::Truncated),
+                "sqe truncated to {len}"
+            );
+        }
+        let cqe = Cqe { user_data: 9, result: Ok(1) }.encode(&mut scratch);
+        for len in 0..CQE_BYTES {
+            assert_eq!(
+                Cqe::decode(&cqe[..len]),
+                Err(MarshalError::Truncated),
+                "cqe truncated to {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_buffers_are_trailing_bytes() {
+        let mut scratch = Encoder::new();
+        let mut long = Sqe::new(1, &Syscall::Yield).encode(&mut scratch).to_vec();
+        long.push(0);
+        assert_eq!(Sqe::decode(&long), Err(MarshalError::TrailingBytes));
+        let mut long = Cqe { user_data: 1, result: Ok(0) }.encode(&mut scratch).to_vec();
+        long.push(0);
+        assert_eq!(Cqe::decode(&long), Err(MarshalError::TrailingBytes));
+    }
+
+    #[test]
+    fn bad_opcode_is_rejected_at_the_typed_layer() {
+        // Opcode 0 and out-of-range opcodes decode as bytes (the wire
+        // layer cannot know the register schema) but fail the typed
+        // re-derivation — the same BadSyscall a trap would produce.
+        for nr in [0u64, 17, 999, u64::MAX] {
+            let sqe = Sqe { user_data: 5, regs: [nr, 0, 0, 0, 0, 0] };
+            assert_eq!(sqe.syscall(), Err(SysError::BadSyscall), "nr {nr}");
+        }
+        // In-range opcode with an out-of-domain argument: also rejected.
+        let call = Syscall::Map { va: 0x40_0000, pages: 1, writable: true };
+        let mut regs = abi::encode_regs(&call);
+        regs[3] = 7; // `writable` must be 0 or 1.
+        assert_eq!(Sqe { user_data: 5, regs }.syscall(), Err(SysError::Invalid));
+    }
+
+    #[test]
+    fn corrupt_cqe_status_does_not_fabricate_an_error() {
+        let mut scratch = Encoder::new();
+        scratch.u64(1).u64(9999).u64(0); // status 9999: no such SysError.
+        let mut bytes = [0u8; CQE_BYTES];
+        bytes.copy_from_slice(scratch.as_slice());
+        assert!(Cqe::decode(&bytes).is_err());
+    }
+}

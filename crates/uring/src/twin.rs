@@ -1,0 +1,174 @@
+//! The synchronous twin: the ring engine's reference execution.
+//!
+//! [`SyncTwin`] accepts the same sequence of `(user_data, syscall)`
+//! submissions as an [`crate::engine::Engine`] but performs every
+//! dispatch through the kernel's fully instrumented synchronous entry
+//! point ([`Kernel::syscall`]) and collects completions in a plain
+//! vector — no rings, no marshalling, no batching. It deliberately
+//! mirrors the engine's *scheduling policy* bit for bit: blocking
+//! operations go to lazily spawned worker threads (created with the
+//! same `ThreadSpawn` syscall, recycled LIFO, scanned FIFO at pump
+//! time, released in scan order), so a twin run allocates the same
+//! thread ids in the same order as the engine run.
+//!
+//! That determinism is what makes the differential VCs sharp: after
+//! feeding both executions the same submissions, `veros-core` compares
+//! the *entire* kernel views — processes, threads, files, futexes, id
+//! counters — not just the completion values. Any divergence in how
+//! the ring path touches kernel state shows up as a view mismatch.
+
+use std::collections::VecDeque;
+
+use veros_kernel::syscall::{SysError, Syscall};
+use veros_kernel::thread::ThreadState;
+use veros_kernel::{Kernel, Pid, Tid};
+
+use crate::entry::Cqe;
+
+/// A blocked submission parked in the twin's pending table.
+struct Pending {
+    user_data: u64,
+    call: Syscall,
+    worker: Tid,
+}
+
+/// Synchronous reference execution of a ring submission sequence.
+pub struct SyncTwin {
+    owner: (Pid, Tid),
+    pending: VecDeque<Pending>,
+    free_workers: Vec<Tid>,
+    workers: Vec<Tid>,
+    done: Vec<Cqe>,
+}
+
+impl SyncTwin {
+    /// A twin for the same owner as the engine under test.
+    pub fn new(owner: (Pid, Tid)) -> Self {
+        Self {
+            owner,
+            pending: VecDeque::new(),
+            free_workers: Vec::new(),
+            workers: Vec::new(),
+            done: Vec::new(),
+        }
+    }
+
+    /// Entries currently parked (blocked) in the twin.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Worker threads spawned so far.
+    pub fn workers_spawned(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Completions accumulated so far, in completion order.
+    pub fn completions(&self) -> &[Cqe] {
+        &self.done
+    }
+
+    /// Dispatches one submission synchronously, mirroring
+    /// [`crate::engine::Engine`]'s routing.
+    pub fn submit(&mut self, k: &mut Kernel, user_data: u64, call: Syscall) {
+        match call {
+            Syscall::Exit { .. } => {
+                self.done.push(Cqe { user_data, result: Err(SysError::Invalid) });
+            }
+            Syscall::FutexWait { .. } | Syscall::Wait { .. } => {
+                let worker = match self.acquire_worker(k) {
+                    Ok(w) => w,
+                    Err(e) => {
+                        self.done.push(Cqe { user_data, result: Err(e) });
+                        return;
+                    }
+                };
+                let result = k.syscall((self.owner.0, worker), call);
+                if is_blocked(k, worker) {
+                    self.pending.push_back(Pending { user_data, call, worker });
+                } else {
+                    self.free_workers.push(worker);
+                    self.done.push(Cqe { user_data, result });
+                }
+            }
+            _ => {
+                let result = k.syscall(self.owner, call);
+                self.done.push(Cqe { user_data, result });
+            }
+        }
+    }
+
+    /// Completes pending entries whose workers have been woken —
+    /// the twin's analogue of [`crate::engine::Engine::reap`].
+    /// Returns the number completed.
+    pub fn pump(&mut self, k: &mut Kernel) -> usize {
+        let mut completed = 0;
+        let in_table = self.pending.len();
+        for _ in 0..in_table {
+            let Some(p) = self.pending.pop_front() else {
+                break;
+            };
+            match k.sched.thread(p.worker).map(|t| t.state) {
+                Some(ThreadState::Blocked(_)) => self.pending.push_back(p),
+                Some(ThreadState::Exited) | None => {
+                    completed += 1;
+                    self.done
+                        .push(Cqe { user_data: p.user_data, result: Err(SysError::NoSuchProcess) });
+                }
+                Some(ThreadState::Ready) | Some(ThreadState::Running { .. }) => match p.call {
+                    Syscall::FutexWait { .. } => {
+                        completed += 1;
+                        self.free_workers.push(p.worker);
+                        self.done.push(Cqe { user_data: p.user_data, result: Ok(0) });
+                    }
+                    Syscall::Wait { .. } => {
+                        let result = k.syscall((self.owner.0, p.worker), p.call);
+                        if is_blocked(k, p.worker) {
+                            self.pending.push_back(p); // Spurious wake.
+                        } else {
+                            completed += 1;
+                            self.free_workers.push(p.worker);
+                            self.done.push(Cqe { user_data: p.user_data, result });
+                        }
+                    }
+                    _ => {
+                        completed += 1;
+                        self.free_workers.push(p.worker);
+                        self.done
+                            .push(Cqe { user_data: p.user_data, result: Err(SysError::Invalid) });
+                    }
+                },
+            }
+        }
+        completed
+    }
+
+    /// Cancels remaining pending entries and exits every worker,
+    /// mirroring [`crate::engine::Engine::shutdown`].
+    pub fn shutdown(&mut self, k: &mut Kernel) -> usize {
+        let mut cancelled = 0;
+        while let Some(p) = self.pending.pop_front() {
+            cancelled += 1;
+            self.done.push(Cqe { user_data: p.user_data, result: Err(SysError::Invalid) });
+        }
+        self.free_workers.clear();
+        for w in self.workers.drain(..) {
+            let _ = k.thread_exit(self.owner.0, w, 0);
+        }
+        cancelled
+    }
+
+    fn acquire_worker(&mut self, k: &mut Kernel) -> Result<Tid, SysError> {
+        if let Some(w) = self.free_workers.pop() {
+            return Ok(w);
+        }
+        let tid = k.syscall(self.owner, Syscall::ThreadSpawn { affinity_plus_one: 0 })?;
+        let tid = Tid(tid);
+        self.workers.push(tid);
+        Ok(tid)
+    }
+}
+
+fn is_blocked(k: &Kernel, tid: Tid) -> bool {
+    matches!(k.sched.thread(tid).map(|t| t.state), Some(ThreadState::Blocked(_)))
+}
