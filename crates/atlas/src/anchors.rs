@@ -1,0 +1,354 @@
+//! VC anchoring: finding every `engine.register(...)` site, recovering
+//! the VC name (or name *pattern* for `format!` loops) from the raw
+//! source, and collecting the site's seed references.
+//!
+//! A site's name pattern is a glob where every `format!` interpolation
+//! becomes `*`. At audit time the engine's actual VC names are matched
+//! back against these patterns; the match with the longest literal
+//! prefix wins, so a fully-dynamic `"{tag}::{name}"` site only captures
+//! names no more specific site claims.
+
+use std::collections::BTreeSet;
+
+use crate::model::AtlasFile;
+
+/// One `register(...)` call site.
+#[derive(Debug)]
+pub struct Site {
+    pub file: usize,
+    /// 1-based inclusive span of the call itself.
+    pub span: (usize, usize),
+    /// 1-based start of the site's *segment*: preceding loop headers /
+    /// `let` bindings attributed to this site (capped, and never
+    /// overlapping the previous site).
+    pub seg_start: usize,
+    /// Glob patterns for VC names registered here. Usually one,
+    /// recovered from the name literal (`*` = interpolation); a
+    /// `// covers:` entry containing `*` overrides the recovered
+    /// pattern entirely — the escape hatch for fully-computed names
+    /// whose probe-derived glob would otherwise claim everything.
+    /// Empty when no pattern could be recovered.
+    pub patterns: Vec<String>,
+    /// `// covers: Enum::Variant` anchors attached to the site
+    /// (glob-free entries only; glob entries become [`Self::patterns`]).
+    pub covers: Vec<String>,
+}
+
+/// Finds all non-test `register(` call sites in a file. A site must
+/// mention `VcKind::` somewhere in its argument span to qualify (this
+/// filters unrelated `register` methods, e.g. NR replica registration).
+pub fn find_sites(file_idx: usize, file: &AtlasFile) -> Vec<Site> {
+    let lines = &file.src.lines;
+    let mut sites = Vec::new();
+    let mut i = 0usize;
+    while i < lines.len() {
+        if file.src.in_test[i] {
+            i += 1;
+            continue;
+        }
+        let code = &lines[i].code;
+        let Some(pos) = code.find(".register(") else {
+            i += 1;
+            continue;
+        };
+        // Walk the argument list to its closing paren, across lines.
+        let mut depth = 0i64;
+        let mut end = i;
+        let mut started = false;
+        let mut col = pos + ".register(".len() - 1; // index of the '('
+        'outer: for (li, line) in lines.iter().enumerate().skip(i) {
+            let c0 = if li == i { col } else { 0 };
+            for c in line.code[c0.min(line.code.len())..].chars() {
+                match c {
+                    '(' | '{' | '[' => {
+                        depth += 1;
+                        started = true;
+                    }
+                    ')' | '}' | ']' => {
+                        depth -= 1;
+                        if started && depth == 0 {
+                            end = li;
+                            break 'outer;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            end = li;
+            col = 0;
+        }
+        let span = (i + 1, end + 1);
+        let has_kind = (span.0..=span.1).any(|l| lines[l - 1].code.contains("VcKind::"));
+        if has_kind {
+            sites.push(Site {
+                file: file_idx,
+                span,
+                seg_start: span.0, // fixed up below
+                patterns: pattern_for(file, span).into_iter().collect(),
+                covers: Vec::new(), // filled below
+            });
+        }
+        i = end + 1;
+    }
+    // Segments: attribute the code between consecutive sites (loop
+    // headers, `let` bindings sizing the obligation) to the *next*
+    // site, capped so interleaved helper functions stay out.
+    const SEG_CAP: usize = 12;
+    let mut prev_end = 0usize;
+    for s in sites.iter_mut() {
+        let floor = prev_end + 1;
+        s.seg_start = s.span.0.saturating_sub(SEG_CAP).max(floor).min(s.span.0);
+        prev_end = s.span.1;
+    }
+    // Covers anchors: comment lines within the segment + span. Entries
+    // containing `*` are explicit name patterns and *replace* the
+    // probe-derived one; the rest stay seed anchors.
+    for s in sites.iter_mut() {
+        for l in s.seg_start..=s.span.1 {
+            collect_covers(&lines[l - 1].comment, &mut s.covers);
+        }
+        let globs: Vec<String> = s.covers.iter().filter(|c| c.contains('*')).cloned().collect();
+        if !globs.is_empty() {
+            s.covers.retain(|c| !c.contains('*'));
+            s.patterns = globs;
+        }
+    }
+    sites
+}
+
+/// Parses `covers: A::B, C::D` out of one comment string.
+fn collect_covers(comment: &str, out: &mut Vec<String>) {
+    let Some(pos) = comment.find("covers:") else { return };
+    for part in comment[pos + "covers:".len()..].split(',') {
+        let p = part.trim().trim_end_matches('.');
+        if !p.is_empty()
+            && p.chars().all(|c| c.is_alphanumeric() || c == ':' || c == '_' || c == '*')
+        {
+            out.push(p.to_string());
+        }
+    }
+}
+
+/// Recovers the VC name pattern for a site from *raw* source text
+/// (the lexer blanks string literals, so patterns live only in raw
+/// lines). Searches the span first, then up to 8 lines above it for
+/// the `let name = format!(...)` idiom.
+fn pattern_for(file: &AtlasFile, span: (usize, usize)) -> Option<String> {
+    // Only `::`-bearing literals qualify as VC names; failure-message
+    // literals rarely contain `::` and always come after the name
+    // argument in a `register` call, so first match wins.
+    let probe = |line: &str| -> Option<String> {
+        string_literals(line)
+            .into_iter()
+            .find(|l| l.contains("::"))
+            .map(|l| globify(&l))
+    };
+    for l in span.0..=span.1.min(file.raw.len()) {
+        if let Some(p) = probe(&file.raw[l - 1]) {
+            return Some(p);
+        }
+    }
+    let lo = span.0.saturating_sub(8).max(1);
+    for l in (lo..span.0).rev() {
+        let raw = &file.raw[l - 1];
+        if raw.contains("format!") || raw.contains("let name") || raw.contains("name =") {
+            if let Some(p) = probe(raw) {
+                return Some(p);
+            }
+        }
+    }
+    // Span-local fallback: a `format!("...")` with no `::` in the
+    // literal (fully computed names still get a wildcard pattern).
+    for l in span.0..=span.1.min(file.raw.len()) {
+        let raw = &file.raw[l - 1];
+        if raw.contains("format!") {
+            for lit in string_literals(raw) {
+                if lit.contains('{') {
+                    return Some(globify(&lit));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Extracts the contents of plain `"..."` string literals in one raw
+/// line (escape-aware; raw strings not needed for VC names).
+fn string_literals(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let b = line.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() {
+        if b[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < b.len() && b[j] != b'"' {
+                if b[j] == b'\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            if j <= b.len() {
+                out.push(line[start..j.min(line.len())].to_string());
+            }
+            i = j + 1;
+        } else if b[i] == b'\'' && i + 2 < b.len() && b[i + 2] == b'\'' {
+            i += 3; // skip char literal so 'x' can't open a "string"
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Turns a format-string literal into a glob: every `{...}` hole
+/// becomes `*`; literal `{{`/`}}` escape to `{`/`}`.
+fn globify(lit: &str) -> String {
+    let mut out = String::new();
+    let b: Vec<char> = lit.chars().collect();
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            '{' if i + 1 < b.len() && b[i + 1] == '{' => {
+                out.push('{');
+                i += 2;
+            }
+            '}' if i + 1 < b.len() && b[i + 1] == '}' => {
+                out.push('}');
+                i += 2;
+            }
+            '{' => {
+                while i < b.len() && b[i] != '}' {
+                    i += 1;
+                }
+                i += 1;
+                // Collapse adjacent wildcards.
+                if !out.ends_with('*') {
+                    out.push('*');
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Glob match: `*` spans any substring (including empty).
+pub fn glob_match(pattern: &str, name: &str) -> bool {
+    fn inner(p: &[char], n: &[char]) -> bool {
+        match p.split_first() {
+            None => n.is_empty(),
+            Some(('*', rest)) => {
+                (0..=n.len()).any(|k| inner(rest, &n[k..]))
+            }
+            Some((c, rest)) => n.split_first().is_some_and(|(d, nr)| c == d && inner(rest, nr)),
+        }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let n: Vec<char> = name.chars().collect();
+    inner(&p, &n)
+}
+
+/// Length of the literal prefix before the first `*` — the match
+/// specificity used to pick the winning site for a VC name.
+pub fn literal_prefix(pattern: &str) -> usize {
+    pattern.find('*').unwrap_or(pattern.len())
+}
+
+/// Resolves the best-matching site indices for a VC name: all matches
+/// sharing the longest literal prefix.
+pub fn best_matches(patterns: &[(usize, String)], name: &str) -> Vec<usize> {
+    let mut best: Vec<usize> = Vec::new();
+    let mut best_len = 0usize;
+    let mut found = false;
+    for (site, pat) in patterns {
+        if !glob_match(pat, name) {
+            continue;
+        }
+        let l = literal_prefix(pat);
+        if !found || l > best_len {
+            best = vec![*site];
+            best_len = l;
+            found = true;
+        } else if l == best_len {
+            best.push(*site);
+        }
+    }
+    best
+}
+
+/// Seed items of a site: every reference in its segment+span resolved,
+/// plus its covers-enum items, plus same-file profile-sizing items
+/// (`Profile`/`Params`/`params`) — sizing changes rightly re-run every
+/// obligation registered in the file.
+pub fn site_seeds(
+    site: &Site,
+    files: &[AtlasFile],
+    items: &[crate::model::Item],
+    idx: &crate::graph::Index,
+    imports: &crate::graph::Imports,
+) -> BTreeSet<usize> {
+    let file = &files[site.file];
+    let own = &file.crate_key;
+    let mut seeds = BTreeSet::new();
+    for l in site.seg_start..=site.span.1.min(file.src.lines.len()) {
+        for r in crate::graph::refs_in(&file.src.lines[l - 1].code) {
+            crate::graph::resolve(&r, own, imports, idx, &mut seeds);
+        }
+    }
+    for cov in &site.covers {
+        let head = cov.split("::").next().unwrap_or(cov);
+        for (id, it) in items.iter().enumerate() {
+            if it.name == head && it.kind == crate::model::ItemKind::Type {
+                seeds.insert(id);
+            }
+        }
+    }
+    for sizing in ["Profile", "Params", "params"] {
+        for (id, it) in items.iter().enumerate() {
+            if it.file == site.file && it.name == sizing {
+                seeds.insert(id);
+            }
+        }
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globify_and_match() {
+        assert_eq!(globify("abi::random_args_s{seed}"), "abi::random_args_s*");
+        assert_eq!(globify("{tag}::{name}"), "*::*");
+        assert_eq!(globify("plain::name"), "plain::name");
+        assert!(glob_match("abi::random_args_s*", "abi::random_args_s3"));
+        assert!(glob_match("*::*", "boot::identity_map"));
+        assert!(!glob_match("abi::x*", "abj::x3"));
+        assert!(glob_match("a*c*", "abcd"));
+    }
+
+    #[test]
+    fn specificity_prefers_literal_sites() {
+        let pats = vec![
+            (0usize, "*::*".to_string()),
+            (1usize, "abi::random_args_s*".to_string()),
+            (2usize, "abi::all_variants_roundtrip".to_string()),
+        ];
+        assert_eq!(best_matches(&pats, "abi::all_variants_roundtrip"), vec![2]);
+        assert_eq!(best_matches(&pats, "abi::random_args_s7"), vec![1]);
+        assert_eq!(best_matches(&pats, "boot::wild_dynamic"), vec![0]);
+        assert!(best_matches(&pats, "nocolon").is_empty());
+    }
+
+    #[test]
+    fn string_literal_extraction_survives_escapes() {
+        let lits = string_literals(r#"engine.register(M, k, "a::b", check("x\"y"));"#);
+        assert_eq!(lits[0], "a::b");
+        assert_eq!(lits[1], "x\\\"y");
+    }
+}

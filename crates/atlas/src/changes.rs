@@ -1,0 +1,190 @@
+//! Change sets for incremental selection: parse `git diff --unified=0`
+//! output into per-file touched-line ranges, and classify paths into
+//! *ignore* (docs, results, baselines), *select-all* (build config, CI,
+//! the toolchain — anything whose effect the map cannot bound), and
+//! *code* (intersect with VC footprints).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::Command;
+
+/// Touched lines of one file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FileChange {
+    /// 1-based inclusive new-side ranges (a pure deletion contributes
+    /// the boundary line).
+    Ranges(Vec<(usize, usize)>),
+    /// Whole file (deleted, renamed, or binary).
+    Whole,
+}
+
+/// How a changed path feeds selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathClass {
+    /// Cannot affect any obligation: docs, licenses, results, committed
+    /// baselines (a baseline edit is judged by the full run on main).
+    Ignore,
+    /// Affects everything: build config, CI, toolchain, lockfile.
+    SelectAll,
+    /// Rust source — intersect with footprints.
+    Code,
+}
+
+/// Classifies one workspace-relative path.
+pub fn classify(path: &str) -> PathClass {
+    let lower = path.to_ascii_lowercase();
+    let base = lower.rsplit('/').next().unwrap_or(&lower);
+    if base.ends_with(".md")
+        || base.ends_with(".txt")
+        || base.starts_with("license")
+        || base == ".gitignore"
+        || lower.starts_with("results/")
+        || base.ends_with(".json")
+    {
+        return PathClass::Ignore;
+    }
+    if base == "build.rs"
+        || base == "cargo.toml"
+        || base == "cargo.lock"
+        || base.starts_with("rust-toolchain")
+        || lower.starts_with(".github/")
+        || base.ends_with(".yml")
+        || base.ends_with(".yaml")
+    {
+        return PathClass::SelectAll;
+    }
+    if base.ends_with(".rs") {
+        return PathClass::Code;
+    }
+    // Unknown file types: conservative.
+    PathClass::SelectAll
+}
+
+/// A parsed diff: every changed file with its touched ranges.
+#[derive(Debug, Default)]
+pub struct ChangeSet {
+    pub files: BTreeMap<String, FileChange>,
+}
+
+impl ChangeSet {
+    /// Runs `git diff --unified=0 <rev> -- .` at `root` and parses it.
+    pub fn from_git(root: &Path, rev: &str) -> Result<ChangeSet, String> {
+        let out = Command::new("git")
+            .current_dir(root)
+            .args(["diff", "--unified=0", "--no-color", rev, "--", "."])
+            .output()
+            .map_err(|e| format!("running git diff: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "git diff {rev} failed: {}",
+                String::from_utf8_lossy(&out.stderr).trim()
+            ));
+        }
+        Ok(Self::from_diff(&String::from_utf8_lossy(&out.stdout)))
+    }
+
+    /// Parses unified-diff text (`--unified=0` hunk headers).
+    pub fn from_diff(diff: &str) -> ChangeSet {
+        let mut cs = ChangeSet::default();
+        let mut old_path: Option<String> = None;
+        let mut cur: Option<String> = None;
+        for line in diff.lines() {
+            if let Some(p) = line.strip_prefix("--- ") {
+                old_path = p.strip_prefix("a/").map(str::to_string);
+                continue;
+            }
+            if let Some(p) = line.strip_prefix("+++ ") {
+                if p == "/dev/null" {
+                    // Deleted file: every line of the old file is a
+                    // change; select on the old path, whole-file.
+                    if let Some(op) = old_path.take() {
+                        cs.files.insert(op, FileChange::Whole);
+                    }
+                    cur = None;
+                } else if let Some(np) = p.strip_prefix("b/") {
+                    cur = Some(np.to_string());
+                    cs.files
+                        .entry(np.to_string())
+                        .or_insert_with(|| FileChange::Ranges(Vec::new()));
+                }
+                continue;
+            }
+            if line.starts_with("Binary files") {
+                if let Some(c) = &cur {
+                    cs.files.insert(c.clone(), FileChange::Whole);
+                }
+                continue;
+            }
+            let Some(hunk) = line.strip_prefix("@@ ") else { continue };
+            let Some(c) = &cur else { continue };
+            // `@@ -l[,n] +l[,n] @@` — take the new-side range; a pure
+            // deletion (n == 0) still touches the boundary line.
+            let Some(plus) = hunk.split(' ').find(|t| t.starts_with('+')) else { continue };
+            let mut it = plus[1..].split(',');
+            let start: usize = it.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+            let count: usize = it.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+            let (a, b) = if count == 0 {
+                (start.max(1), start.max(1))
+            } else {
+                (start.max(1), start + count - 1)
+            };
+            if let Some(FileChange::Ranges(rs)) = cs.files.get_mut(c) {
+                rs.push((a, b));
+            }
+        }
+        cs
+    }
+
+    /// Builds a change set from explicit entries (tests, tooling).
+    pub fn from_entries(entries: &[(&str, FileChange)]) -> ChangeSet {
+        ChangeSet {
+            files: entries
+                .iter()
+                .map(|(p, c)| (p.to_string(), c.clone()))
+                .collect(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("README.md"), PathClass::Ignore);
+        assert_eq!(classify("BENCH_audit.json"), PathClass::Ignore);
+        assert_eq!(classify("results/AUDIT.json"), PathClass::Ignore);
+        assert_eq!(classify("Cargo.toml"), PathClass::SelectAll);
+        assert_eq!(classify("crates/nr/Cargo.toml"), PathClass::SelectAll);
+        assert_eq!(classify(".github/workflows/ci.yml"), PathClass::SelectAll);
+        assert_eq!(classify("crates/net/src/rdt.rs"), PathClass::Code);
+        assert_eq!(classify("crates/fs/build.rs"), PathClass::SelectAll);
+    }
+
+    #[test]
+    fn parse_unified_zero() {
+        let diff = "\
+diff --git a/crates/net/src/rdt.rs b/crates/net/src/rdt.rs
+--- a/crates/net/src/rdt.rs
++++ b/crates/net/src/rdt.rs
+@@ -10,2 +10,3 @@ fn x() {
++new
+@@ -40 +41,0 @@ fn y() {
+diff --git a/gone.rs b/gone.rs
+--- a/gone.rs
++++ /dev/null
+@@ -1,5 +0,0 @@
+";
+        let cs = ChangeSet::from_diff(diff);
+        assert_eq!(
+            cs.files.get("crates/net/src/rdt.rs"),
+            Some(&FileChange::Ranges(vec![(10, 12), (41, 41)]))
+        );
+        assert_eq!(cs.files.get("gone.rs"), Some(&FileChange::Whole));
+    }
+}

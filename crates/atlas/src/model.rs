@@ -1,0 +1,428 @@
+//! The atlas file/item model: every workspace `.rs` file scanned twice
+//! (raw text for name-pattern extraction, lexed code via `veros-lint`
+//! for structure), and a brace-depth item extractor that recovers
+//! `fn`/`impl`/`struct`/`enum`/`trait`/`mod`/`macro_rules!` definitions
+//! with their line ranges.
+//!
+//! The extractor is deliberately lexical, not a parser: it only needs
+//! line ranges and names good enough for conservative name resolution.
+//! Anything it cannot place lands in the file's *preamble* pseudo-item,
+//! which every item of the file implicitly depends on — so a miss makes
+//! footprints larger, never smaller.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use veros_lint::source::SourceFile;
+
+/// Directory names never descended into (mirrors veros-lint).
+const EXCLUDED_DIRS: &[&str] = &["target", ".git", ".github", "results"];
+
+/// What kind of definition an [`Item`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    Fn,
+    Impl,
+    /// `struct` / `enum` / `trait` / `union` definitions.
+    Type,
+    Mod,
+    /// `macro_rules!` definitions.
+    Macro,
+    /// `const` / `static` items.
+    Const,
+    /// Per-file pseudo-item: all code lines not inside any other item
+    /// (use statements, module docs, stray declarations).
+    Preamble,
+}
+
+/// One extracted definition with its 1-based inclusive line ranges.
+#[derive(Clone, Debug)]
+pub struct Item {
+    pub kind: ItemKind,
+    pub name: String,
+    pub file: usize,
+    /// 1-based inclusive line ranges. Single range for real items; the
+    /// preamble may be scattered.
+    pub ranges: Vec<(usize, usize)>,
+    /// For `fn` items inside an `impl`/`trait` block: the block's name,
+    /// enabling `Type::method` qualified resolution.
+    pub parent: Option<String>,
+}
+
+impl Item {
+    pub fn contains_line(&self, line: usize) -> bool {
+        self.ranges.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+}
+
+/// One workspace file in the atlas.
+pub struct AtlasFile {
+    pub rel_path: String,
+    /// Raw source lines (string literals intact — needed to read VC
+    /// name patterns out of `register(...)` calls).
+    pub raw: Vec<String>,
+    /// Lexed view: code with literals blanked, comments split out,
+    /// test-region flags.
+    pub src: SourceFile,
+    /// Resolution namespace: crate dir under `crates/`, `"veros"` for
+    /// the root package `src/`, `"root"` for top-level tests/examples.
+    pub crate_key: String,
+    /// True for shipped library code (`crates/*/src/**`, root `src/**`):
+    /// the only files VC footprints and the coverage gate care about.
+    pub runtime_src: bool,
+}
+
+/// Computes the resolution namespace for a workspace-relative path.
+pub fn crate_key_of(rel_path: &str) -> String {
+    if let Some(rest) = rel_path.strip_prefix("crates/") {
+        if let Some(c) = rest.split('/').next() {
+            return c.to_string();
+        }
+    }
+    if rel_path.starts_with("src/") {
+        return "veros".to_string();
+    }
+    "root".to_string()
+}
+
+/// True for shipped library code the map must cover.
+pub fn is_runtime_src(rel_path: &str) -> bool {
+    if rel_path.starts_with("src/") {
+        return true;
+    }
+    rel_path.starts_with("crates/")
+        && rel_path.contains("/src/")
+        && !rel_path.contains("/fixtures/")
+}
+
+impl AtlasFile {
+    pub fn from_source(rel_path: &str, text: &str) -> AtlasFile {
+        AtlasFile {
+            rel_path: rel_path.to_string(),
+            raw: text.lines().map(str::to_string).collect(),
+            src: SourceFile::from_source(rel_path, text),
+            crate_key: crate_key_of(rel_path),
+            runtime_src: is_runtime_src(rel_path),
+        }
+    }
+}
+
+/// Walks `root` collecting every `.rs` file, sorted by path (mirrors
+/// `veros_lint::source::Workspace::load`, but keeps raw text too).
+pub fn load_files(root: &Path) -> io::Result<Vec<AtlasFile>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if EXCLUDED_DIRS.contains(&name) {
+                    continue;
+                }
+                let rel = rel_of(root, &path);
+                if rel.starts_with("crates/lint/tests/fixtures") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let text = fs::read_to_string(&path)?;
+                files.push(AtlasFile::from_source(&rel_of(root, &path), &text));
+            }
+        }
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Reads the item header (if any) that a code line begins: strips
+/// visibility/qualifier keywords, then matches the defining keyword.
+/// Only recognizes headers at the (trimmed) start of a line — rustfmt
+/// output always puts them there, and a missed header degrades to
+/// preamble, which is the safe direction.
+pub fn header_of(code: &str) -> Option<(ItemKind, String)> {
+    let mut rest = code.trim_start();
+    loop {
+        rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix("pub(") {
+            rest = &r[r.find(')')? + 1..];
+            continue;
+        }
+        let mut stripped = false;
+        for q in ["pub ", "unsafe ", "default ", "async ", "extern \"\" "] {
+            if let Some(r) = rest.strip_prefix(q) {
+                rest = r;
+                stripped = true;
+                break;
+            }
+        }
+        if stripped {
+            continue;
+        }
+        // `const` doubles as a qualifier (`const fn`) and a keyword
+        // (`const NAME: ...`).
+        if let Some(r) = rest.strip_prefix("const ") {
+            let r = r.trim_start();
+            if r.starts_with("fn ") {
+                rest = r;
+                continue;
+            }
+            return Some((ItemKind::Const, ident_at(r)?));
+        }
+        break;
+    }
+    if let Some(r) = rest.strip_prefix("fn ") {
+        return Some((ItemKind::Fn, ident_at(r)?));
+    }
+    if let Some(r) = rest.strip_prefix("macro_rules!") {
+        return Some((ItemKind::Macro, ident_at(r.trim_start())?));
+    }
+    if rest.starts_with("impl ") || rest.starts_with("impl<") {
+        return Some((ItemKind::Impl, impl_name(&rest[4..])));
+    }
+    if let Some(r) = rest.strip_prefix("mod ") {
+        return Some((ItemKind::Mod, ident_at(r)?));
+    }
+    for kw in ["struct ", "enum ", "trait ", "union "] {
+        if let Some(r) = rest.strip_prefix(kw) {
+            return Some((ItemKind::Type, ident_at(r)?));
+        }
+    }
+    if let Some(r) = rest.strip_prefix("static ") {
+        let r = r.trim_start().strip_prefix("mut ").unwrap_or(r.trim_start());
+        return Some((ItemKind::Const, ident_at(r)?));
+    }
+    None
+}
+
+/// Leading identifier of `s`, if it starts with one.
+fn ident_at(s: &str) -> Option<String> {
+    let s = s.trim_start();
+    let end = s
+        .char_indices()
+        .find(|(_, c)| !(c.is_alphanumeric() || *c == '_'))
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    if end == 0 || s.as_bytes()[0].is_ascii_digit() {
+        return None;
+    }
+    Some(s[..end].to_string())
+}
+
+/// Names the type an `impl` block is for: the last path segment of the
+/// self type (after `for` when present), generics stripped. `rest` is
+/// the header text after the `impl` keyword.
+fn impl_name(rest: &str) -> String {
+    let mut s = rest.trim_start();
+    if s.starts_with('<') {
+        // Skip the generic parameter list.
+        let mut depth = 0usize;
+        let mut cut = s.len();
+        for (i, c) in s.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        s = &s[cut..];
+    }
+    // Keep everything before the body/where clause, prefer the segment
+    // after a standalone `for`.
+    let head = s.split('{').next().unwrap_or(s);
+    let head = match head.find(" where ") {
+        Some(p) => &head[..p],
+        None => head,
+    };
+    let target = match find_word_pos(head, "for") {
+        Some(p) => &head[p + 3..],
+        None => head,
+    };
+    // Last path-segment identifier before any generics.
+    let target = target.trim_start().trim_start_matches(['&', ' ']);
+    let target = target.strip_prefix("mut ").unwrap_or(target);
+    let target = target.strip_prefix("dyn ").unwrap_or(target);
+    let path = target
+        .split(|c: char| c == '<' || c == '(' || c.is_whitespace())
+        .next()
+        .unwrap_or("");
+    path.rsplit("::")
+        .next()
+        .filter(|s| !s.is_empty())
+        .unwrap_or("impl")
+        .to_string()
+}
+
+/// Position of `word` as a standalone token in `s`.
+fn find_word_pos(s: &str, word: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = s[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || {
+            let b = bytes[at - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || {
+            let b = bytes[end];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + word.len();
+    }
+    None
+}
+
+/// A header whose body/terminator has not been seen yet.
+struct Pending {
+    kind: ItemKind,
+    name: String,
+    /// 0-based line the header started on.
+    line: usize,
+}
+
+/// An item whose `{` has opened but whose `}` has not closed.
+struct Open {
+    kind: ItemKind,
+    name: String,
+    start: usize,
+    /// Brace depth just before the opening `{`; the item closes when
+    /// depth returns here.
+    entry: i64,
+    parent: Option<String>,
+}
+
+/// Extracts all items of `file` (appending to `items`), including the
+/// trailing preamble pseudo-item. `file_idx` is stored on each item.
+pub fn extract_items(file_idx: usize, file: &AtlasFile, items: &mut Vec<Item>) {
+    let first = items.len();
+    let lines = &file.src.lines;
+    let mut depth: i64 = 0;
+    let mut pending: Option<Pending> = None;
+    // Paren/bracket nesting carried across lines while a header is
+    // pending, so a `;` inside `[u8; 4]` or a multi-line signature does
+    // not terminate the declaration early.
+    let mut pb: i64 = 0;
+    let mut stack: Vec<Open> = Vec::new();
+
+    for (i, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        if pending.is_none() && !line.is_attr() {
+            if let Some((kind, name)) = header_of(code) {
+                pending = Some(Pending { kind, name, line: i });
+                pb = 0;
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '(' | '[' => pb += 1,
+                ')' | ']' => pb -= 1,
+                '{' => {
+                    if let Some(p) = pending.take() {
+                        let parent = stack
+                            .iter()
+                            .rev()
+                            .find(|o| matches!(o.kind, ItemKind::Impl | ItemKind::Type))
+                            .map(|o| o.name.clone());
+                        stack.push(Open {
+                            kind: p.kind,
+                            name: p.name,
+                            start: p.line,
+                            entry: depth,
+                            parent,
+                        });
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    while stack.last().is_some_and(|t| depth <= t.entry) {
+                        let top = stack.pop().unwrap();
+                        items.push(Item {
+                            kind: top.kind,
+                            name: top.name,
+                            file: file_idx,
+                            ranges: vec![(top.start + 1, i + 1)],
+                            parent: top.parent,
+                        });
+                    }
+                }
+                ';' if pb <= 0 => {
+                    if let Some(p) = pending.take() {
+                        // Declaration form: `mod x;`, `const X: T = v;`,
+                        // a trait method signature.
+                        items.push(Item {
+                            kind: p.kind,
+                            name: p.name,
+                            file: file_idx,
+                            ranges: vec![(p.line + 1, i + 1)],
+                            parent: stack.last().map(|o| o.name.clone()),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Unclosed items (unbalanced braces) still get a range to EOF.
+    while let Some(top) = stack.pop() {
+        items.push(Item {
+            kind: top.kind,
+            name: top.name,
+            file: file_idx,
+            ranges: vec![(top.start + 1, lines.len().max(1))],
+            parent: top.parent,
+        });
+    }
+
+    // Preamble: non-blank code lines not covered by any top-level item.
+    let mut covered = vec![false; lines.len()];
+    for it in &items[first..] {
+        if it.parent.is_none() {
+            for &(a, b) in &it.ranges {
+                for l in a..=b.min(lines.len()) {
+                    covered[l - 1] = true;
+                }
+            }
+        }
+    }
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if covered[i] || line.is_code_blank() {
+            continue;
+        }
+        match ranges.last_mut() {
+            Some(r) if r.1 == i => r.1 = i + 1,
+            _ => ranges.push((i + 1, i + 1)),
+        }
+    }
+    if !ranges.is_empty() {
+        items.push(Item {
+            kind: ItemKind::Preamble,
+            name: format!("<preamble:{}>", file.rel_path),
+            file: file_idx,
+            ranges,
+            parent: None,
+        });
+    }
+}

@@ -1,0 +1,181 @@
+//! The atlas against the real workspace: every runtime source file must
+//! be visible to the map, every VC name the engines actually register
+//! must resolve to a site, and selection must behave sanely for the
+//! diff shapes CI exercises (docs-only, single-crate).
+
+use std::path::PathBuf;
+
+use veros_atlas::changes::{ChangeSet, FileChange};
+use veros_atlas::DepMap;
+use veros_spec::vc::VcEngine;
+
+fn workspace_root() -> PathBuf {
+    // crates/atlas -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn real_map() -> DepMap {
+    DepMap::build(&workspace_root()).expect("map builds")
+}
+
+/// Every VC name in the Full profile, in registration order.
+fn full_names() -> Vec<String> {
+    let mut e = VcEngine::new();
+    veros_core::vcs::register_all(&mut e, veros_core::vcs::Profile::Full);
+    e.names().iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn map_sees_every_runtime_file() {
+    let cov = real_map().coverage();
+    assert!(cov.files > 50, "workspace has dozens of runtime files");
+    assert!(
+        cov.unparsed.is_empty(),
+        "files invisible to the map: {:?}",
+        cov.unparsed
+    );
+    assert!(
+        cov.stray_headers.is_empty(),
+        "item headers the extractor missed: {:?}",
+        cov.stray_headers
+    );
+    assert!(
+        cov.unpatterned_sites.is_empty(),
+        "register sites with no recoverable name pattern: {:?}",
+        cov.unpatterned_sites
+    );
+    assert!(cov.sites >= 40, "found only {} register sites", cov.sites);
+}
+
+#[test]
+fn every_registered_vc_is_anchored() {
+    let map = real_map();
+    let unanchored: Vec<String> = full_names()
+        .into_iter()
+        .filter(|n| map.footprint(n).is_none())
+        .collect();
+    assert!(
+        unanchored.is_empty(),
+        "VCs no site pattern claims: {unanchored:?}"
+    );
+}
+
+/// The converse of anchoring: a name nothing registers must match no
+/// site, so the unanchored gate can actually fire. This is what the
+/// `covers: verified::*, unverified::*` override on the pagetable
+/// scenario site buys — without it, its fully-dynamic `{tag}::{name}`
+/// pattern would claim every `x::y` string.
+#[test]
+fn unregistered_names_are_unanchored() {
+    let map = real_map();
+    assert!(map.footprint("nope::definitely_not_registered").is_none());
+    assert!(map.explain("nope::definitely_not_registered").is_none());
+}
+
+#[test]
+fn pagetable_population_is_anchored_too() {
+    let map = real_map();
+    let mut e = VcEngine::new();
+    veros_pagetable::vcs::register_all(&mut e, veros_pagetable::vcs::Profile::Quick);
+    let unanchored: Vec<String> = e
+        .names()
+        .iter()
+        .filter(|n| map.footprint(n).is_none())
+        .map(|s| s.to_string())
+        .collect();
+    assert!(
+        unanchored.is_empty(),
+        "pagetable VCs no site claims: {unanchored:?}"
+    );
+}
+
+#[test]
+fn docs_only_diff_selects_nothing() {
+    let map = real_map();
+    let names = full_names();
+    let cs = ChangeSet::from_entries(&[
+        ("README.md", FileChange::Whole),
+        ("DESIGN.md", FileChange::Ranges(vec![(1, 40)])),
+        ("results/AUDIT.json", FileChange::Whole),
+    ]);
+    let selected = map.select(&names, &cs).iter().filter(|b| **b).count();
+    assert_eq!(selected, 0, "docs-only diff must select no VCs");
+}
+
+#[test]
+fn single_crate_diff_selects_strict_subset() {
+    let map = real_map();
+    let names = full_names();
+    // Touch the whole of net's RDT implementation.
+    let cs = ChangeSet::from_entries(&[("crates/net/src/rdt.rs", FileChange::Whole)]);
+    let sel = map.select(&names, &cs);
+    let selected = sel.iter().filter(|b| **b).count();
+    assert!(selected > 0, "rdt edits must select the rdt family");
+    assert!(
+        selected * 2 < names.len(),
+        "single-crate diff selected {selected}/{} — not a strict subset",
+        names.len()
+    );
+    // Every rdt-family VC must be in the selection (no false negative
+    // on the directly-touched family).
+    for (name, picked) in names.iter().zip(&sel) {
+        if name.starts_with("rdt::") {
+            assert!(picked, "rdt edit must select {name}");
+        }
+    }
+}
+
+#[test]
+fn build_config_diff_selects_everything() {
+    let map = real_map();
+    let names = full_names();
+    let cs = ChangeSet::from_entries(&[("Cargo.toml", FileChange::Ranges(vec![(1, 1)]))]);
+    assert!(map.select(&names, &cs).iter().all(|b| *b));
+}
+
+/// The `audit --quick` module-coverage assertion (ISSUE 6 satellite):
+/// every runtime crate of the workspace must be inside the union
+/// footprint of the Quick profile, so profile drift can never silently
+/// drop a crate from PR CI.
+#[test]
+fn quick_profile_covers_every_runtime_crate() {
+    let map = real_map();
+    let mut e = VcEngine::new();
+    veros_core::vcs::register_all(&mut e, veros_core::vcs::Profile::Quick);
+    let mut covered_crates = std::collections::BTreeSet::new();
+    for name in e.names() {
+        let fp = map
+            .footprint(&name)
+            .unwrap_or_else(|| panic!("{name} unanchored"));
+        for fi in fp.keys() {
+            if let Some(c) = map.files[*fi].rel_path.strip_prefix("crates/") {
+                covered_crates.insert(c.split('/').next().unwrap().to_string());
+            }
+        }
+    }
+    // Every crate the root facade ships (tooling crates — lint, atlas,
+    // bench — are exercised by their own tests, not by VCs).
+    for krate in [
+        "spec", "hw", "pagetable", "nr", "kernel", "fs", "net", "ulib", "uring", "core",
+        "blockstore", "telemetry",
+    ] {
+        assert!(
+            covered_crates.contains(krate),
+            "no Quick-profile VC footprint reaches crates/{krate} (covered: {covered_crates:?})"
+        );
+    }
+}
+
+#[test]
+fn explain_covers_every_full_profile_vc() {
+    let map = real_map();
+    for name in full_names() {
+        let text = map.explain(&name).unwrap_or_else(|| panic!("no explain for {name}"));
+        assert!(text.contains("footprint:"), "explain for {name} has no footprint");
+        assert!(text.contains("site:"), "explain for {name} has no site");
+    }
+}

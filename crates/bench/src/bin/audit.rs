@@ -3,26 +3,218 @@
 //! refinement theorem, scheduler sanity, NR linearizability, filesystem
 //! crash safety, and the network transport spec.
 //!
-//! Usage: `cargo run --release -p veros-bench --bin audit [--quick]`
+//! The run is dependency-mapped (`veros-atlas`) and parallel by
+//! default:
+//!
+//! * `--changed-since <rev>` re-runs only the VCs whose static
+//!   footprint the diff against `<rev>` touches (docs-only diff → 0).
+//! * `--explain <vc>` prints the anchoring site, name pattern, and
+//!   transitive code footprint of one VC, then exits.
+//! * `--serial` / `--threads N` control the executor; the default is
+//!   one worker per host core, and the report is byte-identical to the
+//!   serial order regardless.
+//! * Every run writes `results/AUDIT.json` (per-VC durations, the
+//!   Figure-1a CDF series, map-coverage stats) and gates itself
+//!   against the committed `BENCH_audit.json` (`--baseline FILE`).
+//! * `--write-baseline` re-emits `results/BENCH_audit.json` from this
+//!   run, for refreshing the committed file.
+//!
+//! Usage: `cargo run --release -p veros-bench --bin audit [--quick]
+//! [--serial] [--threads N] [--changed-since REV] [--explain VC]
+//! [--baseline FILE] [--write-baseline]`
 
+use std::collections::HashSet;
 use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
 
+use veros_atlas::changes::ChangeSet;
+use veros_atlas::DepMap;
+use veros_bench::audit::{audit_json, baseline_json, gate_against, AuditRun, MapStats};
 use veros_core::vcs::{register_all, Profile};
 use veros_spec::report::{human_duration, render_cdf};
 use veros_spec::VcEngine;
 
+struct Args {
+    quick: bool,
+    serial: bool,
+    threads: Option<usize>,
+    changed_since: Option<String>,
+    explain: Option<String>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        serial: false,
+        threads: None,
+        changed_since: None,
+        explain: None,
+        baseline: None,
+        write_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--serial" => args.serial = true,
+            "--threads" => {
+                args.threads = Some(value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                }))
+            }
+            "--changed-since" => args.changed_since = Some(value("--changed-since")),
+            "--explain" => args.explain = Some(value("--explain")),
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline"))),
+            "--write-baseline" => args.write_baseline = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Locates the workspace root the atlas should map: `$VEROS_WORKSPACE_ROOT`,
+/// else the nearest ancestor of the current directory that looks like
+/// the workspace, else the compile-time manifest location.
+fn workspace_root() -> PathBuf {
+    if let Ok(p) = std::env::var("VEROS_WORKSPACE_ROOT") {
+        return PathBuf::from(p);
+    }
+    if let Ok(mut d) = std::env::current_dir() {
+        loop {
+            if d.join("Cargo.toml").exists() && d.join("crates").is_dir() {
+                return d;
+            }
+            if !d.pop() {
+                break;
+            }
+        }
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("bench crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let profile = if quick { Profile::Quick } else { Profile::Full };
+    let args = parse_args();
+    let root = workspace_root();
+    let map = match DepMap::build(&root) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot build dependency map for {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(name) = &args.explain {
+        match map.explain(name) {
+            Some(text) => {
+                print!("{text}");
+                return;
+            }
+            None => {
+                eprintln!("no register site claims `{name}` — the VC is unanchored (or misspelled)");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let profile = if args.quick { Profile::Quick } else { Profile::Full };
     let mut engine = VcEngine::new();
     register_all(&mut engine, profile);
-    eprintln!("running {} OS-contract verification conditions ({profile:?})...", engine.len());
-    let report = engine.run();
+    let all_names = engine.names();
+    let total_registered = all_names.len();
+
+    // Unanchored count over the whole registered population — selection
+    // never hides an anchoring hole.
+    let unanchored: Vec<&String> = all_names
+        .iter()
+        .filter(|n| map.footprint(n).is_none())
+        .collect();
+    let stats = MapStats::from_coverage(&map.coverage(), unanchored.len());
+
+    let mut selection_line = String::new();
+    if let Some(rev) = &args.changed_since {
+        let cs = match ChangeSet::from_git(&root, rev) {
+            Ok(cs) => cs,
+            Err(e) => {
+                eprintln!("git diff against {rev} failed: {e}");
+                std::process::exit(2);
+            }
+        };
+        let picked: HashSet<&String> = all_names
+            .iter()
+            .zip(map.select(&all_names, &cs))
+            .filter_map(|(n, sel)| sel.then_some(n))
+            .collect();
+        let dropped = total_registered - picked.len();
+        selection_line = format!(
+            "changed since {rev}: {} changed file(s) -> {}/{total_registered} VCs selected ({dropped} skipped)",
+            cs.files.len(),
+            picked.len(),
+        );
+        let picked: HashSet<String> = picked.into_iter().cloned().collect();
+        engine.retain(|vc| picked.contains(&vc.name));
+    }
+    let selected = engine.len();
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = if args.serial {
+        1
+    } else {
+        args.threads.unwrap_or(host_cores).max(1)
+    };
+
+    eprintln!(
+        "running {selected}/{total_registered} OS-contract verification conditions \
+         ({profile:?}, {threads} thread(s))..."
+    );
+    let start = Instant::now();
+    let report = if threads > 1 {
+        engine.run_parallel(threads)
+    } else {
+        engine.run()
+    };
+    let run = AuditRun {
+        quick: args.quick,
+        incremental: args.changed_since.is_some(),
+        total_registered,
+        selected,
+        host_cores,
+        threads,
+        wall: start.elapsed(),
+    };
 
     let mut out = String::new();
     let _ = writeln!(out, "Full-stack OS contract audit");
+    if !selection_line.is_empty() {
+        let _ = writeln!(out, "{selection_line}");
+    }
     let _ = writeln!(out, "{}", render_cdf(&report.cdf(), 60, 12));
     let _ = writeln!(out, "{}", report.summary());
+    let _ = writeln!(
+        out,
+        "wall {}, serial-equivalent {}, speedup {:.2}x ({} thread(s) on {} core(s))",
+        human_duration(run.wall),
+        human_duration(AuditRun::serial_equiv(&report)),
+        run.speedup(&report),
+        run.threads,
+        run.host_cores,
+    );
     let _ = writeln!(out);
     let _ = writeln!(out, "by obligation kind:");
     for (kind, n) in report.count_by_kind() {
@@ -35,6 +227,60 @@ fn main() {
     for o in outcomes.iter().take(10) {
         let _ = writeln!(out, "  {:>10}  {}", human_duration(o.duration), o.vc.name);
     }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "dependency map: {} files, {} items, {} edges, {} sites; \
+         unparsed {}, stray headers {}, unpatterned sites {}, unanchored VCs {}",
+        stats.files,
+        stats.items,
+        stats.edges,
+        stats.sites,
+        stats.unparsed,
+        stats.stray_headers,
+        stats.unpatterned_sites,
+        stats.unanchored,
+    );
+    for n in &unanchored {
+        let _ = writeln!(out, "  unanchored: {n}");
+    }
+
+    // Gate against the committed baseline. An explicit --baseline that
+    // does not exist is an error; the default is best-effort so the
+    // binary still runs from a bare checkout.
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("BENCH_audit.json"));
+    let gate = match std::fs::read_to_string(&baseline_path) {
+        Ok(b) => Some(gate_against(&run, &report, &stats, &b)),
+        Err(e) if args.baseline.is_some() => {
+            eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+            std::process::exit(2);
+        }
+        Err(_) => None,
+    };
+    let _ = writeln!(out);
+    let gates_ok = match &gate {
+        Some(g) => {
+            let _ = writeln!(out, "baseline gates ({}):", baseline_path.display());
+            for n in &g.notes {
+                let _ = writeln!(out, "  {n}");
+            }
+            for v in &g.violations {
+                let _ = writeln!(out, "  VIOLATION: {v}");
+            }
+            g.ok()
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "baseline gates: no {} — gates skipped",
+                baseline_path.display()
+            );
+            true
+        }
+    };
 
     if !report.all_passed() {
         let _ = writeln!(out, "\nFAILURES:");
@@ -43,5 +289,20 @@ fn main() {
         }
     }
     print!("{out}");
-    veros_bench::out::finish("audit.txt", &out, report.all_passed());
+
+    if let Err(e) = veros_bench::out::write_result("AUDIT.json", &audit_json(&run, &report, &stats))
+    {
+        eprintln!("cannot write AUDIT.json: {e}");
+        std::process::exit(2);
+    }
+    if args.write_baseline {
+        if let Err(e) = veros_bench::out::write_result(
+            "BENCH_audit.json",
+            &baseline_json(&run, &report, &stats),
+        ) {
+            eprintln!("cannot write BENCH_audit.json: {e}");
+            std::process::exit(2);
+        }
+    }
+    veros_bench::out::finish("audit.txt", &out, report.all_passed() && gates_ok);
 }

@@ -16,6 +16,7 @@
 //! tables, the multi-threaded NR map/unmap sweep behind Figures 1b/1c,
 //! and the line-classification logic behind the ratio.
 
+pub mod audit;
 pub mod hotpath;
 pub mod microbench;
 pub mod out;

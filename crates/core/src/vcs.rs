@@ -11,7 +11,8 @@
 //! * node-replication linearizability (the §4.3 "verify NR once" step),
 //! * filesystem crash safety,
 //! * the network transport's prefix-delivery spec,
-//! * the userspace mutex's mutual exclusion (the §3 futex example).
+//! * the userspace mutex's mutual exclusion (the §3 futex example),
+//! * the block-store wire protocol's marshalling + checksum integrity.
 
 use veros_spec::rng::SpecRng;
 use veros_spec::{check_linearizable, Recorder, SeqSpec, VcEngine, VcKind};
@@ -39,6 +40,9 @@ struct Params {
     rdt_seeds: u64,
     uring_seeds: u64,
     uring_steps: usize,
+    mutex_workers: u32,
+    mutex_incs: u32,
+    wire_iters: usize,
 }
 
 impl Profile {
@@ -55,6 +59,9 @@ impl Profile {
                 rdt_seeds: 4,
                 uring_seeds: 4,
                 uring_steps: 48,
+                mutex_workers: 3,
+                mutex_incs: 5,
+                wire_iters: 200,
             },
             Profile::Full => Params {
                 refine_steps: 3_000,
@@ -67,6 +74,9 @@ impl Profile {
                 rdt_seeds: 16,
                 uring_seeds: 8,
                 uring_steps: 240,
+                mutex_workers: 4,
+                mutex_incs: 40,
+                wire_iters: 20_000,
             },
         }
     }
@@ -246,6 +256,35 @@ pub fn register_all(engine: &mut VcEngine, profile: Profile) {
         "uring::telemetry_counters_coherent",
         crate::uring::telemetry_counters_coherent,
     );
+
+    // --- userspace mutex: the §3 futex example ---------------------------------
+    // Mutual exclusion of the ulib futex mutex over the model kernel:
+    // cooperative workers hold the lock across scheduler yields, so any
+    // exclusion break shows up as a counter moving under a held lock or
+    // as a lost update that wedges the workload.
+    for seed in 0..4u64 {
+        let (workers, incs) = (p.mutex_workers, p.mutex_incs);
+        engine.register(
+            MODULE,
+            VcKind::RaceFreedom,
+            format!("ulib::futex_mutex_mutual_exclusion_s{seed}"),
+            move || ulib_mutex_exclusion(seed, workers, incs),
+        );
+    }
+
+    // --- block-store wire protocol ---------------------------------------------
+    // The storage protocol's marshalling obligation: random messages
+    // round-trip, ids echo, truncations decode to None, and the
+    // end-to-end checksum catches single-byte corruption.
+    for seed in 0..2u64 {
+        let iters = p.wire_iters;
+        engine.register(
+            MODULE,
+            VcKind::Marshalling,
+            format!("blockstore::wire_roundtrip_checksum_s{seed}"),
+            move || blockstore_wire_roundtrip(seed, iters),
+        );
+    }
 
     // --- telemetry coherence ---------------------------------------------------
     // The observability layer must agree with spec-visible behaviour:
@@ -593,9 +632,7 @@ fn translation_cache_coherent(seed: u64, steps: usize) -> Result<(), String> {
     Ok(())
 }
 
-/// Journal crash-safety over random histories (the spec from
-/// `veros-fs::journal`).
-///// Telemetry coherence: the TLB counters must track resolve-path
+/// Telemetry coherence: the TLB counters must track resolve-path
 /// behaviour (misses, epoch invalidations) as exact lower bounds, the
 /// *uninstrumented* hit path must leave the miss counter untouched, and
 /// everything reads zero in a telemetry-off build.
@@ -711,6 +748,8 @@ fn telemetry_journal_counters_coherent() -> Result<(), String> {
     Ok(())
 }
 
+/// Journal crash-safety over random histories (the spec from
+/// `veros-fs::journal`).
 fn fs_crash_safety(seed: u64) -> Result<(), String> {
     use veros_fs::journal::{FsOp, JournaledFs};
     use veros_fs::MemFs;
@@ -786,6 +825,155 @@ fn rdt_prefix_spec(seed: u64) -> Result<(), String> {
         got.len(),
         sent.len()
     ))
+}
+
+/// The §3 futex example as a checked obligation: cooperative workers
+/// increment a shared counter under the ulib mutex, each deliberately
+/// holding the lock across a scheduler reschedule. Exclusion failures
+/// are witnessed two ways: a worker that sees the counter move while it
+/// holds the lock exits nonzero, and a lost update leaves the count
+/// short so some worker never reaches its quota and the run wedges.
+fn ulib_mutex_exclusion(seed: u64, workers: u32, incs_per_worker: u32) -> Result<(), String> {
+    use veros_kernel::{Kernel, KernelConfig, Syscall};
+    use veros_ulib::{LockAttempt, LockState, Runtime, Step, UMutex};
+
+    let kernel = Kernel::boot(KernelConfig { cores: 2, ..Default::default() })
+        .map_err(|e| format!("boot: {e:?}"))?;
+    let (pid, tid) = (kernel.init_pid, kernel.init_tid);
+    let mut rt = Runtime::new(kernel);
+    rt.kernel.sched.timeslice = 1 + seed % 3;
+    rt.kernel
+        .syscall(
+            (pid, tid),
+            Syscall::Map { va: 0x10_0000, pages: 1, writable: true },
+        )
+        .map_err(|e| format!("map: {e:?}"))?;
+    const MUTEX: u64 = 0x10_0000;
+    const COUNT: u64 = 0x10_0008;
+    rt.attach(pid, tid, Box::new(|_| Step::Done(0)));
+    let mut worker_tids = Vec::new();
+    for _ in 0..workers {
+        let mut done = 0u32;
+        let mut lock = LockState::default();
+        let mut holding = false;
+        let mut stash = 0u32;
+        let t = rt
+            .spawn_task(
+                (pid, tid),
+                None,
+                Box::new(move |ctx| {
+                    if done == incs_per_worker {
+                        return Step::Done(0);
+                    }
+                    let m = UMutex::at(MUTEX);
+                    if !holding {
+                        return match m.lock_attempt(ctx, &mut lock) {
+                            Ok(LockAttempt::Acquired) => {
+                                holding = true;
+                                stash = ctx.read_u32(COUNT).unwrap_or(u32::MAX);
+                                // Keep holding across a reschedule: a
+                                // broken lock now lets another worker
+                                // read the same counter value.
+                                Step::Yield
+                            }
+                            Ok(_) => Step::Yield,
+                            Err(_) => Step::Done(2),
+                        };
+                    }
+                    let now = ctx.read_u32(COUNT).unwrap_or(u32::MAX);
+                    if now != stash {
+                        return Step::Done(1);
+                    }
+                    if ctx.write_u32(COUNT, now + 1).is_err() || m.unlock(ctx).is_err() {
+                        return Step::Done(2);
+                    }
+                    holding = false;
+                    done += 1;
+                    Step::Yield
+                }),
+            )
+            .map_err(|e| format!("spawn: {e:?}"))?;
+        worker_tids.push(t);
+    }
+    if !rt.run(400_000) {
+        return Err(format!(
+            "seed {seed}: mutex workload wedged (lost update or deadlock)"
+        ));
+    }
+    for t in worker_tids {
+        match rt.exit_code(t) {
+            Some(0) => {}
+            Some(1) => {
+                return Err(format!(
+                    "seed {seed}: counter moved while a worker held the mutex"
+                ))
+            }
+            other => return Err(format!("seed {seed}: worker {t:?} exited {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+/// Block-store wire marshalling: random requests and responses
+/// round-trip exactly, ids echo, every truncation decodes to `None`,
+/// and the end-to-end block checksum changes under single-byte flips.
+fn blockstore_wire_roundtrip(seed: u64, iters: usize) -> Result<(), String> {
+    use veros_blockstore::wire::{block_checksum, Request, Response};
+
+    let mut rng = SpecRng::seeded(seed ^ 0xb10c);
+    for i in 0..iters {
+        let id = rng.next_u64();
+        let key = format!("k{}", rng.below(1000));
+        let data: Vec<u8> = (0..rng.below(64)).map(|_| rng.below(256) as u8).collect();
+        let req = match rng.below(4) {
+            0 => Request::Put {
+                id,
+                key: key.clone(),
+                checksum: block_checksum(&data),
+                data: data.clone(),
+                replicate: rng.chance(1, 2),
+            },
+            1 => Request::Get { id, key: key.clone() },
+            2 => Request::Delete { id, key: key.clone(), replicate: rng.chance(1, 2) },
+            _ => Request::List { id },
+        };
+        let bytes = req.encode();
+        match Request::decode(&bytes) {
+            Some(back) if back == req && back.id() == id => {}
+            other => {
+                return Err(format!("seed {seed} iter {i}: request round-trip gave {other:?}"))
+            }
+        }
+        let cut = rng.index(bytes.len());
+        if cut < bytes.len() && Request::decode(&bytes[..cut]).is_some() {
+            return Err(format!("seed {seed} iter {i}: truncation at {cut} decoded"));
+        }
+        let resp = match rng.below(5) {
+            0 => Response::PutOk { id },
+            1 => Response::GetOk { id, checksum: block_checksum(&data), data: data.clone() },
+            2 => Response::NotFound { id },
+            3 => Response::Keys { id, keys: vec![key.clone(), format!("{key}x")] },
+            _ => Response::Error { id, reason: "checksum mismatch".into() },
+        };
+        let rbytes = resp.encode();
+        match Response::decode(&rbytes) {
+            Some(back) if back == resp && back.id() == id => {}
+            other => {
+                return Err(format!("seed {seed} iter {i}: response round-trip gave {other:?}"))
+            }
+        }
+        if !data.is_empty() {
+            let mut bad = data.clone();
+            let at = rng.index(bad.len());
+            bad[at] ^= 0x41;
+            if block_checksum(&bad) == block_checksum(&data) {
+                return Err(format!(
+                    "seed {seed} iter {i}: checksum unchanged under a single-byte flip"
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

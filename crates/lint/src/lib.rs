@@ -47,6 +47,7 @@ mod tests {
                 "unsafe-audit",
                 "panic-freedom",
                 "obligation-coverage",
+                "obligation-anchor",
                 "atomics-ordering",
                 "doc-header"
             ]

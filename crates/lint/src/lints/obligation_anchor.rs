@@ -1,0 +1,295 @@
+//! L6 `obligation-anchor`: every VC registration site must be
+//! anchorable by the dependency map.
+//!
+//! The incremental audit (`veros-atlas`, `audit --changed-since`) maps
+//! each `engine.register(...)` site to a code footprint by following
+//! the references in its argument span and the `// covers:` anchors
+//! next to it. A site that registers an obligation as an opaque inline
+//! closure — no call into workspace code, no covers annotation — gives
+//! the map nothing to hold on to: its footprint collapses to the
+//! registration file and edits to the checked code would silently stop
+//! re-running the VC. This lint makes that construction an error at
+//! the source level, before the map ever runs.
+//!
+//! A site is anchored when either
+//! * a `// covers:` annotation sits inside or just above its argument
+//!   span, or
+//! * the span calls at least one function (or macro) defined in the
+//!   workspace — the reference the map's resolver follows.
+
+use std::collections::HashSet;
+
+use crate::diag::{Diagnostic, Severity};
+use crate::source::Workspace;
+
+pub struct ObligationAnchor;
+
+pub const ID: &str = "obligation-anchor";
+
+/// How many lines above a site's span a `// covers:` annotation still
+/// counts (mirrors the atlas segment attribution).
+const COVERS_REACH: usize = 12;
+
+/// Workspace-defined callables that anchor nothing by themselves:
+/// ubiquitous constructor/accessor names any closure body mentions.
+const STOPLIST: &[&str] = &[
+    "register", "new", "default", "clone", "from", "into", "len", "get", "push", "insert",
+];
+
+impl super::Lint for ObligationAnchor {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn describe(&self) -> &'static str {
+        "VC registration sites the dependency map cannot anchor"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let defs = workspace_callables(ws);
+        for file in &ws.files {
+            if file.test_path {
+                continue;
+            }
+            let mut i = 0usize;
+            while i < file.lines.len() {
+                if file.in_test[i] || !file.lines[i].code.contains(".register(") {
+                    i += 1;
+                    continue;
+                }
+                let (start, end) = span_of(file, i);
+                let is_vc_site = (start..=end).any(|l| file.lines[l].code.contains("VcKind::"));
+                if is_vc_site
+                    && !anchored(file, start, end, &defs)
+                    && !file.is_suppressed(ID, start)
+                {
+                    out.push(Diagnostic::new(
+                        ID,
+                        Severity::Error,
+                        file.rel_path.clone(),
+                        start + 1,
+                        "VC registration site has no anchor: add a `// covers:` \
+                         annotation or call a named workspace function from the check \
+                         — the dependency map cannot bound this obligation's footprint"
+                            .to_string(),
+                    ));
+                }
+                i = end + 1;
+            }
+        }
+    }
+}
+
+/// Walks the balanced argument span of the `.register(` call starting
+/// on 0-based line `i`. Returns 0-based inclusive (start, end).
+fn span_of(file: &crate::source::SourceFile, i: usize) -> (usize, usize) {
+    let code = &file.lines[i].code;
+    let col = code.find(".register(").map_or(0, |p| p + ".register(".len() - 1);
+    let mut depth = 0i64;
+    let mut started = false;
+    for (li, line) in file.lines.iter().enumerate().skip(i) {
+        let c0 = if li == i { col.min(line.code.len()) } else { 0 };
+        for c in line.code[c0..].chars() {
+            match c {
+                '(' | '{' | '[' => {
+                    depth += 1;
+                    started = true;
+                }
+                ')' | '}' | ']' => {
+                    depth -= 1;
+                    if started && depth == 0 {
+                        return (i, li);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    (i, file.lines.len().saturating_sub(1))
+}
+
+/// True when the site carries a covers annotation or references a
+/// workspace-defined callable.
+fn anchored(
+    file: &crate::source::SourceFile,
+    start: usize,
+    end: usize,
+    defs: &HashSet<String>,
+) -> bool {
+    let reach = start.saturating_sub(COVERS_REACH);
+    if (reach..=end).any(|l| file.lines[l].comment.contains("covers:")) {
+        return true;
+    }
+    for l in start..=end {
+        for ident in idents(&file.lines[l].code) {
+            if ident.starts_with(|c: char| c.is_ascii_lowercase())
+                && !STOPLIST.contains(&ident.as_str())
+                && defs.contains(&ident)
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Every `fn` and `macro_rules!` name defined anywhere in the
+/// workspace (test code included — a check may call a helper defined
+/// under `#[cfg(test)]` siblings, and over-collection only ever
+/// anchors more).
+fn workspace_callables(ws: &Workspace) -> HashSet<String> {
+    let mut defs = HashSet::new();
+    for file in &ws.files {
+        for line in &file.lines {
+            let code = &line.code;
+            for key in ["fn ", "macro_rules! "] {
+                let mut rest = code.as_str();
+                while let Some(pos) = rest.find(key) {
+                    let boundary = pos == 0
+                        || rest[..pos]
+                            .chars()
+                            .next_back()
+                            .is_some_and(|c| !c.is_alphanumeric() && c != '_');
+                    let after = &rest[pos + key.len()..];
+                    if boundary {
+                        let ident: String = after
+                            .chars()
+                            .take_while(|c| c.is_alphanumeric() || *c == '_')
+                            .collect();
+                        if !ident.is_empty() {
+                            defs.insert(ident);
+                        }
+                    }
+                    rest = after;
+                }
+            }
+        }
+    }
+    defs
+}
+
+/// Identifier tokens of one code line (strings already blanked by the
+/// lexer, so literal contents never produce tokens).
+fn idents(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in code.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Lint;
+
+    fn run(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let ws = Workspace::from_sources(sources);
+        let mut out = Vec::new();
+        ObligationAnchor.run(&ws, &mut out);
+        out
+    }
+
+    const HELPER: &str = "pub fn check_roundtrip(x: u64) -> Result<(), String> { Ok(()) }\n";
+
+    #[test]
+    fn opaque_inline_closure_is_flagged() {
+        let out = run(&[(
+            "crates/x/src/vcs.rs",
+            "fn reg(engine: &mut VcEngine) {\n\
+             \x20   engine.register(M, VcKind::Property, \"x::opaque\", || Ok(()));\n\
+             }\n",
+        )]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].lint, ID);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn workspace_call_anchors_the_site() {
+        let out = run(&[
+            ("crates/x/src/checks.rs", HELPER),
+            (
+                "crates/x/src/vcs.rs",
+                "fn reg(engine: &mut VcEngine) {\n\
+                 \x20   engine.register(M, VcKind::Property, \"x::rt\", || check_roundtrip(7));\n\
+                 }\n",
+            ),
+        ]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn covers_annotation_anchors_the_site() {
+        let out = run(&[(
+            "crates/x/src/vcs.rs",
+            "fn reg(engine: &mut VcEngine) {\n\
+             \x20   // covers: Syscall::Spawn\n\
+             \x20   engine.register(M, VcKind::Property, \"x::sp\", || Ok(()));\n\
+             }\n",
+        )]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn stoplisted_names_do_not_anchor() {
+        // `new` is defined in the workspace but too generic to anchor.
+        let out = run(&[
+            ("crates/x/src/lib.rs", "impl T { pub fn new() -> T { T } }\n"),
+            (
+                "crates/x/src/vcs.rs",
+                "fn reg(engine: &mut VcEngine) {\n\
+                 \x20   engine.register(M, VcKind::Property, \"x::n\", || { T::new(); Ok(()) });\n\
+                 }\n",
+            ),
+        ]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn non_vc_register_calls_and_tests_are_skipped() {
+        let out = run(&[(
+            "crates/x/src/lib.rs",
+            "fn setup(nr: &mut Nr) {\n\
+             \x20   nr.register(replica);\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   fn t(engine: &mut VcEngine) {\n\
+             \x20       engine.register(M, VcKind::Property, \"t::x\", || Ok(()));\n\
+             \x20   }\n\
+             }\n",
+        )]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn multiline_span_is_walked() {
+        let out = run(&[(
+            "crates/x/src/vcs.rs",
+            "fn reg(engine: &mut VcEngine) {\n\
+             \x20   engine.register(\n\
+             \x20       M,\n\
+             \x20       VcKind::Property,\n\
+             \x20       \"x::deep\",\n\
+             \x20       move || Ok(()),\n\
+             \x20   );\n\
+             }\n",
+        )]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn id_matches() {
+        assert_eq!(ObligationAnchor.id(), ID);
+    }
+}

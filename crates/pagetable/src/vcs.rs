@@ -522,6 +522,7 @@ fn register_scenarios(engine: &mut VcEngine) {
                 Impl::Verified => "verified",
                 Impl::Unverified => "unverified",
             };
+            // covers: verified::*, unverified::*
             engine.register(
                 MODULE,
                 VcKind::Property,

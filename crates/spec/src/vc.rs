@@ -10,6 +10,10 @@
 //! and this engine runs each one, records its wall-clock duration and
 //! outcome, and renders the CDF.
 
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// The kind of obligation a verification condition discharges.
@@ -121,23 +125,129 @@ impl VcEngine {
         self.obligations.is_empty()
     }
 
+    /// Names of the registered obligations, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.obligations.iter().map(|(vc, _)| vc.name.clone()).collect()
+    }
+
+    /// Keeps only the obligations whose [`Vc`] satisfies `pred`,
+    /// preserving registration order. Returns how many were dropped.
+    pub fn retain<P: FnMut(&Vc) -> bool>(&mut self, mut pred: P) -> usize {
+        let before = self.obligations.len();
+        self.obligations.retain(|(vc, _)| pred(vc));
+        before - self.obligations.len()
+    }
+
     /// Runs every obligation, in registration order, timing each one.
+    ///
+    /// Each check runs under `catch_unwind`: a panicking check becomes a
+    /// `VcStatus::Failed` outcome with the panic payload as the
+    /// counterexample, never an aborted audit.
     pub fn run(self) -> VcReport {
         let mut outcomes = Vec::with_capacity(self.obligations.len());
         for (vc, check) in self.obligations {
-            let start = Instant::now();
-            let result = check();
-            let duration = start.elapsed();
-            outcomes.push(VcOutcome {
-                vc,
-                duration,
-                status: match result {
-                    Ok(()) => VcStatus::Passed,
-                    Err(msg) => VcStatus::Failed(msg),
-                },
-            });
+            outcomes.push(run_one(vc, check));
         }
         VcReport { outcomes }
+    }
+
+    /// Runs the obligations satisfying `pred`, dropping the rest — the
+    /// selection entry point the incremental audit uses, so
+    /// registration code never needs to know about the dependency map.
+    pub fn run_subset<P: FnMut(&Vc) -> bool>(mut self, pred: P) -> VcReport {
+        self.retain(pred);
+        self.run()
+    }
+
+    /// Runs every obligation on a pool of `threads` worker threads.
+    ///
+    /// Workers claim obligations from a shared queue in registration
+    /// order; per-VC timing, `catch_unwind` isolation, and the reported
+    /// outcome order are identical to [`run`](Self::run) — the report
+    /// is sorted back into registration order regardless of completion
+    /// order, so serial and parallel runs are byte-identical apart from
+    /// the measured durations.
+    pub fn run_parallel(self, threads: usize) -> VcReport {
+        let n = self.obligations.len();
+        let threads = threads.clamp(1, n.max(1));
+        if threads <= 1 || n <= 1 {
+            return self.run();
+        }
+        let queue: Mutex<VecDeque<(usize, Vc, Check)>> = Mutex::new(
+            self.obligations
+                .into_iter()
+                .enumerate()
+                .map(|(i, (vc, check))| (i, vc, check))
+                .collect(),
+        );
+        let (tx, rx) = mpsc::channel::<(usize, VcOutcome)>();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let queue = &queue;
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    // Claim under the lock, run outside it: the queue
+                    // hold time is a pop, not a check.
+                    let next = match queue.lock() {
+                        Ok(mut q) => q.pop_front(),
+                        Err(_) => None, // A worker panicked mid-pop; drain nothing.
+                    };
+                    let Some((idx, vc, check)) = next else { break };
+                    if tx.send((idx, run_one(vc, check))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+        });
+        let mut slots: Vec<Option<VcOutcome>> = (0..n).map(|_| None).collect();
+        for (idx, outcome) in rx {
+            slots[idx] = Some(outcome);
+        }
+        VcReport {
+            // A missing slot means a worker died between claiming and
+            // sending — surface it as a failure rather than dropping
+            // the obligation silently.
+            outcomes: slots
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    s.unwrap_or(VcOutcome {
+                        vc: Vc {
+                            name: format!("<lost obligation {i}>"),
+                            module: "engine",
+                            kind: VcKind::Property,
+                        },
+                        duration: Duration::ZERO,
+                        status: VcStatus::Failed("worker lost the outcome".into()),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Runs one check, timing it and converting a panic into a failure.
+fn run_one(vc: Vc, check: Check) -> VcOutcome {
+    let start = Instant::now();
+    let result = std::panic::catch_unwind(AssertUnwindSafe(check));
+    let duration = start.elapsed();
+    let status = match result {
+        Ok(Ok(())) => VcStatus::Passed,
+        Ok(Err(msg)) => VcStatus::Failed(msg),
+        Err(payload) => VcStatus::Failed(format!("check panicked: {}", panic_message(&*payload))),
+    };
+    VcOutcome { vc, duration, status }
+}
+
+/// Extracts the human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string payload>".to_string()
     }
 }
 
@@ -331,5 +441,92 @@ mod tests {
     fn summary_mentions_count() {
         let report = engine_with(7, None).run();
         assert!(report.summary().contains("7 verification conditions"));
+    }
+
+    /// A mixed population with one deterministic failure and one panic,
+    /// used by the serial/parallel equivalence tests.
+    fn mixed_engine() -> VcEngine {
+        let mut e = VcEngine::new();
+        for i in 0..12u64 {
+            e.register("test", VcKind::Property, format!("mixed_{i}"), move || match i {
+                3 => Err(format!("injected failure at {i}")),
+                7 => panic!("injected panic at {i}"),
+                _ => Ok(()),
+            });
+        }
+        e
+    }
+
+    #[test]
+    fn panicking_check_becomes_failure_not_abort() {
+        // Regression: `run` used to call checks bare, so one panicking
+        // obligation aborted the whole audit process mid-run.
+        let report = mixed_engine().run();
+        assert_eq!(report.total(), 12, "every obligation after the panic still ran");
+        let fails = report.failures();
+        assert_eq!(fails.len(), 2);
+        assert_eq!(fails[1].vc.name, "mixed_7");
+        match &fails[1].status {
+            VcStatus::Failed(m) => assert_eq!(m, "check panicked: injected panic at 7"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_order_and_messages() {
+        let serial = mixed_engine().run();
+        for threads in [2, 4, 32] {
+            let parallel = mixed_engine().run_parallel(threads);
+            let s: Vec<(&str, &VcStatus)> = serial
+                .outcomes
+                .iter()
+                .map(|o| (o.vc.name.as_str(), &o.status))
+                .collect();
+            let p: Vec<(&str, &VcStatus)> = parallel
+                .outcomes
+                .iter()
+                .map(|o| (o.vc.name.as_str(), &o.status))
+                .collect();
+            assert_eq!(s, p, "ordering and statuses identical at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_single_thread_is_serial() {
+        let report = mixed_engine().run_parallel(1);
+        assert_eq!(report.total(), 12);
+        assert_eq!(report.failures().len(), 2);
+    }
+
+    #[test]
+    fn retain_and_run_subset_preserve_order() {
+        let mut e = engine_with(10, None);
+        let dropped = e.retain(|vc| vc.name.ends_with('3') || vc.name.ends_with('8'));
+        assert_eq!(dropped, 8);
+        let names = e.names();
+        assert_eq!(names, ["vc_3", "vc_8"]);
+
+        let report = engine_with(10, Some(8)).run_subset(|vc| vc.name.ends_with('8'));
+        assert_eq!(report.total(), 1);
+        assert!(!report.all_passed());
+    }
+
+    #[test]
+    fn merge_and_percentile_stable_across_modes() {
+        let a = mixed_engine().run();
+        let b = mixed_engine().run_parallel(4);
+        let mut merged = a.clone();
+        merged.merge(b.clone());
+        assert_eq!(merged.total(), a.total() + b.total());
+        // Percentiles of the merged report are drawn from the union of
+        // durations and stay monotone.
+        let mut prev = Duration::ZERO;
+        for f in [0.1, 0.5, 0.9, 1.0] {
+            let q = merged.percentile(f);
+            assert!(q >= prev);
+            prev = q;
+        }
+        assert_eq!(merged.percentile(1.0), merged.max_time());
+        assert!(merged.max_time() >= a.max_time().min(b.max_time()));
     }
 }
