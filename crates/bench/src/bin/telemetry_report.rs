@@ -82,7 +82,10 @@ fn exercise_kernel() {
 }
 
 /// Uring: a submission-ring batch through the engine, including one
-/// parked-and-woken futex wait so the pending-table instruments tick.
+/// parked-and-woken futex wait so the pending-table instruments tick;
+/// then the multi-ring poller (a flooded ring against a trickling one,
+/// so the fairness-deferral counter engages) and the chain dispatcher
+/// (one clean chain, one mid-chain failure whose suffix cancels).
 fn exercise_uring() {
     let mut k = Kernel::boot(KernelConfig::default()).expect("default config boots");
     let owner = (k.init_pid, k.init_tid);
@@ -102,6 +105,40 @@ fn exercise_uring() {
     engine.reap(&mut k);
     while user.complete().is_some() {}
     engine.shutdown(&mut k);
+
+    // Poller: burst 1 over two rings, ring 0 flooded past the budget —
+    // every sweep defers ring 0 until the flood drains, then the idle
+    // sweeps pull the deferral/sweep ratio back under the alert bound.
+    let mut set = veros_uring::RingSet::new(1);
+    let (mut u0, kr0) = veros_uring::pair(8);
+    let (mut u1, kr1) = veros_uring::pair(8);
+    set.add(veros_uring::Engine::new(kr0, owner));
+    set.add(veros_uring::Engine::new(kr1, owner));
+    for i in 0..6u64 {
+        u0.submit(i, &Syscall::ClockRead).expect("sq has room");
+    }
+    u1.submit(100, &Syscall::ClockRead).expect("sq has room");
+    while !set.sweep(&mut k).idle() {}
+
+    // Chains on ring 0: a clean LINKed triple, then a chain whose
+    // second link fails (bad fd) and cancels its suffix — aborts and
+    // links-cancelled tick, the atomicity self-check stays silent.
+    use veros_uring::SqeFlags;
+    let link = SqeFlags { link: true, subst: None };
+    for ud in [200u64, 201] {
+        u0.submit_flagged(ud, &Syscall::ClockRead, link).expect("sq has room");
+    }
+    u0.submit_flagged(202, &Syscall::ClockRead, SqeFlags::NONE)
+        .expect("sq has room");
+    u0.submit_flagged(300, &Syscall::ClockRead, link).expect("sq has room");
+    u0.submit_flagged(301, &Syscall::Seek { fd: 99, offset: 0 }, link)
+        .expect("sq has room");
+    u0.submit_flagged(302, &Syscall::ClockRead, SqeFlags::NONE)
+        .expect("sq has room");
+    while !set.sweep(&mut k).idle() {}
+    while u0.complete().is_some() {}
+    while u1.complete().is_some() {}
+    set.shutdown_all(&mut k);
 }
 
 /// Filesystem: committed transactions plus a recovery replay.
@@ -187,6 +224,12 @@ fn main() {
             && counter_value("kernel.tlb.misses") > 0
             && counter_value("uring.cqe.posted") > 0
             && counter_value("uring.pending.parked") > 0
+            && counter_value("uring.poller.sweeps") > 0
+            && counter_value("uring.poller.fairness_deferrals") > 0
+            && counter_value("uring.chain.dispatched") > 0
+            && counter_value("uring.chain.aborts") > 0
+            && counter_value("uring.chain.links_cancelled") > 0
+            && counter_value("uring.chain.atomicity_violations") == 0
             && counter_value("fs.journal.commits") > 0
             && counter_value("net.sim.delivered") > 0
             && (check || counter_value("blockstore.checksum_failures") > 0)

@@ -1,12 +1,14 @@
 //! The uring hot-path comparison: per-op `ClockRead` latency through
 //! the synchronous trap path vs. the submission ring at batch sizes
-//! 1/8/64, emitted as `BENCH_uring.json` through the results mirror.
+//! 1/8/64, the multi-ring poller sweep at 1/2/4 rings, and the chained
+//! vs. unchained open→read→close pair, emitted as `BENCH_uring.json`
+//! through the results mirror.
 //!
 //! Usage:
 //!   `cargo run --release -p veros-bench --bin uring_hotpath [--quick]
 //!   [--baseline <path>] [--tolerance <frac>]`
 //!
-//! Two gates decide the exit status:
+//! Four gates decide the exit status:
 //!
 //! * **Amortization** (telemetry builds only): the batched ring must be
 //!   no slower than the trap path at batch sizes 8 and 64 — the whole
@@ -14,12 +16,24 @@
 //!   batch, and with telemetry compiled out there is no per-call
 //!   overhead left to amortize, so the claim is only meaningful (and
 //!   only checked) when the instrumentation is in the build.
+//! * **Scaling** (hosts with ≥ 4 cores only): the 4-ring aggregate at
+//!   batch 8 must be ≥ 2.5x the single-ring aggregate. Below the core
+//!   floor the producers time-share and the ratio measures the
+//!   scheduler, so the gate is loudly skipped and the measured ratio is
+//!   recorded in the JSON instead (`scaling_rings4_milli`) — the same
+//!   discipline as `speedup_gate_min_cores` in `BENCH_audit.json`.
+//! * **Chaining** (both telemetry modes): the 3-link chained
+//!   open→read→close must beat the unchained 3-submission sequence.
+//!   The saving is structural (one poller round instead of three), not
+//!   entry-overhead amortization, so it must hold everywhere.
 //! * **Baseline** (with `--baseline`): any latency cell more than
 //!   `--tolerance` (default 0.35) *above* its committed value fails the
 //!   run — inverted relative to the NR throughput gate because lower is
-//!   better here.
+//!   better here. p99 cells are recorded, never gated.
 
-use veros_bench::uring::{regressions_against, UringReport};
+use veros_bench::uring::{
+    regressions_against, UringReport, SCALING_GATE_MIN_CORES, SCALING_MIN_MILLI,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -57,6 +71,51 @@ fn main() {
         }
     } else {
         eprintln!("telemetry compiled out: skipping amortization check");
+    }
+
+    match report.scaling_milli() {
+        Some(milli) if report.host_cores >= SCALING_GATE_MIN_CORES => {
+            if milli >= SCALING_MIN_MILLI {
+                eprintln!(
+                    "scaling check: 4-ring aggregate {:.2}x single-ring >= {:.2}x",
+                    milli as f64 / 1000.0,
+                    SCALING_MIN_MILLI as f64 / 1000.0
+                );
+            } else {
+                eprintln!(
+                    "scaling check FAILED: 4-ring aggregate {:.2}x single-ring < {:.2}x",
+                    milli as f64 / 1000.0,
+                    SCALING_MIN_MILLI as f64 / 1000.0
+                );
+                ok = false;
+            }
+        }
+        Some(milli) => {
+            eprintln!(
+                "scaling check SKIPPED: host has {} core(s) < {SCALING_GATE_MIN_CORES} — \
+                 the producers time-share one core, so the ratio measures the scheduler, \
+                 not the data plane; measured ratio {:.2}x recorded in BENCH_uring.json",
+                report.host_cores,
+                milli as f64 / 1000.0
+            );
+        }
+        None => {
+            eprintln!("scaling check FAILED: multi-ring cells missing from the run");
+            ok = false;
+        }
+    }
+
+    // Both telemetry modes: the chain saves poller rounds, not
+    // instrumentation overhead.
+    let chained = report.chain_ns("chain/orc_chained").unwrap_or(f64::INFINITY);
+    let unchained = report.chain_ns("chain/orc_unchained").unwrap_or(0.0);
+    if chained <= unchained {
+        eprintln!("chain check: chained {chained:.1} <= unchained {unchained:.1} ns/seq");
+    } else {
+        eprintln!(
+            "chain check FAILED: chained {chained:.1} > unchained {unchained:.1} ns/seq"
+        );
+        ok = false;
     }
 
     if let Some(path) = baseline_path {

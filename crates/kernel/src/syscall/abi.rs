@@ -163,6 +163,32 @@ pub fn decode_ret(status: u64, value: u64) -> Result<SysRet, SysError> {
     Ok(Err(SysError::from_code(code).ok_or(SysError::Invalid)?))
 }
 
+/// Argument-register index of the fd for `Read`/`Write`/`Seek`/`Close`.
+///
+/// Chained SQEs substitute a prior result here (open→read→close); the
+/// constant keeps user-side chain builders in sync with [`encode_regs`].
+pub const FD_REG: u8 = 1;
+
+/// Argument-register index of the buffer length for `Read`/`Write`
+/// (recv→write chains substitute the received length here).
+pub const LEN_REG: u8 = 3;
+
+/// Patches one argument register with a prior syscall's result — the
+/// kernel side of chained-SQE result forwarding.
+///
+/// Only registers 1..=5 are substitutable: register 0 is the syscall
+/// number, and rewriting it would let a chain smuggle in an opcode that
+/// was never submitted. Substitution happens *before* [`decode_regs`],
+/// so the typed-marshalling obligation still covers the patched image.
+pub fn substitute_reg(regs: &mut Regs, idx: u8, value: u64) -> Result<(), SysError> {
+    let i = usize::from(idx);
+    if i == 0 || i >= regs.len() {
+        return Err(SysError::Invalid);
+    }
+    regs[i] = value;
+    Ok(())
+}
+
 /// Every syscall variant with representative argument values, for
 /// exhaustive round-trip checks (used by tests and the marshalling VCs).
 pub fn sample_calls() -> Vec<Syscall> {
@@ -261,8 +287,37 @@ mod tests {
 
     #[test]
     fn corrupt_status_is_detected() {
-        assert_eq!(decode_ret(17, 0), Err(SysError::Invalid), "code 17 undefined");
+        assert_eq!(decode_ret(18, 0), Err(SysError::Invalid), "code 18 undefined");
         assert_eq!(decode_ret(u64::MAX, 0), Err(SysError::Invalid));
+    }
+
+    #[test]
+    fn cancelled_survives_the_return_abi() {
+        let (s, v) = encode_ret(Err(SysError::Cancelled));
+        assert_eq!(decode_ret(s, v).unwrap(), Err(SysError::Cancelled));
+    }
+
+    #[test]
+    fn substitute_reg_patches_only_argument_registers() {
+        let mut regs = encode_regs(&Syscall::Read {
+            fd: 0,
+            buf_ptr: 0x2000,
+            buf_len: 64,
+        });
+        substitute_reg(&mut regs, FD_REG, 7).unwrap();
+        assert_eq!(
+            decode_regs(&regs).unwrap(),
+            Syscall::Read {
+                fd: 7,
+                buf_ptr: 0x2000,
+                buf_len: 64
+            }
+        );
+        // Register 0 is the syscall number: substitution there is refused.
+        assert_eq!(substitute_reg(&mut regs, 0, 9), Err(SysError::Invalid));
+        // Out-of-range indices are refused, not wrapped.
+        assert_eq!(substitute_reg(&mut regs, 6, 9), Err(SysError::Invalid));
+        assert_eq!(substitute_reg(&mut regs, u8::MAX, 9), Err(SysError::Invalid));
     }
 
     #[test]

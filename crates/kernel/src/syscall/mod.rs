@@ -53,6 +53,9 @@ pub enum SysError {
     BadSyscall = 15,
     /// Filesystem is out of space.
     NoSpace = 16,
+    /// The operation was never dispatched: an earlier link of its SQE
+    /// chain failed, aborting the suffix (uring chain-abort semantics).
+    Cancelled = 17,
 }
 
 impl SysError {
@@ -76,6 +79,7 @@ impl SysError {
             14 => NotDirectory,
             15 => BadSyscall,
             16 => NoSpace,
+            17 => Cancelled,
             _ => return None,
         })
     }
@@ -197,7 +201,7 @@ mod tests {
 
     #[test]
     fn error_codes_round_trip() {
-        for code in 1..=16u32 {
+        for code in 1..=17u32 {
             let e = SysError::from_code(code).expect("defined");
             assert_eq!(e as u32, code);
         }

@@ -105,8 +105,8 @@ fn rets_round_trip() {
         let ret = if rng.chance(1, 2) {
             Ok(rng.next_u64())
         } else {
-            let code = 1 + rng.below(16) as u32;
-            Err(SysError::from_code(code).expect("codes 1..=16 are defined"))
+            let code = 1 + rng.below(17) as u32;
+            Err(SysError::from_code(code).expect("codes 1..=17 are defined"))
         };
         let (s, v) = abi::encode_ret(ret);
         assert_eq!(abi::decode_ret(s, v), Ok(ret));

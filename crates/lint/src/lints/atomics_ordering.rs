@@ -1,11 +1,12 @@
-//! L4 `atomics-ordering`: `Ordering::Relaxed` in `crates/nr` and
-//! `crates/uring` must be an explicitly reviewed site. The NR log's
-//! correctness argument leans on acquire/release edges, and the uring
-//! SPSC rings publish slot contents with a Release store that a stray
-//! `Relaxed` would silently unorder; both are exactly the kind of bug
-//! the linearizability checkers can miss on a lucky schedule. Reviewed
-//! sites carry `// lint: allow(atomics-ordering) — <why Relaxed is
-//! sound here>`.
+//! L4 `atomics-ordering`: `Ordering::Relaxed` in `crates/nr`,
+//! `crates/uring`, and `crates/ulib` must be an explicitly reviewed
+//! site. The NR log's correctness argument leans on acquire/release
+//! edges, the uring SPSC rings publish slot contents with a Release
+//! store that a stray `Relaxed` would silently unorder, and the ulib
+//! ring executor's park/unpark handshake rides those same edges; all
+//! three are exactly the kind of bug the linearizability checkers can
+//! miss on a lucky schedule. Reviewed sites carry
+//! `// lint: allow(atomics-ordering) — <why Relaxed is sound here>`.
 
 use crate::diag::{Diagnostic, Severity};
 use crate::source::Workspace;
@@ -20,12 +21,12 @@ impl super::Lint for AtomicsOrdering {
     }
 
     fn describe(&self) -> &'static str {
-        "`Ordering::Relaxed` in crates/nr or crates/uring outside reviewed sites"
+        "`Ordering::Relaxed` in crates/{nr,uring,ulib} outside reviewed sites"
     }
 
     fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
         for file in &ws.files {
-            let in_scope = matches!(file.crate_name.as_deref(), Some("nr" | "uring"))
+            let in_scope = matches!(file.crate_name.as_deref(), Some("nr" | "uring" | "ulib"))
                 && !file.test_path
                 && file.rel_path.contains("/src/");
             if !in_scope {
@@ -80,9 +81,11 @@ mod tests {
     }
 
     #[test]
-    fn uring_is_in_scope() {
+    fn uring_and_ulib_are_in_scope() {
         let out = run_on("crates/uring/src/spsc.rs", "let x = a.load(Ordering::Relaxed);
 ");
+        assert_eq!(out.len(), 1);
+        let out = run_on("crates/ulib/src/runtime.rs", "let x = a.load(Ordering::Relaxed);\n");
         assert_eq!(out.len(), 1);
     }
 

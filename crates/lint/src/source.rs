@@ -8,9 +8,12 @@ use std::path::{Path, PathBuf};
 
 /// Crates on the kernel path: code that executes under the verified
 /// stack's no-panic discipline (see ISSUE/DESIGN). `panic-freedom`
-/// applies only to these crates' `src/` trees.
+/// applies only to these crates' `src/` trees. `ulib` joined with the
+/// ring executor: its poller pump sits on every ring-routed syscall,
+/// so a panic there takes down the data plane as surely as one in the
+/// engine.
 pub const KERNEL_PATH_CRATES: &[&str] =
-    &["kernel", "pagetable", "nr", "hw", "fs", "net", "uring"];
+    &["kernel", "pagetable", "nr", "hw", "fs", "net", "uring", "ulib"];
 
 /// One scanned workspace file.
 #[derive(Clone, Debug)]
@@ -272,8 +275,10 @@ mod tests {
         assert!(k.is_kernel_path_src());
         let t = SourceFile::from_source("crates/nr/tests/randomized.rs", "");
         assert!(!t.is_kernel_path_src());
-        let u = SourceFile::from_source("crates/ulib/src/lib.rs", "");
-        assert!(!u.is_kernel_path_src());
+        let u = SourceFile::from_source("crates/ulib/src/runtime.rs", "");
+        assert!(u.is_kernel_path_src(), "the ring executor is kernel-path");
+        let b = SourceFile::from_source("crates/bench/src/uring.rs", "");
+        assert!(!b.is_kernel_path_src());
         let root = SourceFile::from_source("src/lib.rs", "");
         assert!(!root.is_kernel_path_src());
     }

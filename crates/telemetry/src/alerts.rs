@@ -34,13 +34,25 @@ pub enum Rule {
         /// Inclusive upper bound on the p99 bucket estimate.
         max: u64,
     },
+    /// The ratio of two counters must not exceed `max_milli`/1000.
+    /// A zero denominator passes (no activity to bound); the rule is
+    /// skipped unless both metrics are present.
+    RatioAtMost {
+        /// Dotted name of the numerator counter.
+        numerator: &'static str,
+        /// Dotted name of the denominator counter.
+        denominator: &'static str,
+        /// Inclusive upper bound, in thousandths (1000 = ratio 1.0).
+        max_milli: u64,
+    },
 }
 
 impl Rule {
-    /// The metric name this rule watches.
+    /// The metric name this rule watches (the numerator, for ratios).
     pub fn metric(&self) -> &'static str {
         match self {
             Rule::CounterAtMost { metric, .. } | Rule::P99AtMost { metric, .. } => metric,
+            Rule::RatioAtMost { numerator, .. } => numerator,
         }
     }
 }
@@ -70,6 +82,20 @@ pub fn default_rules() -> Vec<Rule> {
         // the bound is generous (the log itself holds 1024 entries in
         // the default sweeps) so only a wedged replica trips it.
         Rule::P99AtMost { metric: "nr.replica.replay_lag", max: 1024 },
+        // Chain atomicity is a kernel invariant, not a tuning knob: the
+        // engine's defensive self-check (exactly the post-failure
+        // suffix cancelled, nothing else) ticking even once means the
+        // chain dispatcher broke its contract.
+        Rule::CounterAtMost { metric: "uring.chain.atomicity_violations", max: 0 },
+        // The burst budget may defer a flooded ring transiently, but on
+        // average fewer than one ring per sweep: a ratio at or above
+        // 1.0 means some ring's backlog outruns the poller on every
+        // pass — the budget is starving, not smoothing.
+        Rule::RatioAtMost {
+            numerator: "uring.poller.fairness_deferrals",
+            denominator: "uring.poller.sweeps",
+            max_milli: 999,
+        },
     ]
 }
 
@@ -81,6 +107,48 @@ pub fn default_rules() -> Vec<Rule> {
 pub fn evaluate(snapshot: &Snapshot, rules: &[Rule]) -> Vec<Alert> {
     let mut alerts = Vec::new();
     for rule in rules {
+        if let Rule::RatioAtMost { numerator, denominator, max_milli } = rule {
+            // Both metrics present (else skipped, like the scalar
+            // rules) and both counter-shaped (else loud, like the
+            // scalar rules); a zero denominator passes — no activity
+            // to bound.
+            let lookup = |name: &str| snapshot.metrics.iter().find(|m| m.name == name);
+            let (Some(n), Some(d)) = (lookup(numerator), lookup(denominator)) else {
+                continue;
+            };
+            let (
+                MetricValue::Counter(num) | MetricValue::Gauge(num),
+                MetricValue::Counter(den) | MetricValue::Gauge(den),
+            ) = (&n.value, &d.value)
+            else {
+                alerts.push(Alert {
+                    metric: numerator,
+                    observed: 0,
+                    allowed: 0,
+                    message: format!(
+                        "{numerator}/{denominator}: ratio rule needs counters on both sides"
+                    ),
+                });
+                continue;
+            };
+            let (num, den) = (*num, *den);
+            if den == 0 {
+                continue;
+            }
+            let milli = num.saturating_mul(1000) / den;
+            if milli > *max_milli {
+                alerts.push(Alert {
+                    metric: numerator,
+                    observed: milli,
+                    allowed: *max_milli,
+                    message: format!(
+                        "{numerator}/{denominator} = {num}/{den} ({milli} milli), \
+                         allowed at most {max_milli} milli"
+                    ),
+                });
+            }
+            continue;
+        }
         let Some(metric) = snapshot.metrics.iter().find(|m| m.name == rule.metric()) else {
             continue;
         };
@@ -186,11 +254,75 @@ mod tests {
     }
 
     #[test]
-    fn default_rules_cover_integrity_and_lag() {
+    fn default_rules_cover_integrity_lag_and_the_data_plane() {
         let rules = default_rules();
         assert!(rules
             .iter()
             .any(|r| r.metric() == "blockstore.checksum_failures"));
         assert!(rules.iter().any(|r| r.metric() == "nr.replica.replay_lag"));
+        assert!(rules
+            .iter()
+            .any(|r| r.metric() == "uring.chain.atomicity_violations"));
+        assert!(rules
+            .iter()
+            .any(|r| r.metric() == "uring.poller.fairness_deferrals"));
+    }
+
+    static RATIO_NUM: Counter = Counter::new();
+    static RATIO_DEN: Counter = Counter::new();
+
+    fn ratio_snapshot() -> Snapshot {
+        let mut reg = Registry::new();
+        reg.counter("test.deferrals", "rings", &RATIO_NUM);
+        reg.counter("test.sweeps", "sweeps", &RATIO_DEN);
+        reg.histogram("test.lag", "entries", &LAG);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn ratio_rule_bounds_numerator_against_denominator() {
+        if !crate::enabled() {
+            return;
+        }
+        let rule = |max_milli| {
+            [Rule::RatioAtMost {
+                numerator: "test.deferrals",
+                denominator: "test.sweeps",
+                max_milli,
+            }]
+        };
+        // Zero denominator: no activity, no alert even at bound 0.
+        assert!(evaluate(&ratio_snapshot(), &rule(0)).is_empty());
+        for _ in 0..10 {
+            RATIO_DEN.inc();
+        }
+        for _ in 0..7 {
+            RATIO_NUM.inc();
+        }
+        // 7/10 = 700 milli: inside 999, outside 500.
+        assert!(evaluate(&ratio_snapshot(), &rule(999)).is_empty());
+        let alerts = evaluate(&ratio_snapshot(), &rule(500));
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].observed, 700);
+        assert_eq!(alerts[0].allowed, 500);
+        // Absent metrics skip the rule, like the scalar kinds.
+        let absent = [Rule::RatioAtMost {
+            numerator: "test.not_registered",
+            denominator: "test.sweeps",
+            max_milli: 0,
+        }];
+        assert!(evaluate(&ratio_snapshot(), &absent).is_empty());
+    }
+
+    #[test]
+    fn ratio_rule_rejects_histogram_operands_loudly() {
+        let rules = [Rule::RatioAtMost {
+            numerator: "test.lag",
+            denominator: "test.sweeps",
+            max_milli: 1000,
+        }];
+        let alerts = evaluate(&ratio_snapshot(), &rules);
+        assert_eq!(alerts.len(), 1);
+        assert!(alerts[0].message.contains("needs counters"));
     }
 }

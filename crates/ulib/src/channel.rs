@@ -16,7 +16,7 @@
 
 use veros_kernel::syscall::{SysError, Syscall};
 
-use crate::runtime::Ctx;
+use crate::runtime::{ChainLink, Ctx};
 
 /// Result of a channel operation attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -126,6 +126,91 @@ impl UChannel {
         })?;
         Ok(ChanAttempt::Done)
     }
+
+    /// A pipeline stage's fused step: send `msg` on `self` and then
+    /// attempt to receive from `rx`, combining the send-side wake with
+    /// the receive-side wake or park into **one** chained submission
+    /// (`FutexWake` LINK `FutexWake`/`FutexWait`) instead of two
+    /// separate syscalls. Returns the outcome of each half; when the
+    /// send side is full this parks on `self` exactly like
+    /// [`UChannel::send_attempt`] and reports the receive half as
+    /// [`ChanAttempt::Retry`] (it was not attempted).
+    pub fn send_then_recv_attempt(
+        &self,
+        ctx: &mut Ctx<'_>,
+        msg: &[u8],
+        rx: &UChannel,
+        out: &mut Vec<u8>,
+    ) -> Result<(ChanAttempt, ChanAttempt), SysError> {
+        // Send half, stopping short of the wake.
+        let cap = ctx.read_u32(self.base_va + Self::CAP)?;
+        let slot_size = ctx.read_u32(self.base_va + Self::SLOT_SIZE)?;
+        assert!(msg.len() as u32 <= slot_size - 4, "message exceeds slot");
+        let head = ctx.read_u32(self.base_va + Self::HEAD)?;
+        let tail = ctx.read_u32(self.base_va + Self::TAIL)?;
+        if tail.wrapping_sub(head) >= cap {
+            // Full: park on head as the plain path would; nothing to
+            // chain (the receive half is not attempted this step).
+            return match ctx.sys(Syscall::FutexWait {
+                va: self.base_va + Self::HEAD,
+                expected: head,
+            }) {
+                Ok(_) => Ok((ChanAttempt::BlockedNow, ChanAttempt::Retry)),
+                Err(SysError::WouldBlock) => Ok((ChanAttempt::Retry, ChanAttempt::Retry)),
+                Err(e) => Err(e),
+            };
+        }
+        let slot = self.slot_va(tail, cap, slot_size);
+        ctx.write_u32(slot, msg.len() as u32)?;
+        ctx.write_bytes(slot + 4, msg)?;
+        ctx.write_u32(self.base_va + Self::TAIL, tail.wrapping_add(1))?;
+        // Receive half, up to the wake-or-park decision.
+        let rcap = ctx.read_u32(rx.base_va + Self::CAP)?;
+        let rslot_size = ctx.read_u32(rx.base_va + Self::SLOT_SIZE)?;
+        let rhead = ctx.read_u32(rx.base_va + Self::HEAD)?;
+        let rtail = ctx.read_u32(rx.base_va + Self::TAIL)?;
+        if rhead == rtail {
+            // Empty: chain the send's consumer wake with the park on
+            // `rx`'s tail. The wait is the chain tail, so it may
+            // legally block; its surrogate return matches the plain
+            // path's.
+            let rs = ctx.sys_chain(&[
+                ChainLink::plain(Syscall::FutexWake {
+                    va: self.base_va + Self::TAIL,
+                    count: 1,
+                }),
+                ChainLink::plain(Syscall::FutexWait {
+                    va: rx.base_va + Self::TAIL,
+                    expected: rtail,
+                }),
+            ]);
+            rs[0]?;
+            let recv = match rs[1] {
+                Ok(_) => ChanAttempt::BlockedNow,
+                Err(SysError::WouldBlock) => ChanAttempt::Retry,
+                Err(e) => return Err(e),
+            };
+            return Ok((ChanAttempt::Done, recv));
+        }
+        // Both sides ready: take the message, then chain the two wakes.
+        let rslot = rx.slot_va(rhead, rcap, rslot_size);
+        let len = ctx.read_u32(rslot)?;
+        *out = ctx.read_bytes(rslot + 4, len as u64)?;
+        ctx.write_u32(rx.base_va + Self::HEAD, rhead.wrapping_add(1))?;
+        let rs = ctx.sys_chain(&[
+            ChainLink::plain(Syscall::FutexWake {
+                va: self.base_va + Self::TAIL,
+                count: 1,
+            }),
+            ChainLink::plain(Syscall::FutexWake {
+                va: rx.base_va + Self::HEAD,
+                count: 1,
+            }),
+        ]);
+        rs[0]?;
+        rs[1]?;
+        Ok((ChanAttempt::Done, ChanAttempt::Done))
+    }
 }
 
 #[cfg(test)]
@@ -216,5 +301,176 @@ mod tests {
         assert!(rt.run(100_000), "channel wedged");
         let got = received.lock().unwrap();
         assert_eq!(*got, (0..N).collect::<Vec<u32>>(), "FIFO order violated");
+    }
+
+    /// Ping-pong through the fused send+recv path: the pinger sends on
+    /// A and parks for the pong on B in one chained submission; the
+    /// ponger echoes with the plain attempts. Identical behaviour on
+    /// the trap path, one shared ring, and per-thread rings.
+    fn scenario_chained_ping_pong(mode: u8) {
+        let kernel = Kernel::boot(KernelConfig {
+            cores: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let (pid, tid) = (kernel.init_pid, kernel.init_tid);
+        let mut rt = Runtime::new(kernel);
+        match mode {
+            1 => rt.enable_uring(8),
+            2 => rt.enable_uring_per_thread(8),
+            _ => {}
+        }
+        rt.kernel.sched.timeslice = 1;
+        rt.kernel
+            .syscall(
+                (pid, tid),
+                K::Map { va: 0x10_0000, pages: 2, writable: true },
+            )
+            .unwrap();
+        const N: u32 = 12;
+        let a = UChannel::at(0x10_0000);
+        let b = UChannel::at(0x10_1000);
+        let pongs = Arc::new(Mutex::new(Vec::new()));
+
+        let log = Arc::clone(&pongs);
+        let mut initialized = false;
+        let (mut sent, mut got) = (0u32, 0u32);
+        rt.attach(
+            pid,
+            tid,
+            Box::new(move |ctx| {
+                if !initialized {
+                    a.init(ctx, 4, 16).unwrap();
+                    b.init(ctx, 4, 16).unwrap();
+                    initialized = true;
+                    return Step::Yield;
+                }
+                if got == N {
+                    return Step::Done(0);
+                }
+                let mut buf = Vec::new();
+                if sent == got {
+                    // Fused: publish the ping and park for the pong in
+                    // one chained submission.
+                    let (s, r) = a
+                        .send_then_recv_attempt(ctx, &sent.to_le_bytes(), &b, &mut buf)
+                        .unwrap();
+                    if s == ChanAttempt::Done {
+                        sent += 1;
+                    }
+                    if r == ChanAttempt::Done {
+                        log.lock().unwrap().push(u32::from_le_bytes(
+                            buf.try_into().expect("4 bytes"),
+                        ));
+                        got += 1;
+                    }
+                } else if b.recv_attempt(ctx, &mut buf).unwrap() == ChanAttempt::Done {
+                    log.lock().unwrap().push(u32::from_le_bytes(
+                        buf.try_into().expect("4 bytes"),
+                    ));
+                    got += 1;
+                }
+                Step::Yield
+            }),
+        );
+
+        // The ponger: echo every ping from A back on B, then finish.
+        let mut pending: Option<Vec<u8>> = None;
+        let mut echoed = 0u32;
+        rt.spawn_task(
+            (pid, tid),
+            None,
+            Box::new(move |ctx| {
+                if let Some(msg) = pending.clone() {
+                    if b.send_attempt(ctx, &msg).unwrap() == ChanAttempt::Done {
+                        pending = None;
+                        echoed += 1;
+                    }
+                    return Step::Yield;
+                }
+                if echoed == N {
+                    return Step::Done(0);
+                }
+                let mut buf = Vec::new();
+                if a.recv_attempt(ctx, &mut buf).unwrap() == ChanAttempt::Done {
+                    pending = Some(buf);
+                }
+                Step::Yield
+            }),
+        )
+        .unwrap();
+
+        assert!(rt.run(100_000), "ping-pong wedged");
+        assert_eq!(
+            *pongs.lock().unwrap(),
+            (0..N).collect::<Vec<u32>>(),
+            "pongs arrived in order"
+        );
+    }
+
+    #[test]
+    fn chained_ping_pong_sync() {
+        scenario_chained_ping_pong(0);
+    }
+
+    #[test]
+    fn chained_ping_pong_on_the_ring() {
+        scenario_chained_ping_pong(1);
+    }
+
+    #[test]
+    fn chained_ping_pong_on_per_thread_rings() {
+        scenario_chained_ping_pong(2);
+    }
+
+    /// When both sides are ready the fused step chains two wakes and
+    /// completes without parking.
+    fn scenario_fused_both_ready(uring: bool) {
+        let kernel = Kernel::boot(KernelConfig::default()).unwrap();
+        let (pid, tid) = (kernel.init_pid, kernel.init_tid);
+        let mut rt = Runtime::new(kernel);
+        if uring {
+            rt.enable_uring(8);
+        }
+        rt.kernel
+            .syscall(
+                (pid, tid),
+                K::Map { va: 0x10_0000, pages: 2, writable: true },
+            )
+            .unwrap();
+        let a = UChannel::at(0x10_0000);
+        let b = UChannel::at(0x10_1000);
+        rt.attach(
+            pid,
+            tid,
+            Box::new(move |ctx| {
+                a.init(ctx, 4, 16).unwrap();
+                b.init(ctx, 4, 16).unwrap();
+                // Pre-fill the receive side so both halves are ready.
+                assert_eq!(b.send_attempt(ctx, b"pong").unwrap(), ChanAttempt::Done);
+                let mut buf = Vec::new();
+                let (s, r) = a
+                    .send_then_recv_attempt(ctx, b"ping", &b, &mut buf)
+                    .unwrap();
+                assert_eq!((s, r), (ChanAttempt::Done, ChanAttempt::Done));
+                assert_eq!(buf, b"pong");
+                // The ping landed on A.
+                let mut echo = Vec::new();
+                assert_eq!(a.recv_attempt(ctx, &mut echo).unwrap(), ChanAttempt::Done);
+                assert_eq!(echo, b"ping");
+                Step::Done(0)
+            }),
+        );
+        assert!(rt.run(100));
+    }
+
+    #[test]
+    fn fused_both_ready_sync() {
+        scenario_fused_both_ready(false);
+    }
+
+    #[test]
+    fn fused_both_ready_on_the_ring() {
+        scenario_fused_both_ready(true);
     }
 }

@@ -5,9 +5,9 @@
 //! process's address space — the kernel only accepts user pointers, per
 //! the mapping obligation).
 
-use veros_kernel::syscall::{SysError, Syscall};
+use veros_kernel::syscall::{abi, SysError, Syscall};
 
-use crate::runtime::Ctx;
+use crate::runtime::{ChainLink, Ctx};
 
 /// An open file.
 #[derive(Clone, Copy, Debug)]
@@ -79,6 +79,106 @@ impl UFile {
     pub fn close(self, ctx: &mut Ctx<'_>) -> Result<(), SysError> {
         ctx.sys(Syscall::Close { fd: self.fd }).map(|_| ())
     }
+
+    /// Reads the first `len` bytes of `path` as one chained
+    /// open→read→close submission: the read takes its fd from the
+    /// open's result, the close takes it from the chain head, and a
+    /// failing open cancels the rest kernel-side. With a ring enabled
+    /// this is one submission instead of three; without one it runs
+    /// over the trap path with the same results.
+    ///
+    /// The scratch region stages the path first and the data after
+    /// (the kernel consumes the path bytes before the read runs).
+    pub fn open_read_close(
+        ctx: &mut Ctx<'_>,
+        scratch_va: u64,
+        path: &str,
+        len: u64,
+    ) -> Result<Vec<u8>, SysError> {
+        ctx.write_bytes(scratch_va, path.as_bytes())?;
+        let rs = ctx.sys_chain(&[
+            ChainLink::plain(Syscall::Open {
+                path_ptr: scratch_va,
+                path_len: path.len() as u64,
+                create: false,
+            }),
+            ChainLink::subst_prev(
+                Syscall::Read {
+                    fd: 0, // Patched with the open's fd.
+                    buf_ptr: scratch_va,
+                    buf_len: len,
+                },
+                abi::FD_REG,
+            ),
+            ChainLink::subst_head(
+                Syscall::Close { fd: 0 }, // Patched with the open's fd.
+                abi::FD_REG,
+            ),
+        ]);
+        let fd = rs[0]? as u32;
+        match rs[1] {
+            Ok(n) => {
+                rs[2]?;
+                ctx.read_bytes(scratch_va, n)
+            }
+            Err(e) => {
+                // The failed read cancelled the close; release the fd
+                // the open produced before reporting the error.
+                let _ = ctx.sys(Syscall::Close { fd });
+                Err(e)
+            }
+        }
+    }
+
+    /// Reads up to `len` bytes at absolute `offset` as one chained
+    /// seek→read submission.
+    pub fn read_at(
+        &self,
+        ctx: &mut Ctx<'_>,
+        scratch_va: u64,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, SysError> {
+        let rs = ctx.sys_chain(&[
+            ChainLink::plain(Syscall::Seek {
+                fd: self.fd,
+                offset,
+            }),
+            ChainLink::plain(Syscall::Read {
+                fd: self.fd,
+                buf_ptr: scratch_va,
+                buf_len: len,
+            }),
+        ]);
+        rs[0]?;
+        let n = rs[1]?;
+        ctx.read_bytes(scratch_va, n)
+    }
+
+    /// Writes `data` (staged at `scratch_va`) at absolute `offset` as
+    /// one chained seek→write submission.
+    pub fn write_at(
+        &self,
+        ctx: &mut Ctx<'_>,
+        scratch_va: u64,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<u64, SysError> {
+        ctx.write_bytes(scratch_va, data)?;
+        let rs = ctx.sys_chain(&[
+            ChainLink::plain(Syscall::Seek {
+                fd: self.fd,
+                offset,
+            }),
+            ChainLink::plain(Syscall::Write {
+                fd: self.fd,
+                buf_ptr: scratch_va,
+                buf_len: data.len() as u64,
+            }),
+        ]);
+        rs[0]?;
+        rs[1]
+    }
 }
 
 /// Removes a file (staging the path at `scratch_va`).
@@ -98,9 +198,16 @@ mod tests {
     use veros_kernel::{Kernel, KernelConfig, Syscall as K};
 
     fn run_one(f: impl FnOnce(&mut Ctx<'_>) + 'static) {
+        run_one_with(false, f);
+    }
+
+    fn run_one_with(uring: bool, f: impl FnOnce(&mut Ctx<'_>) + 'static) {
         let kernel = Kernel::boot(KernelConfig::default()).unwrap();
         let (pid, tid) = (kernel.init_pid, kernel.init_tid);
         let mut rt = Runtime::new(kernel);
+        if uring {
+            rt.enable_uring(8);
+        }
         rt.kernel
             .syscall(
                 (pid, tid),
@@ -156,6 +263,114 @@ mod tests {
             unlink(ctx, SCRATCH, "/temp").unwrap();
             assert!(UFile::open(ctx, SCRATCH, "/temp", false).is_err());
         });
+    }
+
+    fn open_fds(ctx: &mut Ctx<'_>) -> usize {
+        let pid = ctx.pid;
+        ctx.kernel.processes().get(pid).unwrap().fds.len()
+    }
+
+    fn scenario_open_read_close_round_trip(uring: bool) {
+        run_one_with(uring, |ctx| {
+            let f = UFile::open(ctx, SCRATCH, "/blob", true).unwrap();
+            f.write(ctx, SCRATCH, b"chained!").unwrap();
+            f.close(ctx).unwrap();
+            let before = open_fds(ctx);
+            let data = UFile::open_read_close(ctx, SCRATCH, "/blob", 100).unwrap();
+            assert_eq!(data, b"chained!");
+            assert_eq!(open_fds(ctx), before, "the chained close ran");
+        });
+    }
+
+    #[test]
+    fn open_read_close_round_trip_sync() {
+        scenario_open_read_close_round_trip(false);
+    }
+
+    #[test]
+    fn open_read_close_round_trip_on_the_ring() {
+        scenario_open_read_close_round_trip(true);
+    }
+
+    fn scenario_open_read_close_failures(uring: bool) {
+        run_one_with(uring, |ctx| {
+            // A failing open cancels the whole chain.
+            let before = open_fds(ctx);
+            assert_eq!(
+                UFile::open_read_close(ctx, SCRATCH, "/absent", 8),
+                Err(SysError::NoSuchPath)
+            );
+            assert_eq!(open_fds(ctx), before, "nothing was opened");
+            // A failing read cancels the chained close; the wrapper
+            // releases the fd itself instead of leaking it.
+            let f = UFile::open(ctx, SCRATCH, "/blob", true).unwrap();
+            f.write(ctx, SCRATCH, b"x").unwrap();
+            f.close(ctx).unwrap();
+            let before = open_fds(ctx);
+            let unmapped = 0x900_0000;
+            let r = {
+                // Stage the path, then point the read at unmapped
+                // memory so only the read link fails.
+                ctx.write_bytes(SCRATCH, b"/blob").unwrap();
+                let rs = ctx.sys_chain(&[
+                    crate::runtime::ChainLink::plain(K::Open {
+                        path_ptr: SCRATCH,
+                        path_len: 5,
+                        create: false,
+                    }),
+                    crate::runtime::ChainLink::subst_prev(
+                        K::Read { fd: 0, buf_ptr: unmapped, buf_len: 8 },
+                        abi::FD_REG,
+                    ),
+                    crate::runtime::ChainLink::subst_head(
+                        K::Close { fd: 0 },
+                        abi::FD_REG,
+                    ),
+                ]);
+                assert!(rs[0].is_ok());
+                assert_eq!(rs[2], Err(SysError::Cancelled), "close was cancelled");
+                rs
+            };
+            // The wrapper's cleanup path: mirror what open_read_close
+            // does after a mid-chain read failure.
+            let fd = r[0].unwrap() as u32;
+            assert!(r[1].is_err());
+            ctx.sys(K::Close { fd }).unwrap();
+            assert_eq!(open_fds(ctx), before, "cleanup released the fd");
+            // And through the wrapper itself.
+            assert!(UFile::open_read_close(ctx, SCRATCH, "/blob", 8).is_ok());
+            assert_eq!(open_fds(ctx), before);
+        });
+    }
+
+    #[test]
+    fn open_read_close_failures_sync() {
+        scenario_open_read_close_failures(false);
+    }
+
+    #[test]
+    fn open_read_close_failures_on_the_ring() {
+        scenario_open_read_close_failures(true);
+    }
+
+    fn scenario_positioned_io(uring: bool) {
+        run_one_with(uring, |ctx| {
+            let f = UFile::open(ctx, SCRATCH, "/pos", true).unwrap();
+            f.write_at(ctx, SCRATCH, 0, b"0123456789").unwrap();
+            f.write_at(ctx, SCRATCH, 4, b"XY").unwrap();
+            assert_eq!(f.read_at(ctx, SCRATCH, 2, 6).unwrap(), b"23XY67");
+            f.close(ctx).unwrap();
+        });
+    }
+
+    #[test]
+    fn positioned_io_sync() {
+        scenario_positioned_io(false);
+    }
+
+    #[test]
+    fn positioned_io_on_the_ring() {
+        scenario_positioned_io(true);
     }
 
     #[test]

@@ -31,6 +31,6 @@ pub use channel::UChannel;
 pub use condvar::UCondvar;
 pub use io::UFile;
 pub use mutex::{LockAttempt, LockState, UMutex};
-pub use runtime::{Ctx, Runtime, Step};
+pub use runtime::{ChainLink, ChainResults, Ctx, RingExec, Runtime, Step, Ticket};
 pub use semaphore::USemaphore;
 pub use ualloc::UAlloc;

@@ -28,7 +28,7 @@ use std::collections::BTreeMap;
 use veros_kernel::syscall::{abi, SysError, SysRet, Syscall};
 use veros_kernel::thread::BlockReason;
 use veros_kernel::{Kernel, Pid, Tid};
-use veros_uring::{pair, Engine, SqFull, UserRing};
+use veros_uring::{pair, Engine, RingSet, SqeFlags, SqFull, SubstSource, UserRing, MAX_CHAIN};
 
 /// What a task step produced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,12 +70,16 @@ impl Ctx<'_> {
         }
         let regs = abi::encode_regs(&call);
         let (status, value) = self.kernel.syscall_regs((self.pid, self.tid), regs);
+        // lint: allow(panic-freedom) — the pair comes straight from
+        // abi::encode_ret, whose round trip wire::typed_roundtrip VCs.
         abi::decode_ret(status, value).expect("kernel emits well-formed returns")
     }
 
     /// Reads a `u32` from user memory.
     pub fn read_u32(&mut self, va: u64) -> Result<u32, SysError> {
         let b = self.kernel.read_user(self.pid, va, 4)?;
+        // lint: allow(panic-freedom) — read_user returns exactly the
+        // requested length on Ok.
         Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
     }
 
@@ -87,6 +91,8 @@ impl Ctx<'_> {
     /// Reads a `u64` from user memory.
     pub fn read_u64(&mut self, va: u64) -> Result<u64, SysError> {
         let b = self.kernel.read_user(self.pid, va, 8)?;
+        // lint: allow(panic-freedom) — read_user returns exactly the
+        // requested length on Ok.
         Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
     }
 
@@ -115,6 +121,193 @@ impl Ctx<'_> {
     pub fn write_bytes(&mut self, va: u64, data: &[u8]) -> Result<(), SysError> {
         self.kernel.write_user(self.pid, va, data)
     }
+
+    /// Performs a chain of syscalls with uring chain semantics: each
+    /// link except the last is LINKed to its successor, a link may
+    /// substitute an argument register with the result of the previous
+    /// link or the chain head ([`ChainLink::subst_prev`] /
+    /// [`ChainLink::subst_head`]), and the first failing link cancels
+    /// the whole suffix with [`SysError::Cancelled`] — the completed
+    /// prefix is never rolled back.
+    ///
+    /// With a ring enabled the chain crosses the ring as one batch of
+    /// flagged SQEs (one submission instead of `links.len()`); without
+    /// one it is emulated link by link over the trap path with the same
+    /// observable results. Returns exactly one result per link, in
+    /// chain order. Blocking calls are only legal as the final link
+    /// (the chain-tail rule the kernel engine enforces); a blocking
+    /// tail parks the caller and yields the trap path's surrogate
+    /// return, exactly like [`Ctx::sys`].
+    pub fn sys_chain(&mut self, links: &[ChainLink]) -> ChainResults {
+        if links.is_empty() {
+            return ChainResults::EMPTY;
+        }
+        if let Some(ring) = self.ring.as_deref_mut() {
+            let ring_ok = ring.owns(self.pid)
+                && links.len() <= MAX_CHAIN
+                && !links
+                    .iter()
+                    .any(|l| matches!(l.call, Syscall::Exit { .. }));
+            if ring_ok {
+                if let Some(out) = ring.route_chain(self.kernel, self.tid, links) {
+                    return out;
+                }
+            }
+        }
+        self.sys_chain_fallback(links)
+    }
+
+    /// Trap-path emulation of [`Ctx::sys_chain`]: one syscall per link,
+    /// mirroring the engine's chain rules (substitution before decode,
+    /// no `Exit`, blocking only at the tail, first failure cancels the
+    /// suffix) so tasks observe identical results on either path.
+    fn sys_chain_fallback(&mut self, links: &[ChainLink]) -> ChainResults {
+        let mut out = ChainResults::EMPTY;
+        let mut head: Option<u64> = None;
+        let mut prev: Option<u64> = None;
+        let mut aborted = false;
+        for (i, link) in links.iter().enumerate() {
+            if aborted {
+                out.push(Err(SysError::Cancelled));
+                continue;
+            }
+            let tail = i + 1 == links.len();
+            let res = self.chain_fallback_link(link, tail, head, prev);
+            if i == 0 {
+                head = res.ok();
+            }
+            prev = res.ok();
+            if res.is_err() {
+                aborted = true;
+            }
+            out.push(res);
+        }
+        out
+    }
+
+    fn chain_fallback_link(
+        &mut self,
+        link: &ChainLink,
+        tail: bool,
+        head: Option<u64>,
+        prev: Option<u64>,
+    ) -> SysRet {
+        let mut regs = abi::encode_regs(&link.call);
+        if let Some((src, reg)) = link.subst {
+            let value = match src {
+                SubstSource::Prev => prev,
+                SubstSource::Head => head,
+            }
+            .ok_or(SysError::Invalid)?;
+            abi::substitute_reg(&mut regs, reg, value)?;
+        }
+        let call = abi::decode_regs(&regs)?;
+        if matches!(call, Syscall::Exit { .. }) {
+            return Err(SysError::Invalid);
+        }
+        if !tail && matches!(call, Syscall::FutexWait { .. } | Syscall::Wait { .. }) {
+            return Err(SysError::Invalid);
+        }
+        self.kernel.syscall((self.pid, self.tid), call)
+    }
+}
+
+/// One link of a [`Ctx::sys_chain`] chain: the call plus an optional
+/// argument-register substitution from an earlier link's result.
+#[derive(Clone, Copy, Debug)]
+pub struct ChainLink {
+    /// The syscall to perform.
+    pub call: Syscall,
+    /// Patch argument register `.1` with the named source's result
+    /// before dispatch (see `abi::substitute_reg`).
+    pub subst: Option<(SubstSource, u8)>,
+}
+
+impl ChainLink {
+    /// A link with no substitution.
+    pub fn plain(call: Syscall) -> Self {
+        Self { call, subst: None }
+    }
+
+    /// A link whose register `reg` takes the previous link's result.
+    pub fn subst_prev(call: Syscall, reg: u8) -> Self {
+        Self {
+            call,
+            subst: Some((SubstSource::Prev, reg)),
+        }
+    }
+
+    /// A link whose register `reg` takes the chain head's result.
+    pub fn subst_head(call: Syscall, reg: u8) -> Self {
+        Self {
+            call,
+            subst: Some((SubstSource::Head, reg)),
+        }
+    }
+}
+
+/// The results of a [`Ctx::sys_chain`]: one [`SysRet`] per link, in
+/// chain order. Dereferences to a slice (`rs[0]`, `rs.len()`,
+/// `rs.iter()`).
+///
+/// Chains the ring accepts are bounded by [`MAX_CHAIN`], so results
+/// live in a fixed inline buffer and the chain hot path never touches
+/// the allocator — a per-chain allocation would eat the submission
+/// round trips chaining exists to save. Longer chains (possible only
+/// through the trap-path emulation) spill to the heap off the hot
+/// path.
+pub struct ChainResults {
+    inline: [SysRet; MAX_CHAIN],
+    len: usize,
+    spill: Vec<SysRet>,
+}
+
+impl ChainResults {
+    /// No results (the empty chain).
+    pub const EMPTY: ChainResults = ChainResults {
+        inline: [Err(SysError::Invalid); MAX_CHAIN],
+        len: 0,
+        spill: Vec::new(),
+    };
+
+    fn push(&mut self, r: SysRet) {
+        if self.len < MAX_CHAIN {
+            self.inline[self.len] = r;
+            self.len += 1;
+        } else {
+            // Cold: only trap-path emulation of an overlong chain.
+            if self.spill.is_empty() {
+                self.spill.reserve(self.len + 1);
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push(r);
+            self.len += 1;
+        }
+    }
+}
+
+impl std::ops::Deref for ChainResults {
+    type Target = [SysRet];
+
+    fn deref(&self) -> &[SysRet] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl std::fmt::Debug for ChainResults {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: AsRef<[SysRet]>> PartialEq<T> for ChainResults {
+    fn eq(&self, other: &T) -> bool {
+        **self == *other.as_ref()
+    }
 }
 
 /// A task body.
@@ -124,10 +317,19 @@ pub type TaskFn = Box<dyn FnMut(&mut Ctx<'_>) -> Step>;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Ticket(pub u64);
 
-/// The asynchronous syscall executor: the user side of a `veros-uring`
-/// queue pair plus the kernel-side [`Engine`] that drives it.
+/// The asynchronous syscall executor: the user sides of one or more
+/// `veros-uring` queue pairs plus the kernel-side [`RingSet`] poller
+/// that drives them.
 ///
-/// Two usage styles share one ring:
+/// By default the executor owns a single ring shared by every task
+/// thread ([`Runtime::enable_uring`]); in per-thread mode
+/// ([`Runtime::enable_uring_per_thread`]) each task thread submits on
+/// its own ring and one SQPOLL-style poller sweep drains them all —
+/// round-robin with a per-ring burst budget, so no ring's backlog can
+/// starve another (the fairness bound argued in `veros-uring`'s
+/// ring-set module).
+///
+/// Two usage styles share the rings:
 ///
 /// * **Explicit async**: [`RingExec::submit`] returns a [`Ticket`];
 ///   [`RingExec::poll`] / [`RingExec::wait`] retrieve its completion.
@@ -139,12 +341,23 @@ pub struct Ticket(pub u64);
 ///   (`Ok(0)` for a blocked futex wait, `Err(StillRunning)` for an
 ///   unfinished child wait, which the task retries).
 ///
-/// Retries are recognized by the `(thread, register image)` pair: a
-/// woken task re-issuing the identical call picks up the stored
-/// completion instead of double-submitting.
+/// Tickets are allocated from one counter across all rings, so a
+/// completion is identified by ticket alone no matter which ring
+/// carried it. Retries are recognized by the `(thread, register
+/// image)` pair: a woken task re-issuing the identical call picks up
+/// the stored completion instead of double-submitting.
 pub struct RingExec {
-    user: UserRing,
-    engine: Engine,
+    /// User-side rings, indexed in step with the poller's engines.
+    users: Vec<UserRing>,
+    /// The kernel-side poller over every ring's engine.
+    set: RingSet,
+    /// Which ring each task thread submits on (falls back to ring 0).
+    ring_of: BTreeMap<u64, usize>,
+    /// Ring depth, reused when per-thread rings are added.
+    depth: usize,
+    /// Whether [`Runtime::spawn_task`] should give new threads rings.
+    per_thread: bool,
+    owner: (Pid, Tid),
     next_ticket: u64,
     /// Completions waiting to be claimed, by ticket.
     completions: BTreeMap<u64, SysRet>,
@@ -158,36 +371,88 @@ pub struct RingExec {
 }
 
 impl RingExec {
-    /// Builds a ring of at least `depth` slots owned by `owner`.
+    /// Builds a single ring of at least `depth` slots owned by `owner`,
+    /// shared by every task thread.
     pub fn new(depth: usize, owner: (Pid, Tid)) -> Self {
-        let (user, kring) = pair(depth);
-        Self {
-            user,
-            engine: Engine::new(kring, owner),
+        Self::with_mode(depth, owner, false)
+    }
+
+    /// Builds an executor whose [`Runtime`] gives each spawned task
+    /// thread its own ring; `owner`'s thread gets ring 0.
+    pub fn new_per_thread(depth: usize, owner: (Pid, Tid)) -> Self {
+        Self::with_mode(depth, owner, true)
+    }
+
+    fn with_mode(depth: usize, owner: (Pid, Tid), per_thread: bool) -> Self {
+        let mut exec = Self {
+            users: Vec::new(),
+            // Budget one full ring per sweep: fairness between rings
+            // comes from the every-ring-every-sweep rule; the burst
+            // bound keeps one flooded ring from monopolizing a sweep.
+            set: RingSet::new(depth.max(1)),
+            ring_of: BTreeMap::new(),
+            depth,
+            per_thread,
+            owner,
             next_ticket: 0,
             completions: BTreeMap::new(),
             outstanding: BTreeMap::new(),
             parked: BTreeMap::new(),
-        }
+        };
+        exec.add_ring_for(owner.1);
+        exec
     }
 
-    /// Whether `pid` is the ring's owning process (only its syscalls
-    /// may route through the ring).
+    /// Adds a dedicated ring for `tid`'s submissions; returns its index
+    /// in the set. Threads without a dedicated ring share ring 0.
+    pub fn add_ring_for(&mut self, tid: Tid) -> usize {
+        let (user, kring) = pair(self.depth);
+        self.users.push(user);
+        let index = self.set.add(Engine::new(kring, (self.owner.0, tid)));
+        self.ring_of.insert(tid.0, index);
+        index
+    }
+
+    /// Whether `pid` is the rings' owning process (only its syscalls
+    /// may route through the rings).
     pub fn owns(&self, pid: Pid) -> bool {
-        self.engine.owner().0 == pid
+        self.owner.0 == pid
     }
 
-    /// Entries parked kernel-side (blocked submissions).
+    /// Whether [`Runtime::spawn_task`] gives new threads their own
+    /// rings.
+    pub fn per_thread(&self) -> bool {
+        self.per_thread
+    }
+
+    /// Number of rings in the set.
+    pub fn rings(&self) -> usize {
+        self.users.len()
+    }
+
+    /// The ring index `tid` submits on.
+    pub fn ring_for(&self, tid: Tid) -> usize {
+        self.ring_of.get(&tid.0).copied().unwrap_or(0)
+    }
+
+    /// Poller sweeps performed so far.
+    pub fn sweeps(&self) -> u64 {
+        self.set.sweeps()
+    }
+
+    /// Entries parked kernel-side (blocked submissions) plus links
+    /// buffered in incomplete chains, across all rings.
     pub fn pending_len(&self) -> usize {
-        self.engine.pending_len()
+        self.set.outstanding()
     }
 
-    /// Submits a syscall asynchronously. The entry is queued; the
-    /// kernel dispatches it at the next [`RingExec::pump`] (or any
-    /// poll/wait/route). `Err(SqFull)` is backpressure: pump and retry.
+    /// Submits a syscall asynchronously (on ring 0). The entry is
+    /// queued; the kernel dispatches it at the next [`RingExec::pump`]
+    /// (or any poll/wait/route). `Err(SqFull)` is backpressure: pump
+    /// and retry.
     pub fn submit(&mut self, call: &Syscall) -> Result<Ticket, SqFull> {
         let ticket = self.next_ticket;
-        self.user.submit(ticket, call)?;
+        self.users[0].submit(ticket, call)?;
         self.next_ticket += 1;
         Ok(Ticket(ticket))
     }
@@ -213,18 +478,23 @@ impl RingExec {
         None
     }
 
-    /// Dispatches everything submitted, reaps woken blocked entries,
-    /// and drains the completion queue (unparking any task threads
-    /// whose ticket completed).
+    /// Drives the poller until a sweep finds nothing to do: each sweep
+    /// dispatches new submissions and reaps woken blocked entries on
+    /// every ring, then the completion queues are drained (unparking
+    /// any task threads whose ticket completed).
     pub fn pump(&mut self, k: &mut Kernel) {
-        self.engine.submit_batch(k);
-        self.engine.reap(k);
-        self.drain_cq(k);
+        loop {
+            let stats = self.set.sweep(k);
+            self.drain_cq(k);
+            if stats.idle() {
+                break;
+            }
+        }
     }
 
-    /// The [`Ctx::sys`] entry: synchronous semantics over the ring.
-    /// Returns `None` when the caller should fall back to the trap
-    /// path (persistent submission-queue backpressure).
+    /// The [`Ctx::sys`] entry: synchronous semantics over the calling
+    /// thread's ring. Returns `None` when the caller should fall back
+    /// to the trap path (persistent submission-queue backpressure).
     pub(crate) fn route(&mut self, k: &mut Kernel, tid: Tid, call: &Syscall) -> Option<SysRet> {
         let regs = abi::encode_regs(call);
         if let Some(&(out_regs, ticket)) = self.outstanding.get(&tid.0) {
@@ -244,16 +514,16 @@ impl RingExec {
             self.outstanding.remove(&tid.0);
             self.completions.remove(&ticket);
         }
+        let ring = self.ring_for(tid);
         let ticket = self.next_ticket;
-        if self.user.submit(ticket, call).is_err() {
+        if self.users[ring].submit(ticket, call).is_err() {
             self.pump(k);
-            if self.user.submit(ticket, call).is_err() {
+            if self.users[ring].submit(ticket, call).is_err() {
                 return None;
             }
         }
         self.next_ticket += 1;
-        self.engine.submit_batch(k);
-        self.drain_cq(k);
+        self.pump(k);
         if let Some(res) = self.completions.remove(&ticket) {
             return Some(res);
         }
@@ -265,6 +535,60 @@ impl RingExec {
         Some(surrogate(call))
     }
 
+    /// The [`Ctx::sys_chain`] entry: submits the whole chain as one
+    /// batch of flagged SQEs on `tid`'s ring and collects one result
+    /// per link. A blocking tail parks the caller exactly like
+    /// [`RingExec::route`]. Returns `None` when the chain does not fit
+    /// the submission queue even after a pump (fall back to the trap
+    /// path).
+    pub(crate) fn route_chain(
+        &mut self,
+        k: &mut Kernel,
+        tid: Tid,
+        links: &[ChainLink],
+    ) -> Option<ChainResults> {
+        let ring = self.ring_for(tid);
+        if (self.users[ring].sq_free() as usize) < links.len() {
+            self.pump(k);
+            if (self.users[ring].sq_free() as usize) < links.len() {
+                return None;
+            }
+        }
+        let first = self.next_ticket;
+        for (i, l) in links.iter().enumerate() {
+            let flags = SqeFlags { link: i + 1 < links.len(), subst: l.subst };
+            self.users[ring]
+                .submit_flagged(first + i as u64, &l.call, flags)
+                // lint: allow(panic-freedom) — sq_free() >= links.len()
+                // was checked above; nothing else consumes slots here.
+                .expect("capacity reserved above");
+        }
+        self.next_ticket += links.len() as u64;
+        self.pump(k);
+        let mut out = ChainResults::EMPTY;
+        for (i, l) in links.iter().enumerate() {
+            let ticket = first + i as u64;
+            if let Some(res) = self.completions.remove(&ticket) {
+                out.push(res);
+            } else if i + 1 == links.len() {
+                // The tail blocked kernel-side (a chain ending in a
+                // futex wait or child wait): park the caller and hand
+                // back the trap path's surrogate, as `route` would.
+                self.outstanding
+                    .insert(tid.0, (abi::encode_regs(&l.call), ticket));
+                self.park(k, tid, ticket, &l.call);
+                out.push(surrogate(&l.call));
+            } else {
+                // Unreachable by construction: every non-tail link is
+                // LINKed, and a linked run always produces CQEs for
+                // its non-tail links once the tail is submitted
+                // (blocking mid-chain is refused with `Invalid`).
+                out.push(Err(SysError::StillRunning));
+            }
+        }
+        Some(out)
+    }
+
     fn park(&mut self, k: &mut Kernel, tid: Tid, ticket: u64, call: &Syscall) {
         let retry = matches!(call, Syscall::Wait { .. });
         self.parked.insert(ticket, (tid, retry));
@@ -272,20 +596,23 @@ impl RingExec {
     }
 
     fn drain_cq(&mut self, k: &mut Kernel) {
-        while let Some(cqe) = self.user.complete() {
-            match self.parked.remove(&cqe.user_data) {
-                Some((tid, retry)) => {
-                    let _ = k.sched.unblock(tid);
-                    if retry {
-                        self.completions.insert(cqe.user_data, cqe.result);
-                    } else {
-                        // The surrogate return already was the final
-                        // result (futex wait: Ok(0)); nothing to claim.
-                        self.outstanding.remove(&tid.0);
+        for user in &mut self.users {
+            while let Some(cqe) = user.complete() {
+                match self.parked.remove(&cqe.user_data) {
+                    Some((tid, retry)) => {
+                        let _ = k.sched.unblock(tid);
+                        if retry {
+                            self.completions.insert(cqe.user_data, cqe.result);
+                        } else {
+                            // The surrogate return already was the
+                            // final result (futex wait: Ok(0));
+                            // nothing to claim.
+                            self.outstanding.remove(&tid.0);
+                        }
                     }
-                }
-                None => {
-                    self.completions.insert(cqe.user_data, cqe.result);
+                    None => {
+                        self.completions.insert(cqe.user_data, cqe.result);
+                    }
                 }
             }
         }
@@ -328,6 +655,16 @@ impl Runtime {
         self.ring = Some(RingExec::new(depth, owner));
     }
 
+    /// Like [`Runtime::enable_uring`], but every task thread spawned
+    /// through [`Runtime::spawn_task`] gets its own ring of `depth`
+    /// slots (the init thread gets ring 0), all drained by one
+    /// SQPOLL-style poller sweep per pump. Tasks still work
+    /// unmodified; they just stop contending for one submission queue.
+    pub fn enable_uring_per_thread(&mut self, depth: usize) {
+        let owner = (self.kernel.init_pid, self.kernel.init_tid);
+        self.ring = Some(RingExec::new_per_thread(depth, owner));
+    }
+
     /// The ring executor, when enabled — for explicit async
     /// ([`RingExec::submit`] / [`RingExec::poll`]) use.
     pub fn ring_mut(&mut self) -> Option<&mut RingExec> {
@@ -351,6 +688,11 @@ impl Runtime {
             affinity_plus_one: affinity.map_or(0, |c| c as u64 + 1),
         };
         let tid = Tid(self.kernel.syscall(caller, call)?);
+        if let Some(ring) = &mut self.ring {
+            if ring.per_thread() && ring.owns(caller.0) {
+                ring.add_ring_for(tid);
+            }
+        }
         self.tasks.insert(tid, (caller.0, task));
         Ok(tid)
     }
@@ -419,19 +761,30 @@ mod tests {
         (Runtime::new(kernel), pid, tid)
     }
 
-    /// Same scenario set, run through both syscall entry paths: the
-    /// `uring` flag is the only difference between the `*_sync` and
-    /// `*_on_the_ring` tests below.
-    fn boot_runtime_with(uring: bool) -> (Runtime, Pid, Tid) {
+    /// The three syscall entry paths every scenario runs through: the
+    /// trap path, one shared ring, and one ring per task thread.
+    #[derive(Clone, Copy)]
+    enum Mode {
+        Sync,
+        Ring,
+        PerThread,
+    }
+
+    /// Same scenario set, run through every syscall entry path: the
+    /// mode is the only difference between the `*_sync`,
+    /// `*_on_the_ring`, and `*_on_per_thread_rings` tests below.
+    fn boot_runtime_with(mode: Mode) -> (Runtime, Pid, Tid) {
         let (mut rt, pid, tid) = boot_runtime();
-        if uring {
-            rt.enable_uring(8);
+        match mode {
+            Mode::Sync => {}
+            Mode::Ring => rt.enable_uring(8),
+            Mode::PerThread => rt.enable_uring_per_thread(8),
         }
         (rt, pid, tid)
     }
 
-    fn scenario_syscalls_from_tasks(uring: bool) {
-        let (mut rt, pid, tid) = boot_runtime_with(uring);
+    fn scenario_syscalls_from_tasks(mode: Mode) {
+        let (mut rt, pid, tid) = boot_runtime_with(mode);
         rt.attach(
             pid,
             tid,
@@ -450,8 +803,8 @@ mod tests {
         assert!(rt.run(50));
     }
 
-    fn scenario_blocked_tasks_not_stepped(uring: bool) {
-        let (mut rt, pid, tid) = boot_runtime_with(uring);
+    fn scenario_blocked_tasks_not_stepped(mode: Mode) {
+        let (mut rt, pid, tid) = boot_runtime_with(mode);
         // Map the futex page up front so task ordering cannot race the
         // setup.
         rt.kernel
@@ -514,8 +867,8 @@ mod tests {
         assert_eq!(rt.exit_code(tid), Some(0));
     }
 
-    fn scenario_wait_for_child(uring: bool) {
-        let (mut rt, pid, tid) = boot_runtime_with(uring);
+    fn scenario_wait_for_child(mode: Mode) {
+        let (mut rt, pid, tid) = boot_runtime_with(mode);
         let child = Pid(rt.kernel.syscall((pid, tid), Syscall::Spawn).unwrap());
         let child_tid = rt.kernel.processes().get(child).unwrap().threads[0];
         let mut exited = false;
@@ -615,37 +968,184 @@ mod tests {
 
     #[test]
     fn syscalls_work_from_tasks() {
-        scenario_syscalls_from_tasks(false);
+        scenario_syscalls_from_tasks(Mode::Sync);
     }
 
     #[test]
     fn syscalls_work_from_tasks_on_the_ring() {
-        scenario_syscalls_from_tasks(true);
+        scenario_syscalls_from_tasks(Mode::Ring);
     }
 
     #[test]
     fn blocked_tasks_are_not_stepped() {
-        scenario_blocked_tasks_not_stepped(false);
+        scenario_blocked_tasks_not_stepped(Mode::Sync);
     }
 
     #[test]
     fn blocked_tasks_are_not_stepped_on_the_ring() {
-        scenario_blocked_tasks_not_stepped(true);
+        scenario_blocked_tasks_not_stepped(Mode::Ring);
     }
 
     #[test]
     fn wait_for_child_sync() {
-        scenario_wait_for_child(false);
+        scenario_wait_for_child(Mode::Sync);
     }
 
     #[test]
     fn wait_for_child_on_the_ring() {
-        scenario_wait_for_child(true);
+        scenario_wait_for_child(Mode::Ring);
+    }
+
+    #[test]
+    fn syscalls_work_from_tasks_on_per_thread_rings() {
+        scenario_syscalls_from_tasks(Mode::PerThread);
+    }
+
+    #[test]
+    fn blocked_tasks_are_not_stepped_on_per_thread_rings() {
+        scenario_blocked_tasks_not_stepped(Mode::PerThread);
+    }
+
+    #[test]
+    fn wait_for_child_on_per_thread_rings() {
+        scenario_wait_for_child(Mode::PerThread);
+    }
+
+    #[test]
+    fn spawned_tasks_get_their_own_rings() {
+        let (mut rt, pid, tid) = boot_runtime_with(Mode::PerThread);
+        rt.attach(pid, tid, Box::new(|_| Step::Done(0)));
+        let spawned = rt
+            .spawn_task((pid, tid), None, Box::new(|_| Step::Done(0)))
+            .unwrap();
+        let ring = rt.ring_mut().unwrap();
+        assert!(ring.per_thread());
+        assert_eq!(ring.rings(), 2, "init ring plus one per spawned task");
+        assert_eq!(ring.ring_for(tid), 0);
+        assert_eq!(ring.ring_for(spawned), 1);
+        assert!(rt.run(50));
+    }
+
+    /// The chain runs through every entry path with identical results:
+    /// completed prefix, first failure, cancelled suffix.
+    fn scenario_chain_abort(mode: Mode) {
+        let (mut rt, pid, tid) = boot_runtime_with(mode);
+        rt.attach(
+            pid,
+            tid,
+            Box::new(move |ctx| {
+                let map = |va| Syscall::Map { va, pages: 1, writable: true };
+                let rs = ctx.sys_chain(&[
+                    ChainLink::plain(map(0x70_0000)),
+                    ChainLink::plain(map(0x70_0000)), // AlreadyMapped.
+                    ChainLink::plain(Syscall::ClockRead),
+                ]);
+                assert_eq!(
+                    rs,
+                    vec![
+                        Ok(0x70_0000),
+                        Err(SysError::AlreadyMapped),
+                        Err(SysError::Cancelled),
+                    ]
+                );
+                // The completed prefix really happened.
+                ctx.write_u32(0x70_0000, 7).unwrap();
+                Step::Done(0)
+            }),
+        );
+        assert!(rt.run(50));
+    }
+
+    #[test]
+    fn chain_abort_sync() {
+        scenario_chain_abort(Mode::Sync);
+    }
+
+    #[test]
+    fn chain_abort_on_the_ring() {
+        scenario_chain_abort(Mode::Ring);
+    }
+
+    #[test]
+    fn chain_abort_on_per_thread_rings() {
+        scenario_chain_abort(Mode::PerThread);
+    }
+
+    /// A chain whose tail blocks parks the task exactly like a plain
+    /// blocking call; mid-chain blocking is refused on every path.
+    fn scenario_chain_blocking_tail(mode: Mode) {
+        let (mut rt, pid, tid) = boot_runtime_with(mode);
+        rt.kernel
+            .syscall(
+                (pid, tid),
+                Syscall::Map { va: 0x71_0000, pages: 1, writable: true },
+            )
+            .unwrap();
+        let mut chained = false;
+        rt.attach(
+            pid,
+            tid,
+            Box::new(move |ctx| {
+                if !chained {
+                    chained = true;
+                    // Blocking mid-chain is refused and aborts the
+                    // suffix...
+                    let rs = ctx.sys_chain(&[
+                        ChainLink::plain(Syscall::FutexWait { va: 0x71_0000, expected: 0 }),
+                        ChainLink::plain(Syscall::ClockRead),
+                    ]);
+                    assert_eq!(rs, vec![Err(SysError::Invalid), Err(SysError::Cancelled)]);
+                    // ...while a blocking *tail* parks this thread with
+                    // the trap path's surrogate return.
+                    let rs = ctx.sys_chain(&[
+                        ChainLink::plain(Syscall::FutexWake { va: 0x71_0000, count: 1 }),
+                        ChainLink::plain(Syscall::FutexWait { va: 0x71_0000, expected: 0 }),
+                    ]);
+                    assert_eq!(rs, vec![Ok(0), Ok(0)]);
+                    Step::Yield
+                } else {
+                    Step::Done(0)
+                }
+            }),
+        );
+        // A second task wakes the parked chain tail.
+        rt.spawn_task(
+            (pid, tid),
+            None,
+            Box::new(move |ctx| {
+                let woken = ctx
+                    .sys(Syscall::FutexWake { va: 0x71_0000, count: 1 })
+                    .unwrap();
+                if woken == 1 {
+                    Step::Done(0)
+                } else {
+                    Step::Yield
+                }
+            }),
+        )
+        .unwrap();
+        assert!(rt.run(500));
+        assert_eq!(rt.exit_code(tid), Some(0));
+    }
+
+    #[test]
+    fn chain_blocking_tail_sync() {
+        scenario_chain_blocking_tail(Mode::Sync);
+    }
+
+    #[test]
+    fn chain_blocking_tail_on_the_ring() {
+        scenario_chain_blocking_tail(Mode::Ring);
+    }
+
+    #[test]
+    fn chain_blocking_tail_on_per_thread_rings() {
+        scenario_chain_blocking_tail(Mode::PerThread);
     }
 
     #[test]
     fn explicit_async_submit_and_poll() {
-        let (mut rt, _pid, _tid) = boot_runtime_with(true);
+        let (mut rt, _pid, _tid) = boot_runtime_with(Mode::Ring);
         let ring = rt.ring.as_mut().unwrap();
         let a = ring.submit(&Syscall::ClockRead).unwrap();
         let b = ring.submit(&Syscall::ClockRead).unwrap();
@@ -660,7 +1160,7 @@ mod tests {
 
     #[test]
     fn explicit_async_wait_on_blocked_ticket() {
-        let (mut rt, pid, tid) = boot_runtime_with(true);
+        let (mut rt, pid, tid) = boot_runtime_with(Mode::Ring);
         rt.kernel
             .syscall((pid, tid), Syscall::Map { va: 0x30_0000, pages: 1, writable: true })
             .unwrap();

@@ -26,14 +26,46 @@
 use std::collections::VecDeque;
 use std::time::Instant;
 
+use veros_kernel::syscall::abi::{self, Regs};
 use veros_kernel::syscall::marshal::Encoder;
 use veros_kernel::syscall::{SysError, SysRet, Syscall};
 use veros_kernel::thread::ThreadState;
 use veros_kernel::{Kernel, Pid, Tid};
 
-use crate::entry::{Cqe, Sqe};
+use crate::entry::{Cqe, Sqe, SqeFlags, SubstSource};
 use crate::metrics;
 use crate::ring::KernelRing;
+
+/// Longest accepted SQE chain. A writer that sets the link flag on more
+/// consecutive entries is refused wholesale (every buffered link
+/// completes `Err(Invalid)`, none dispatched) so a hostile producer
+/// cannot grow the engine-side chain buffer without bound.
+pub const MAX_CHAIN: usize = 16;
+
+/// One not-yet-dispatched link of an in-flight chain. `poisoned`
+/// carries a flags-word decode error: the link still occupies its chain
+/// position (so earlier links dispatch normally) but fails without
+/// dispatch when its turn comes.
+struct ChainLink {
+    user_data: u64,
+    regs: Regs,
+    flags: SqeFlags,
+    poisoned: Option<SysError>,
+}
+
+/// How one chain link resolved (who posted its CQE, and what the chain
+/// does next).
+enum LinkRun {
+    /// Dispatched, succeeded, CQE posted; the value feeds `prev`/`head`.
+    Done(u64),
+    /// Dispatched, failed, CQE posted; the suffix cancels.
+    DispatchedErr,
+    /// Never dispatched; the caller posts this error and the suffix
+    /// cancels.
+    Refused(SysError),
+    /// Blocking tail moved to the pending table; CQE arrives via reap.
+    Parked,
+}
 
 /// One dispatch the engine performed on behalf of an SQE, in the single
 /// order the engine performed them — the linearization witness the VCs
@@ -68,6 +100,7 @@ pub struct Engine {
     free_workers: Vec<Tid>,
     workers: Vec<Tid>,
     backlog: VecDeque<Cqe>,
+    chain: Vec<ChainLink>,
     scratch: Encoder,
     log: Option<Vec<DispatchRecord>>,
 }
@@ -82,6 +115,7 @@ impl Engine {
             free_workers: Vec::new(),
             workers: Vec::new(),
             backlog: VecDeque::new(),
+            chain: Vec::with_capacity(MAX_CHAIN),
             scratch: Encoder::new(),
             log: None,
         }
@@ -103,6 +137,12 @@ impl Engine {
         self.pending.len()
     }
 
+    /// Links buffered in an incomplete chain (its tail SQE has not
+    /// arrived yet).
+    pub fn chain_buffered(&self) -> usize {
+        self.chain.len()
+    }
+
     /// Worker threads spawned so far (never reclaimed until
     /// [`Engine::shutdown`]).
     pub fn workers_spawned(&self) -> usize {
@@ -118,11 +158,22 @@ impl Engine {
     /// Drains the submission queue, dispatching every entry. Returns
     /// the number of SQEs consumed.
     pub fn submit_batch(&mut self, k: &mut Kernel) -> usize {
+        self.submit_batch_bounded(k, usize::MAX).0
+    }
+
+    /// Drains at most `max` SQEs — the poller's per-ring burst budget.
+    /// Returns `(consumed, more)`, where `more` means entries remained
+    /// after the budget ran out (the caller's fairness-deferral signal).
+    pub fn submit_batch_bounded(&mut self, k: &mut Kernel, max: usize) -> (usize, bool) {
         self.flush_backlog();
         metrics::SQ_DEPTH.record(self.ring.sq.len());
+        metrics::CQ_BACKLOG_DEPTH.record(self.backlog.len() as u64);
         let t0 = veros_telemetry::enabled().then(Instant::now);
         let mut drained = 0u64;
-        while let Some(bytes) = self.ring.sq.pop() {
+        while (drained as usize) < max {
+            let Some(bytes) = self.ring.sq.pop() else {
+                break;
+            };
             drained += 1;
             let Ok(sqe) = Sqe::decode(&bytes) else {
                 // Unreachable through UserRing (slots are fixed-size
@@ -130,10 +181,7 @@ impl Engine {
                 // hostile shared-memory writer cannot wedge the drain.
                 continue;
             };
-            match sqe.syscall() {
-                Ok(call) => self.dispatch(k, sqe.user_data, call),
-                Err(e) => self.post(Cqe { user_data: sqe.user_data, result: Err(e) }),
-            }
+            self.admit(k, sqe);
         }
         // Completion latency is accounted at batch granularity on the
         // fast path (one clock read per drain, not per op — a per-CQE
@@ -147,7 +195,177 @@ impl Engine {
             }
         }
         metrics::SUBMIT_BATCH.record(drained);
-        drained as usize
+        (drained as usize, !self.ring.sq.is_empty())
+    }
+
+    /// Routes one decoded SQE: the flag-free singleton takes the PR-4
+    /// fast path unchanged; anything flagged (or arriving while a chain
+    /// is open) goes through the chain buffer.
+    fn admit(&mut self, k: &mut Kernel, sqe: Sqe) {
+        match sqe.sqe_flags() {
+            Ok(flags) if self.chain.is_empty() && flags == SqeFlags::NONE => {
+                match sqe.syscall() {
+                    Ok(call) => self.dispatch(k, sqe.user_data, call),
+                    Err(e) => self.post(Cqe { user_data: sqe.user_data, result: Err(e) }),
+                }
+            }
+            Ok(flags) => {
+                self.chain.push(ChainLink {
+                    user_data: sqe.user_data,
+                    regs: sqe.regs,
+                    flags,
+                    poisoned: None,
+                });
+                if !flags.link {
+                    self.run_chain(k);
+                } else if self.chain.len() >= MAX_CHAIN {
+                    self.refuse_overlong_chain();
+                }
+            }
+            // A malformed flags word cannot say whether it linked
+            // onward, so it terminates the chain as a failing tail: the
+            // buffered prefix dispatches normally, this link fails
+            // without dispatch.
+            Err(e) => {
+                self.chain.push(ChainLink {
+                    user_data: sqe.user_data,
+                    regs: sqe.regs,
+                    flags: SqeFlags::NONE,
+                    poisoned: Some(e),
+                });
+                self.run_chain(k);
+            }
+        }
+    }
+
+    /// Executes a completed chain: links run in order, each may consume
+    /// an earlier `Ok` value via its substitution descriptor, and the
+    /// first failure cancels every later link without dispatching it
+    /// (`Err(Cancelled)`). Blocking-capable ops are only legal as the
+    /// chain tail — a mid-chain block would stall links that by
+    /// construction cannot overtake it.
+    fn run_chain(&mut self, k: &mut Kernel) {
+        // Move the buffer out (run_link needs `&mut self`) but hand its
+        // storage back afterwards: a chain per hot-path iteration must
+        // not cost an allocator round trip.
+        let mut links = std::mem::take(&mut self.chain);
+        metrics::CHAINS_DISPATCHED.inc();
+        let n = links.len();
+        let mut prev: Option<u64> = None;
+        let mut head: Option<u64> = None;
+        let mut aborted_at: Option<usize> = None;
+        let mut cancelled = 0usize;
+        for (i, link) in links.iter().enumerate() {
+            if aborted_at.is_some() {
+                cancelled += 1;
+                metrics::CHAIN_LINKS_CANCELLED.inc();
+                self.post(Cqe {
+                    user_data: link.user_data,
+                    result: Err(SysError::Cancelled),
+                });
+                continue;
+            }
+            match self.run_link(k, link, prev, head, i + 1 == n) {
+                LinkRun::Done(v) => {
+                    prev = Some(v);
+                    if head.is_none() {
+                        head = Some(v);
+                    }
+                }
+                // Dispatched and failed: its CQE carries the kernel's
+                // error; the suffix gets cancelled.
+                LinkRun::DispatchedErr => aborted_at = Some(i),
+                // Never dispatched (poisoned flags, bad substitution,
+                // bad opcode, mid-chain block): fails here, suffix
+                // cancelled.
+                LinkRun::Refused(e) => {
+                    self.post(Cqe { user_data: link.user_data, result: Err(e) });
+                    aborted_at = Some(i);
+                }
+                // Blocking tail parked; its CQE arrives through reap.
+                LinkRun::Parked => {}
+            }
+        }
+        if let Some(at) = aborted_at {
+            metrics::CHAIN_ABORTS.inc();
+            // Defensive atomicity self-check: every link after the
+            // failing one — and only those — must have been cancelled.
+            if cancelled != n - at - 1 {
+                metrics::CHAIN_ATOMICITY_VIOLATIONS.inc();
+            }
+        } else if cancelled != 0 {
+            metrics::CHAIN_ATOMICITY_VIOLATIONS.inc();
+        }
+        // An admit() during run_link cannot have rebuilt the buffer:
+        // links only enter it from this drain loop. Reinstate the
+        // (cleared) storage for the next chain.
+        links.clear();
+        self.chain = links;
+    }
+
+    /// Runs one chain link up to (and through) dispatch.
+    fn run_link(
+        &mut self,
+        k: &mut Kernel,
+        link: &ChainLink,
+        prev: Option<u64>,
+        head: Option<u64>,
+        is_tail: bool,
+    ) -> LinkRun {
+        if let Some(e) = link.poisoned {
+            return LinkRun::Refused(e);
+        }
+        let mut regs = link.regs;
+        if let Some((src, reg)) = link.flags.subst {
+            let value = match src {
+                SubstSource::Prev => prev,
+                SubstSource::Head => head,
+            };
+            // Substituting with no completed source value (a chain head
+            // asking for Prev) is malformed, not a silent zero.
+            let Some(v) = value else {
+                return LinkRun::Refused(SysError::Invalid);
+            };
+            if let Err(e) = abi::substitute_reg(&mut regs, reg, v) {
+                return LinkRun::Refused(e);
+            }
+        }
+        // Substitution happens on the register image, so the patched
+        // call passes through the same typed decode as a trap.
+        let call = match abi::decode_regs(&regs) {
+            Ok(call) => call,
+            Err(e) => return LinkRun::Refused(e),
+        };
+        match call {
+            Syscall::Exit { .. } => LinkRun::Refused(SysError::Invalid),
+            Syscall::FutexWait { .. } | Syscall::Wait { .. } => {
+                if is_tail {
+                    self.dispatch_blocking(k, link.user_data, call);
+                    LinkRun::Parked
+                } else {
+                    LinkRun::Refused(SysError::Invalid)
+                }
+            }
+            _ => {
+                let result = k.syscall_batched(self.owner, call);
+                self.record(link.user_data, call, result);
+                self.post(Cqe { user_data: link.user_data, result });
+                match result {
+                    Ok(v) => LinkRun::Done(v),
+                    Err(_) => LinkRun::DispatchedErr,
+                }
+            }
+        }
+    }
+
+    /// Refuses a chain that exceeded [`MAX_CHAIN`] while still waiting
+    /// for its tail: every buffered link completes `Err(Invalid)`,
+    /// none dispatched.
+    fn refuse_overlong_chain(&mut self) {
+        metrics::CHAIN_ABORTS.inc();
+        for link in std::mem::take(&mut self.chain) {
+            self.post(Cqe { user_data: link.user_data, result: Err(SysError::Invalid) });
+        }
     }
 
     /// Routes one decoded submission.
@@ -254,9 +472,15 @@ impl Engine {
     }
 
     /// Cancels whatever is still pending (CQE = `Err(Invalid)`) and
-    /// exits every worker thread. Returns the number cancelled.
+    /// exits every worker thread. Returns the number cancelled. Links
+    /// of a chain whose tail never arrived are cancelled too — they
+    /// were never dispatched.
     pub fn shutdown(&mut self, k: &mut Kernel) -> usize {
         let mut cancelled = 0;
+        for link in std::mem::take(&mut self.chain) {
+            cancelled += 1;
+            self.post(Cqe { user_data: link.user_data, result: Err(SysError::Invalid) });
+        }
         while let Some(p) = self.pending.pop_front() {
             cancelled += 1;
             self.post_pending(p.t0, Cqe { user_data: p.user_data, result: Err(SysError::Invalid) });
@@ -390,7 +614,7 @@ mod tests {
         let (mut user, kring) = pair(4);
         let mut eng = Engine::new(kring, owner);
         let mut scratch = Encoder::new();
-        scratch.u64(77);
+        scratch.u64(77).u64(0); // token + empty flags word
         for r in [999u64, 0, 0, 0, 0, 0] {
             scratch.u64(r);
         }
@@ -476,6 +700,135 @@ mod tests {
         assert_eq!(cqe.user_data, 5);
         assert_eq!(cqe.result, Err(SysError::Invalid));
         assert_eq!(eng.workers_spawned(), 0);
+    }
+
+    #[test]
+    fn chained_open_read_close_forwards_the_fd() {
+        let (mut k, owner) = boot();
+        // Stage a path and a buffer in the owner's address space.
+        k.syscall(owner, Syscall::Map { va: 0x40_0000, pages: 2, writable: true }).unwrap();
+        k.write_user(owner.0, 0x40_0000, b"/f").unwrap();
+        let (mut user, kring) = pair(8);
+        let mut eng = Engine::new(kring, owner);
+        // Create the file with some content first (unchained).
+        let fd = k
+            .syscall(owner, Syscall::Open { path_ptr: 0x40_0000, path_len: 2, create: true })
+            .unwrap();
+        k.syscall(owner, Syscall::Write { fd: fd as u32, buf_ptr: 0x40_0000, buf_len: 2 })
+            .unwrap();
+        k.syscall(owner, Syscall::Close { fd: fd as u32 }).unwrap();
+        // open → read(fd := prev) → close(fd := head), one chain.
+        let open = Syscall::Open { path_ptr: 0x40_0000, path_len: 2, create: false };
+        let read = Syscall::Read { fd: 0, buf_ptr: 0x40_1000, buf_len: 2 };
+        let close = Syscall::Close { fd: 0 };
+        user.submit_flagged(1, &open, SqeFlags::NONE.linked()).unwrap();
+        user.submit_flagged(2, &read, SqeFlags::NONE.linked().subst_prev(1)).unwrap();
+        user.submit_flagged(3, &close, SqeFlags::NONE.subst_head(1)).unwrap();
+        assert_eq!(eng.submit_batch(&mut k), 3);
+        let open_cqe = user.complete().unwrap();
+        assert_eq!(open_cqe.user_data, 1);
+        let opened_fd = open_cqe.result.unwrap();
+        assert_eq!(user.complete().unwrap().result, Ok(2), "read got the bytes");
+        assert_eq!(user.complete().unwrap().result, Ok(0), "close succeeded");
+        // The chained close really closed the chained open's fd.
+        assert_eq!(
+            k.syscall(owner, Syscall::Close { fd: opened_fd as u32 }),
+            Err(SysError::BadFd),
+            "fd was closed by the chain"
+        );
+        let buf = k.read_user(owner.0, 0x40_1000, 2).unwrap();
+        assert_eq!(&buf, b"/f", "chained read filled the buffer");
+    }
+
+    #[test]
+    fn mid_chain_failure_cancels_exactly_the_suffix() {
+        let (mut k, owner) = boot();
+        k.syscall(owner, Syscall::Map { va: 0x40_0000, pages: 1, writable: true }).unwrap();
+        let (mut user, kring) = pair(8);
+        let mut eng = Engine::new(kring, owner);
+        // clock → read(bad fd) → clock → clock: link 1 fails, 2..3
+        // cancel, link 0 stays completed.
+        let bad_read = Syscall::Read { fd: 9999, buf_ptr: 0x40_0000, buf_len: 8 };
+        user.submit_flagged(0, &Syscall::ClockRead, SqeFlags::NONE.linked()).unwrap();
+        user.submit_flagged(1, &bad_read, SqeFlags::NONE.linked()).unwrap();
+        user.submit_flagged(2, &Syscall::ClockRead, SqeFlags::NONE.linked()).unwrap();
+        user.submit_flagged(3, &Syscall::ClockRead, SqeFlags::NONE).unwrap();
+        assert_eq!(eng.submit_batch(&mut k), 4);
+        assert!(user.complete().unwrap().result.is_ok(), "prefix completed");
+        assert_eq!(user.complete().unwrap().result, Err(SysError::BadFd));
+        assert_eq!(user.complete().unwrap().result, Err(SysError::Cancelled));
+        assert_eq!(user.complete().unwrap().result, Err(SysError::Cancelled));
+        assert_eq!(user.complete(), None, "exactly four completions");
+    }
+
+    #[test]
+    fn chain_split_across_drains_stays_buffered_until_the_tail() {
+        let (mut k, owner) = boot();
+        let (mut user, kring) = pair(8);
+        let mut eng = Engine::new(kring, owner);
+        user.submit_flagged(0, &Syscall::ClockRead, SqeFlags::NONE.linked()).unwrap();
+        assert_eq!(eng.submit_batch(&mut k), 1);
+        assert_eq!(user.complete(), None, "headless chain does not complete early");
+        assert_eq!(eng.chain_buffered(), 1);
+        user.submit_flagged(1, &Syscall::ClockRead, SqeFlags::NONE).unwrap();
+        assert_eq!(eng.submit_batch(&mut k), 1);
+        assert_eq!(eng.chain_buffered(), 0);
+        assert_eq!(user.complete().map(|c| c.user_data), Some(0));
+        assert_eq!(user.complete().map(|c| c.user_data), Some(1));
+    }
+
+    #[test]
+    fn substitution_without_a_source_value_fails_the_link() {
+        let (mut k, owner) = boot();
+        let (mut user, kring) = pair(4);
+        let mut eng = Engine::new(kring, owner);
+        // A chain head asking for Prev has nothing to consume.
+        let close = Syscall::Close { fd: 0 };
+        user.submit_flagged(7, &close, SqeFlags::NONE.subst_prev(1)).unwrap();
+        eng.submit_batch(&mut k);
+        assert_eq!(user.complete().unwrap().result, Err(SysError::Invalid));
+    }
+
+    #[test]
+    fn mid_chain_blocking_op_is_refused_and_aborts_the_suffix() {
+        let (mut k, owner) = boot();
+        k.syscall(owner, Syscall::Map { va: 0x50_0000, pages: 1, writable: true }).unwrap();
+        let (mut user, kring) = pair(8);
+        let mut eng = Engine::new(kring, owner);
+        let wait = Syscall::FutexWait { va: 0x50_0000, expected: 0 };
+        user.submit_flagged(0, &wait, SqeFlags::NONE.linked()).unwrap();
+        user.submit_flagged(1, &Syscall::ClockRead, SqeFlags::NONE).unwrap();
+        eng.submit_batch(&mut k);
+        assert_eq!(user.complete().unwrap().result, Err(SysError::Invalid));
+        assert_eq!(user.complete().unwrap().result, Err(SysError::Cancelled));
+        assert_eq!(eng.pending_len(), 0, "nothing parked");
+        // At the tail the same op is legal and parks as usual.
+        user.submit_flagged(2, &Syscall::ClockRead, SqeFlags::NONE.linked()).unwrap();
+        user.submit_flagged(3, &wait, SqeFlags::NONE).unwrap();
+        eng.submit_batch(&mut k);
+        assert!(user.complete().unwrap().result.is_ok());
+        assert_eq!(eng.pending_len(), 1, "blocking tail parked");
+        k.syscall(owner, Syscall::FutexWake { va: 0x50_0000, count: 1 }).unwrap();
+        eng.reap(&mut k);
+        assert_eq!(user.complete().unwrap().result, Ok(0));
+    }
+
+    #[test]
+    fn overlong_chain_is_refused_wholesale() {
+        let (mut k, owner) = boot();
+        let (mut user, kring) = pair(MAX_CHAIN + 4);
+        let mut eng = Engine::new(kring, owner);
+        for ud in 0..MAX_CHAIN as u64 {
+            user.submit_flagged(ud, &Syscall::ClockRead, SqeFlags::NONE.linked()).unwrap();
+        }
+        eng.submit_batch(&mut k);
+        let mut got = 0;
+        while let Some(cqe) = user.complete() {
+            assert_eq!(cqe.result, Err(SysError::Invalid));
+            got += 1;
+        }
+        assert_eq!(got, MAX_CHAIN, "every buffered link refused, none dispatched");
+        assert_eq!(eng.chain_buffered(), 0);
     }
 
     #[test]

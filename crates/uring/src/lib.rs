@@ -25,15 +25,29 @@
 //! *out of order* through a pending table so one stuck entry never
 //! head-of-line-blocks the ring; everything else completes in
 //! submission order.
+//!
+//! Two data-plane extensions scale the single ring out:
+//!
+//! * **Chained SQEs** ([`entry::SqeFlags`]): a linked run of entries
+//!   executes as one kernel-side chain — a later link can consume an
+//!   earlier link's result ([`entry::SubstSource`]), and the first
+//!   failure cancels the rest of the chain exactly
+//!   (`SysError::Cancelled`), never the completed prefix.
+//! * **Ring sets** ([`ringset::RingSet`]): one ring per owner thread,
+//!   drained by an SQPOLL-style poller sweep — round-robin from a
+//!   rotating cursor with a per-ring burst budget, which bounds how
+//!   long any ring can wait while another makes progress.
 
 pub mod engine;
 pub mod entry;
 pub mod metrics;
 pub mod ring;
+pub mod ringset;
 pub mod spsc;
 pub mod twin;
 
-pub use engine::{DispatchRecord, Engine};
-pub use entry::{Cqe, CqeBytes, Sqe, SqeBytes, CQE_BYTES, SQE_BYTES};
+pub use engine::{DispatchRecord, Engine, MAX_CHAIN};
+pub use entry::{Cqe, CqeBytes, Sqe, SqeBytes, SqeFlags, SubstSource, CQE_BYTES, SQE_BYTES};
 pub use ring::{pair, KernelRing, SqFull, UserRing};
-pub use twin::SyncTwin;
+pub use ringset::{RingSet, SweepStats};
+pub use twin::{SetTwin, SyncTwin};

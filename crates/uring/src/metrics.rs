@@ -50,6 +50,37 @@ pub static REAP_BATCH: Histogram = Histogram::new();
 /// drain), pending completions from their dispatch timestamp.
 pub static COMPLETION_LATENCY: Histogram = Histogram::new();
 
+/// SQE chains executed (a chain of N links counts once).
+pub static CHAINS_DISPATCHED: Counter = Counter::new();
+
+/// Chains that hit an error mid-way and cancelled their suffix.
+pub static CHAIN_ABORTS: Counter = Counter::new();
+
+/// Individual links completed with `Cancelled` because an earlier link
+/// of their chain failed.
+pub static CHAIN_LINKS_CANCELLED: Counter = Counter::new();
+
+/// Defensive self-check: chains whose completion accounting violated
+/// abort-exactly-the-suffix. Alert-gated at zero; a nonzero reading is
+/// an engine bug, not a workload property.
+pub static CHAIN_ATOMICITY_VIOLATIONS: Counter = Counter::new();
+
+/// Poller sweeps over the ring set (one count per full round-robin
+/// pass, however many rings it visits).
+pub static POLLER_SWEEPS: Counter = Counter::new();
+
+/// Rings whose drain was truncated by the per-ring burst budget and
+/// deferred to the next sweep — the fairness mechanism engaging, not a
+/// starvation event. Bounded relative to sweeps by an alert rule.
+pub static FAIRNESS_DEFERRALS: Counter = Counter::new();
+
+/// Rings that had at least one SQE dispatched, per sweep.
+pub static RINGS_PER_PASS: Histogram = Histogram::new();
+
+/// Engine-side CQ overflow-backlog depth observed at the start of each
+/// drain (nonzero means the consumer is slower than completion).
+pub static CQ_BACKLOG_DEPTH: Histogram = Histogram::new();
+
 /// Registers every ring instrument under the `uring.` prefix.
 pub fn export(reg: &mut Registry) {
     reg.counter("uring.sqe.submitted", "entries", &SQES_SUBMITTED);
@@ -57,6 +88,18 @@ pub fn export(reg: &mut Registry) {
     reg.counter("uring.cqe.posted", "entries", &CQES_POSTED);
     reg.counter("uring.cq.overflows", "entries", &CQ_OVERFLOWS);
     reg.counter("uring.pending.parked", "entries", &OPS_PARKED);
+    reg.counter("uring.chain.dispatched", "chains", &CHAINS_DISPATCHED);
+    reg.counter("uring.chain.aborts", "chains", &CHAIN_ABORTS);
+    reg.counter("uring.chain.links_cancelled", "entries", &CHAIN_LINKS_CANCELLED);
+    reg.counter(
+        "uring.chain.atomicity_violations",
+        "chains",
+        &CHAIN_ATOMICITY_VIOLATIONS,
+    );
+    reg.counter("uring.poller.sweeps", "sweeps", &POLLER_SWEEPS);
+    reg.counter("uring.poller.fairness_deferrals", "rings", &FAIRNESS_DEFERRALS);
+    reg.histogram("uring.poller.rings_per_pass", "rings", &RINGS_PER_PASS);
+    reg.histogram("uring.cq.backlog_depth", "entries", &CQ_BACKLOG_DEPTH);
     reg.histogram("uring.sq.depth", "entries", &SQ_DEPTH);
     reg.histogram("uring.batch.submit", "entries", &SUBMIT_BATCH);
     reg.histogram("uring.batch.reap", "entries", &REAP_BATCH);
@@ -72,8 +115,10 @@ mod tests {
         let mut reg = Registry::new();
         export(&mut reg);
         let names = reg.metric_names();
-        assert_eq!(reg.metric_count(), 9);
+        assert_eq!(reg.metric_count(), 17);
         assert!(names.iter().all(|n| n.starts_with("uring.")));
         assert!(names.contains(&"uring.completion.latency_ns"));
+        assert!(names.contains(&"uring.poller.fairness_deferrals"));
+        assert!(names.contains(&"uring.chain.atomicity_violations"));
     }
 }

@@ -11,7 +11,7 @@
 use veros_kernel::syscall::marshal::Encoder;
 use veros_kernel::syscall::Syscall;
 
-use crate::entry::{Cqe, CqeBytes, Sqe, SqeBytes};
+use crate::entry::{Cqe, CqeBytes, Sqe, SqeBytes, SqeFlags};
 use crate::metrics;
 use crate::spsc::{self, Consumer, Full, Producer};
 
@@ -54,6 +54,26 @@ impl UserRing {
     pub fn submit(&mut self, user_data: u64, call: &Syscall) -> Result<(), SqFull> {
         let bytes = Sqe::new(user_data, call).encode(&mut self.scratch);
         self.submit_raw(bytes)
+    }
+
+    /// Submits a typed syscall with chain/substitution flags. A chain
+    /// is a run of entries with [`SqeFlags::link`] set, closed by one
+    /// without; callers should reserve SQ capacity for the whole chain
+    /// up front (a chain split by backpressure stays buffered
+    /// kernel-side until its tail arrives).
+    pub fn submit_flagged(
+        &mut self,
+        user_data: u64,
+        call: &Syscall,
+        flags: SqeFlags,
+    ) -> Result<(), SqFull> {
+        let bytes = Sqe::with_flags(user_data, call, flags).encode(&mut self.scratch);
+        self.submit_raw(bytes)
+    }
+
+    /// Free submission slots right now (enough capacity for a chain?).
+    pub fn sq_free(&self) -> u64 {
+        self.sq.capacity().saturating_sub(self.sq.len())
     }
 
     /// Submits a pre-encoded entry. This is the path an untrusted (or

@@ -19,11 +19,13 @@
 
 use std::collections::VecDeque;
 
+use veros_kernel::syscall::abi::{self, Regs};
 use veros_kernel::syscall::{SysError, Syscall};
 use veros_kernel::thread::ThreadState;
 use veros_kernel::{Kernel, Pid, Tid};
 
-use crate::entry::Cqe;
+use crate::engine::MAX_CHAIN;
+use crate::entry::{Cqe, SqeFlags, SubstSource};
 
 /// A blocked submission parked in the twin's pending table.
 struct Pending {
@@ -32,12 +34,22 @@ struct Pending {
     worker: Tid,
 }
 
+/// A buffered link of an incomplete chain (mirror of the engine's
+/// chain buffer).
+struct TwinLink {
+    user_data: u64,
+    regs: Regs,
+    flags: SqeFlags,
+    poisoned: Option<SysError>,
+}
+
 /// Synchronous reference execution of a ring submission sequence.
 pub struct SyncTwin {
     owner: (Pid, Tid),
     pending: VecDeque<Pending>,
     free_workers: Vec<Tid>,
     workers: Vec<Tid>,
+    chain: Vec<TwinLink>,
     done: Vec<Cqe>,
 }
 
@@ -49,6 +61,7 @@ impl SyncTwin {
             pending: VecDeque::new(),
             free_workers: Vec::new(),
             workers: Vec::new(),
+            chain: Vec::new(),
             done: Vec::new(),
         }
     }
@@ -76,25 +89,149 @@ impl SyncTwin {
                 self.done.push(Cqe { user_data, result: Err(SysError::Invalid) });
             }
             Syscall::FutexWait { .. } | Syscall::Wait { .. } => {
-                let worker = match self.acquire_worker(k) {
-                    Ok(w) => w,
-                    Err(e) => {
-                        self.done.push(Cqe { user_data, result: Err(e) });
-                        return;
-                    }
-                };
-                let result = k.syscall((self.owner.0, worker), call);
-                if is_blocked(k, worker) {
-                    self.pending.push_back(Pending { user_data, call, worker });
-                } else {
-                    self.free_workers.push(worker);
-                    self.done.push(Cqe { user_data, result });
-                }
+                self.dispatch_blocking(k, user_data, call);
             }
             _ => {
                 let result = k.syscall(self.owner, call);
                 self.done.push(Cqe { user_data, result });
             }
+        }
+    }
+
+    /// Accepts one register-image submission with a raw flags word —
+    /// the twin's mirror of the engine's chain-aware admission. Entries
+    /// with no flags (and no open chain) route through [`Self::submit`];
+    /// everything else buffers until the chain tail arrives.
+    pub fn submit_sqe(&mut self, k: &mut Kernel, user_data: u64, regs: Regs, raw_flags: u64) {
+        match SqeFlags::decode(raw_flags) {
+            Ok(flags) if self.chain.is_empty() && flags == SqeFlags::NONE => {
+                match abi::decode_regs(&regs) {
+                    Ok(call) => self.submit(k, user_data, call),
+                    Err(e) => self.done.push(Cqe { user_data, result: Err(e) }),
+                }
+            }
+            Ok(flags) => {
+                self.chain.push(TwinLink { user_data, regs, flags, poisoned: None });
+                if !flags.link {
+                    self.run_chain(k);
+                } else if self.chain.len() >= MAX_CHAIN {
+                    for link in std::mem::take(&mut self.chain) {
+                        self.done.push(Cqe {
+                            user_data: link.user_data,
+                            result: Err(SysError::Invalid),
+                        });
+                    }
+                }
+            }
+            Err(e) => {
+                self.chain.push(TwinLink {
+                    user_data,
+                    regs,
+                    flags: SqeFlags::NONE,
+                    poisoned: Some(e),
+                });
+                self.run_chain(k);
+            }
+        }
+    }
+
+    /// Links buffered in an incomplete chain.
+    pub fn chain_buffered(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Executes a completed chain, mirroring the engine's semantics:
+    /// links run in order, substitution consumes earlier `Ok` values,
+    /// the first failure cancels the suffix, blocking ops are legal
+    /// only at the tail.
+    fn run_chain(&mut self, k: &mut Kernel) {
+        let links = std::mem::take(&mut self.chain);
+        let n = links.len();
+        let mut prev: Option<u64> = None;
+        let mut head: Option<u64> = None;
+        let mut aborted = false;
+        for (i, link) in links.into_iter().enumerate() {
+            let user_data = link.user_data;
+            if aborted {
+                self.done.push(Cqe { user_data, result: Err(SysError::Cancelled) });
+                continue;
+            }
+            if let Some(e) = link.poisoned {
+                self.done.push(Cqe { user_data, result: Err(e) });
+                aborted = true;
+                continue;
+            }
+            let mut regs = link.regs;
+            if let Some((src, reg)) = link.flags.subst {
+                let value = match src {
+                    SubstSource::Prev => prev,
+                    SubstSource::Head => head,
+                };
+                let Some(v) = value else {
+                    self.done.push(Cqe { user_data, result: Err(SysError::Invalid) });
+                    aborted = true;
+                    continue;
+                };
+                if let Err(e) = abi::substitute_reg(&mut regs, reg, v) {
+                    self.done.push(Cqe { user_data, result: Err(e) });
+                    aborted = true;
+                    continue;
+                }
+            }
+            let call = match abi::decode_regs(&regs) {
+                Ok(call) => call,
+                Err(e) => {
+                    self.done.push(Cqe { user_data, result: Err(e) });
+                    aborted = true;
+                    continue;
+                }
+            };
+            match call {
+                Syscall::Exit { .. } => {
+                    self.done.push(Cqe { user_data, result: Err(SysError::Invalid) });
+                    aborted = true;
+                }
+                Syscall::FutexWait { .. } | Syscall::Wait { .. } => {
+                    if i + 1 == n {
+                        self.dispatch_blocking(k, user_data, call);
+                    } else {
+                        self.done.push(Cqe { user_data, result: Err(SysError::Invalid) });
+                        aborted = true;
+                    }
+                }
+                _ => {
+                    let result = k.syscall(self.owner, call);
+                    self.done.push(Cqe { user_data, result });
+                    match result {
+                        Ok(v) => {
+                            prev = Some(v);
+                            if head.is_none() {
+                                head = Some(v);
+                            }
+                        }
+                        Err(_) => aborted = true,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dispatches a blocking-capable op on a worker thread, parking it
+    /// if it blocked (shared by the plain and chained paths).
+    fn dispatch_blocking(&mut self, k: &mut Kernel, user_data: u64, call: Syscall) {
+        let worker = match self.acquire_worker(k) {
+            Ok(w) => w,
+            Err(e) => {
+                self.done.push(Cqe { user_data, result: Err(e) });
+                return;
+            }
+        };
+        let result = k.syscall((self.owner.0, worker), call);
+        if is_blocked(k, worker) {
+            self.pending.push_back(Pending { user_data, call, worker });
+        } else {
+            self.free_workers.push(worker);
+            self.done.push(Cqe { user_data, result });
         }
     }
 
@@ -147,6 +284,10 @@ impl SyncTwin {
     /// mirroring [`crate::engine::Engine::shutdown`].
     pub fn shutdown(&mut self, k: &mut Kernel) -> usize {
         let mut cancelled = 0;
+        for link in std::mem::take(&mut self.chain) {
+            cancelled += 1;
+            self.done.push(Cqe { user_data: link.user_data, result: Err(SysError::Invalid) });
+        }
         while let Some(p) = self.pending.pop_front() {
             cancelled += 1;
             self.done.push(Cqe { user_data: p.user_data, result: Err(SysError::Invalid) });
@@ -171,4 +312,110 @@ impl SyncTwin {
 
 fn is_blocked(k: &Kernel, tid: Tid) -> bool {
     matches!(k.sched.thread(tid).map(|t| t.state), Some(ThreadState::Blocked(_)))
+}
+
+/// One ring of a [`SetTwin`]: its synchronous twin plus the queue of
+/// submissions not yet consumed by a sweep (the mirror of the engine's
+/// submission queue).
+struct TwinRing {
+    twin: SyncTwin,
+    queue: VecDeque<(u64, Regs, u64)>,
+}
+
+/// The multi-ring reference execution: mirrors
+/// [`crate::ringset::RingSet`]'s poller policy — round-robin from a
+/// cursor that rotates one position per sweep, at most `burst`
+/// submissions consumed per ring per sweep, pending tables pumped after
+/// each ring's drain — with every dispatch going through the
+/// instrumented synchronous [`Kernel::syscall`] path.
+pub struct SetTwin {
+    rings: Vec<TwinRing>,
+    cursor: usize,
+    burst: usize,
+}
+
+impl SetTwin {
+    /// An empty set with the same burst budget as the ring set under
+    /// test.
+    pub fn new(burst: usize) -> Self {
+        Self { rings: Vec::new(), cursor: 0, burst: burst.max(1) }
+    }
+
+    /// Adds a ring owned by `owner`; returns its index (must be added
+    /// in the same order as the engines of the [`crate::ringset::RingSet`]).
+    pub fn add(&mut self, owner: (Pid, Tid)) -> usize {
+        self.rings.push(TwinRing { twin: SyncTwin::new(owner), queue: VecDeque::new() });
+        self.rings.len() - 1
+    }
+
+    /// Number of rings.
+    pub fn len(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// True when the set has no rings.
+    pub fn is_empty(&self) -> bool {
+        self.rings.is_empty()
+    }
+
+    /// Queues one submission on ring `index` (the mirror of pushing an
+    /// SQE; nothing dispatches until a sweep reaches the ring).
+    pub fn enqueue(&mut self, index: usize, user_data: u64, regs: Regs, raw_flags: u64) {
+        if let Some(ring) = self.rings.get_mut(index) {
+            ring.queue.push_back((user_data, regs, raw_flags));
+        }
+    }
+
+    /// One sweep, mirroring [`crate::ringset::RingSet::sweep`]: every
+    /// ring visited round-robin from the rotating cursor, up to `burst`
+    /// submissions dispatched, pending table pumped. Returns the number
+    /// of submissions consumed.
+    pub fn sweep(&mut self, k: &mut Kernel) -> usize {
+        let n = self.rings.len();
+        let mut consumed = 0;
+        for offset in 0..n {
+            let i = (self.cursor + offset) % n;
+            // lint: allow(panic-freedom) — i < n by construction of the
+            // modulus; indexing cannot fail.
+            let ring = &mut self.rings[i];
+            for _ in 0..self.burst {
+                let Some((user_data, regs, raw_flags)) = ring.queue.pop_front() else {
+                    break;
+                };
+                consumed += 1;
+                ring.twin.submit_sqe(k, user_data, regs, raw_flags);
+            }
+            ring.twin.pump(k);
+        }
+        if n > 0 {
+            self.cursor = (self.cursor + 1) % n;
+        }
+        consumed
+    }
+
+    /// Submissions still queued plus entries parked or chain-buffered,
+    /// summed over the set.
+    pub fn outstanding(&self) -> usize {
+        self.rings
+            .iter()
+            .map(|r| r.queue.len() + r.twin.pending_len() + r.twin.chain_buffered())
+            .sum()
+    }
+
+    /// Completions of ring `index`, in completion order.
+    pub fn ring_completions(&self, index: usize) -> &[Cqe] {
+        self.rings.get(index).map(|r| r.twin.completions()).unwrap_or(&[])
+    }
+
+    /// Shuts every ring's twin down. Returns the number cancelled.
+    /// Submissions still queued are dropped without a completion — the
+    /// mirror of SQEs an engine never drained.
+    pub fn shutdown_all(&mut self, k: &mut Kernel) -> usize {
+        let mut cancelled = 0;
+        for ring in &mut self.rings {
+            ring.queue.clear();
+            cancelled += ring.twin.shutdown(k);
+        }
+        cancelled
+    }
 }
