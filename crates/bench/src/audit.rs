@@ -18,6 +18,15 @@
 //!   physically cannot show the speedup, so the gate records the
 //!   measured number and skips **loudly** instead of failing — CI
 //!   runners (≥ the threshold) enforce it for real.
+//! * **Invariant coverage** (always enforced): the backticked
+//!   `invariant::<family>::*` globs in `INVARIANTS.md` and the
+//!   registered `invariant::*` VC families must match exactly, both
+//!   directions — a documented invariant nothing sweeps and a swept
+//!   family nothing documents are equally hard failures. The
+//!   per-family fault-schedule floor rides the telemetry counters and
+//!   applies (like the speedup gate) only to full-profile,
+//!   full-population runs on telemetry-enabled builds; anything else
+//!   skips loudly.
 
 use std::time::Duration;
 
@@ -164,13 +173,21 @@ pub fn audit_json(run: &AuditRun, report: &VcReport, stats: &MapStats) -> String
 /// Renders the committed `BENCH_audit.json` baseline: the measured
 /// numbers of a reference full run plus the gate thresholds the next
 /// run is held to.
-pub fn baseline_json(run: &AuditRun, report: &VcReport, stats: &MapStats) -> String {
+pub fn baseline_json(
+    run: &AuditRun,
+    report: &VcReport,
+    stats: &MapStats,
+    invariant_families: usize,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"audit\",\n");
     out.push_str(&format!("  \"quick\": {},\n", run.quick));
     out.push_str(&format!("  \"host_cores\": {},\n", run.host_cores));
     out.push_str(&format!("  \"vcs_total\": {},\n", run.total_registered));
+    out.push_str(&format!(
+        "  \"invariant_families\": {invariant_families},\n"
+    ));
     out.push_str(&format!("  \"wall_ns\": {},\n", ns(run.wall)));
     out.push_str(&format!(
         "  \"serial_equiv_ns\": {},\n",
@@ -184,6 +201,8 @@ pub fn baseline_json(run: &AuditRun, report: &VcReport, stats: &MapStats) -> Str
     out.push_str(&format!("  \"map_sites\": {},\n", stats.sites));
     out.push_str("  \"min_speedup_milli\": 2000,\n");
     out.push_str("  \"speedup_gate_min_cores\": 4,\n");
+    out.push_str("  \"min_invariant_families\": 5,\n");
+    out.push_str("  \"min_invariant_schedules\": 8,\n");
     out.push_str("  \"max_unparsed\": 0,\n");
     out.push_str("  \"max_stray_headers\": 0,\n");
     out.push_str("  \"max_unpatterned_sites\": 0,\n");
@@ -194,6 +213,199 @@ pub fn baseline_json(run: &AuditRun, report: &VcReport, stats: &MapStats) -> Str
 
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Doc↔code coverage for the end-to-end invariant families: what
+/// `INVARIANTS.md` claims versus what the VC engine registers.
+#[derive(Clone, Debug, Default)]
+pub struct InvariantCoverage {
+    /// Backticked `invariant::<family>::*` globs found in the document.
+    pub documented: Vec<String>,
+    /// Registered families (`invariant::<family>::…` names, grouped),
+    /// with the number of VCs each contributes.
+    pub families: Vec<(String, usize)>,
+    /// Documented globs no registered VC matches — the invariant is
+    /// written down but nothing sweeps it.
+    pub unbacked: Vec<String>,
+    /// Registered families (as globs) `INVARIANTS.md` never mentions —
+    /// the sweep exists but the contract it enforces is undocumented.
+    pub undocumented: Vec<String>,
+}
+
+/// Extracts the backticked `invariant::<family>::*` anchor globs from
+/// an `INVARIANTS.md` body. Only whole backtick spans of exactly that
+/// shape count; prose mentions and instrument names (`invariant.` with
+/// dots) are ignored.
+pub fn documented_invariant_globs(doc: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for span in doc.split('`').skip(1).step_by(2) {
+        let Some(rest) = span.strip_prefix("invariant::") else {
+            continue;
+        };
+        let Some(family) = rest.strip_suffix("::*") else {
+            continue;
+        };
+        let ident = !family.is_empty()
+            && family
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+        if ident && !out.iter().any(|g| g == span) {
+            out.push(span.to_string());
+        }
+    }
+    out
+}
+
+/// Matches the documented globs against the registered VC names (the
+/// full pre-selection population — incremental runs must not hide a
+/// coverage hole) and reports the mismatches in both directions.
+pub fn invariant_coverage(doc: &str, names: &[String]) -> InvariantCoverage {
+    let documented = documented_invariant_globs(doc);
+    let mut families: Vec<(String, usize)> = Vec::new();
+    for n in names {
+        let Some(rest) = n.strip_prefix("invariant::") else {
+            continue;
+        };
+        let Some((family, _)) = rest.split_once("::") else {
+            continue;
+        };
+        match families.iter_mut().find(|(f, _)| f == family) {
+            Some((_, count)) => *count += 1,
+            None => families.push((family.to_string(), 1)),
+        }
+    }
+    let family_of = |glob: &str| glob["invariant::".len()..glob.len() - "::*".len()].to_string();
+    let unbacked = documented
+        .iter()
+        .filter(|g| !families.iter().any(|(f, _)| *f == family_of(g)))
+        .cloned()
+        .collect();
+    let undocumented = families
+        .iter()
+        .filter(|(f, _)| !documented.iter().any(|g| family_of(g) == **f))
+        .map(|(f, _)| format!("invariant::{f}::*"))
+        .collect();
+    InvariantCoverage { documented, families, unbacked, undocumented }
+}
+
+/// Gates the invariant population against the committed baseline:
+/// doc↔code mismatches and a family-count floor are enforced on every
+/// run; the per-family schedule floor (read from the telemetry
+/// counters in `sweeps`) applies only where the counters are
+/// meaningful — a full-profile, full-population run on a
+/// telemetry-enabled build — and skips loudly everywhere else.
+pub fn gate_invariants(
+    run: &AuditRun,
+    cov: &InvariantCoverage,
+    sweeps: &[(String, u64)],
+    telemetry: bool,
+    baseline: &str,
+) -> GateResult {
+    let mut out = GateResult::default();
+    for g in &cov.unbacked {
+        out.violations.push(format!(
+            "invariant coverage: `{g}` is documented in INVARIANTS.md but no registered \
+             VC matches it — the invariant is written down and never swept"
+        ));
+    }
+    for g in &cov.undocumented {
+        out.violations.push(format!(
+            "invariant coverage: registered family `{g}` has no INVARIANTS.md anchor — \
+             the sweep runs but its contract is undocumented"
+        ));
+    }
+    let min_families = field_num(baseline, "min_invariant_families").unwrap_or(5.0) as usize;
+    if cov.families.len() < min_families {
+        out.violations.push(format!(
+            "invariant coverage: {} famil{} registered, baseline requires >= {min_families}",
+            cov.families.len(),
+            if cov.families.len() == 1 { "y" } else { "ies" },
+        ));
+    } else if cov.unbacked.is_empty() && cov.undocumented.is_empty() {
+        out.notes.push(format!(
+            "invariant coverage: PASS ({} families, all documented and backed)",
+            cov.families.len()
+        ));
+    }
+
+    let min_schedules = field_num(baseline, "min_invariant_schedules").unwrap_or(8.0) as u64;
+    if run.quick || run.incremental || run.selected != run.total_registered {
+        out.notes.push(
+            "invariant sweep floor: SKIPPED (applies to full-profile full-population runs only)"
+                .to_string(),
+        );
+    } else if !telemetry {
+        out.notes.push(
+            "invariant sweep floor: SKIPPED (telemetry compiled out; schedule counters read 0)"
+                .to_string(),
+        );
+    } else {
+        let mut shallow = 0;
+        for (family, swept) in sweeps {
+            if *swept < min_schedules {
+                shallow += 1;
+                out.violations.push(format!(
+                    "invariant sweep floor: `invariant::{family}::*` swept {swept} fault \
+                     schedule(s), baseline requires >= {min_schedules}"
+                ));
+            }
+        }
+        if shallow == 0 {
+            let total: u64 = sweeps.iter().map(|(_, n)| n).sum();
+            out.notes.push(format!(
+                "invariant sweep floor: PASS ({total} schedules across {} families, \
+                 each >= {min_schedules})",
+                sweeps.len()
+            ));
+        }
+    }
+    out
+}
+
+/// Renders `results/INVARIANTS_SWEEP.json`: one line per family with
+/// its registered VC count and the fault schedules its counters record,
+/// plus both coverage-mismatch lists (committed empty).
+pub fn invariant_sweep_json(
+    cov: &InvariantCoverage,
+    sweeps: &[(String, u64)],
+    violations: u64,
+    telemetry: bool,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"invariant_sweep\",\n");
+    out.push_str(&format!("  \"telemetry_enabled\": {telemetry},\n"));
+    out.push_str(&format!("  \"families\": {},\n", cov.families.len()));
+    out.push_str(&format!("  \"violations\": {violations},\n"));
+    out.push_str("  \"sweeps\": [\n");
+    for (i, (family, vcs)) in cov.families.iter().enumerate() {
+        let swept = sweeps
+            .iter()
+            .find(|(f, _)| f == family)
+            .map_or(0, |(_, n)| *n);
+        let comma = if i + 1 == cov.families.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{ \"family\": \"{}\", \"anchor\": \"invariant::{}::*\", \"vcs\": {vcs}, \
+             \"schedules_swept\": {swept} }}{comma}\n",
+            escape(family),
+            escape(family),
+        ));
+    }
+    out.push_str("  ],\n");
+    let list = |items: &[String]| {
+        items
+            .iter()
+            .map(|s| format!("\"{}\"", escape(s)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    out.push_str(&format!("  \"unbacked\": [{}],\n", list(&cov.unbacked)));
+    out.push_str(&format!(
+        "  \"undocumented\": [{}]\n",
+        list(&cov.undocumented)
+    ));
+    out.push_str("}\n");
+    out
 }
 
 fn field_num(json: &str, key: &str) -> Option<f64> {
@@ -335,7 +547,7 @@ mod tests {
     fn baseline_round_trips_through_scanner() {
         let report = sample_report(3);
         let run = full_run(&report, 8, 4, Duration::from_millis(1));
-        let json = baseline_json(&run, &report, &MapStats::default());
+        let json = baseline_json(&run, &report, &MapStats::default(), 5);
         assert_eq!(field_num(&json, "vcs_total"), Some(3.0));
         assert_eq!(field_num(&json, "min_speedup_milli"), Some(2000.0));
         assert_eq!(field_num(&json, "max_unanchored"), Some(0.0));
@@ -345,7 +557,7 @@ mod tests {
     fn coverage_gate_fails_on_under_approximation() {
         let report = sample_report(2);
         let run = full_run(&report, 8, 4, Duration::from_millis(1));
-        let baseline = baseline_json(&run, &report, &MapStats::default());
+        let baseline = baseline_json(&run, &report, &MapStats::default(), 5);
         let bad = MapStats {
             unanchored: 1,
             ..MapStats::default()
@@ -361,7 +573,7 @@ mod tests {
         let serial_equiv = report.total_time();
         // Fast wall clock: a genuine parallel win.
         let fast = full_run(&report, 8, 4, serial_equiv / 3);
-        let baseline = baseline_json(&fast, &report, &MapStats::default());
+        let baseline = baseline_json(&fast, &report, &MapStats::default(), 5);
         let gate = gate_against(&fast, &report, &MapStats::default(), &baseline);
         assert!(gate.ok(), "{:?}", gate.violations);
         assert!(gate.notes.iter().any(|n| n.contains("PASS")));
@@ -401,7 +613,7 @@ mod tests {
         let report = sample_report(names.len());
         let run = full_run(&report, 8, 4, report.total_time() / 3);
         let clean = MapStats::from_coverage(&map.coverage(), 0);
-        let baseline = baseline_json(&run, &report, &clean);
+        let baseline = baseline_json(&run, &report, &clean, 5);
         let stats = MapStats::from_coverage(&map.coverage(), unanchored.len());
         let gate = gate_against(&run, &report, &stats, &baseline);
         assert!(!gate.ok());
@@ -412,7 +624,7 @@ mod tests {
     fn speedup_gate_skipped_for_incremental_and_quick() {
         let report = sample_report(4);
         let mut run = full_run(&report, 8, 4, report.total_time());
-        let baseline = baseline_json(&run, &report, &MapStats::default());
+        let baseline = baseline_json(&run, &report, &MapStats::default(), 5);
         run.incremental = true;
         run.selected = 2;
         let gate = gate_against(&run, &report, &MapStats::default(), &baseline);
@@ -423,5 +635,134 @@ mod tests {
         let gate = gate_against(&run, &report, &MapStats::default(), &baseline);
         assert!(gate.ok());
         assert!(gate.notes.iter().any(|n| n.contains("full-profile")));
+    }
+
+    const DOC: &str = "## 1. Durability\n\
+         Anchored by `invariant::durability::*` (see the table).\n\
+         ## 2. Exactly-once\n\
+         Anchored by `invariant::exactly_once::*`; the instrument is\n\
+         `invariant.violations` (a metric, not a glob).\n";
+
+    fn names(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn documented_globs_take_only_wellformed_backtick_spans() {
+        let globs = documented_invariant_globs(DOC);
+        assert_eq!(
+            globs,
+            ["invariant::durability::*", "invariant::exactly_once::*"]
+        );
+        // Prose mentions, dotted instrument names, and malformed spans
+        // never count.
+        assert!(documented_invariant_globs(
+            "invariant::x::* without backticks, `invariant.x.schedules`, \
+             `invariant::Bad-Name::*`, `invariant::::*`"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn coverage_mismatch_is_loud_in_both_directions() {
+        // Balanced: two documented globs, two registered families.
+        let pop = names(&[
+            "invariant::durability::acked_survives_crash_s0",
+            "invariant::durability::acked_survives_crash_s1",
+            "invariant::exactly_once::applied_once_in_order_s0",
+            "fs::unrelated_vc",
+        ]);
+        let cov = invariant_coverage(DOC, &pop);
+        assert_eq!(cov.families.len(), 2);
+        assert_eq!(cov.families[0], ("durability".to_string(), 2));
+        assert!(cov.unbacked.is_empty() && cov.undocumented.is_empty());
+
+        // A documented invariant nothing sweeps…
+        let cov = invariant_coverage(DOC, &names(&["invariant::durability::x_s0"]));
+        assert_eq!(cov.unbacked, ["invariant::exactly_once::*"]);
+        // …and a swept family nothing documents.
+        let cov = invariant_coverage(
+            DOC,
+            &names(&[
+                "invariant::durability::x_s0",
+                "invariant::exactly_once::y_s0",
+                "invariant::ghost::z_s0",
+            ]),
+        );
+        assert_eq!(cov.undocumented, ["invariant::ghost::*"]);
+    }
+
+    #[test]
+    fn invariant_gate_fails_on_mismatch_and_family_floor() {
+        let report = sample_report(2);
+        let run = full_run(&report, 8, 4, Duration::from_millis(1));
+        let baseline = baseline_json(&run, &report, &MapStats::default(), 5);
+        // Mismatch in either direction is a hard violation even on a
+        // quick run (names are known pre-selection).
+        let cov = invariant_coverage(DOC, &names(&["invariant::ghost::z_s0"]));
+        let gate = gate_invariants(&run, &cov, &[], true, &baseline);
+        assert!(!gate.ok());
+        assert!(gate.violations.iter().any(|v| v.contains("never swept")));
+        assert!(gate.violations.iter().any(|v| v.contains("undocumented")));
+        // Two balanced families still sit under the committed floor of 5.
+        let cov = invariant_coverage(
+            DOC,
+            &names(&[
+                "invariant::durability::x_s0",
+                "invariant::exactly_once::y_s0",
+            ]),
+        );
+        let gate = gate_invariants(&run, &cov, &[], true, &baseline);
+        assert!(gate
+            .violations
+            .iter()
+            .any(|v| v.contains("baseline requires >= 5")));
+    }
+
+    #[test]
+    fn sweep_floor_gates_full_runs_and_skips_loudly_elsewhere() {
+        let report = sample_report(2);
+        let mut run = full_run(&report, 8, 4, Duration::from_millis(1));
+        let baseline = baseline_json(&run, &report, &MapStats::default(), 5);
+        let cov = invariant_coverage(DOC, &names(&[
+            "invariant::durability::x_s0",
+            "invariant::exactly_once::y_s0",
+        ]));
+        let deep = [("durability".to_string(), 32), ("exactly_once".to_string(), 32)];
+        let gate = gate_invariants(&run, &cov, &deep, true, &baseline);
+        assert!(gate.notes.iter().any(|n| n.contains("sweep floor: PASS")));
+
+        // A shallow family on a full run is a violation…
+        let shallow = [("durability".to_string(), 3), ("exactly_once".to_string(), 32)];
+        let gate = gate_invariants(&run, &cov, &shallow, true, &baseline);
+        assert!(gate
+            .violations
+            .iter()
+            .any(|v| v.contains("durability") && v.contains("swept 3")));
+        // …but quick runs and telemetry-off builds skip loudly instead.
+        run.quick = true;
+        let gate = gate_invariants(&run, &cov, &shallow, true, &baseline);
+        assert!(!gate.violations.iter().any(|v| v.contains("sweep")));
+        assert!(gate.notes.iter().any(|n| n.contains("full-profile")));
+        run.quick = false;
+        let gate = gate_invariants(&run, &cov, &shallow, false, &baseline);
+        assert!(!gate.violations.iter().any(|v| v.contains("sweep")));
+        assert!(gate.notes.iter().any(|n| n.contains("telemetry compiled out")));
+    }
+
+    #[test]
+    fn sweep_report_lists_every_family_with_its_counters() {
+        let cov = invariant_coverage(DOC, &names(&[
+            "invariant::durability::x_s0",
+            "invariant::durability::x_s1",
+            "invariant::exactly_once::y_s0",
+        ]));
+        let sweeps = [("durability".to_string(), 32), ("exactly_once".to_string(), 16)];
+        let json = invariant_sweep_json(&cov, &sweeps, 0, true);
+        assert!(json.contains("\"family\": \"durability\", \"anchor\": \"invariant::durability::*\", \"vcs\": 2, \"schedules_swept\": 32"));
+        assert!(json.contains("\"schedules_swept\": 16"));
+        assert_eq!(field_num(&json, "families"), Some(2.0));
+        assert_eq!(field_num(&json, "violations"), Some(0.0));
+        assert!(json.contains("\"unbacked\": []"));
     }
 }

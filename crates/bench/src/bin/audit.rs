@@ -18,6 +18,10 @@
 //!   against the committed `BENCH_audit.json` (`--baseline FILE`).
 //! * `--write-baseline` re-emits `results/BENCH_audit.json` from this
 //!   run, for refreshing the committed file.
+//! * Every run also checks the registered `invariant::*` families
+//!   against the backticked anchors in `INVARIANTS.md` — loud in both
+//!   directions — and writes `results/INVARIANTS_SWEEP.json` with the
+//!   per-family fault-schedule counters (floor-gated on full runs).
 //!
 //! Usage: `cargo run --release -p veros-bench --bin audit [--quick]
 //! [--serial] [--threads N] [--changed-since REV] [--explain VC]
@@ -30,7 +34,10 @@ use std::time::Instant;
 
 use veros_atlas::changes::ChangeSet;
 use veros_atlas::DepMap;
-use veros_bench::audit::{audit_json, baseline_json, gate_against, AuditRun, MapStats};
+use veros_bench::audit::{
+    audit_json, baseline_json, gate_against, gate_invariants, invariant_coverage,
+    invariant_sweep_json, AuditRun, MapStats,
+};
 use veros_core::vcs::{register_all, Profile};
 use veros_spec::report::{human_duration, render_cdf};
 use veros_spec::VcEngine;
@@ -147,6 +154,14 @@ fn main() {
         .collect();
     let stats = MapStats::from_coverage(&map.coverage(), unanchored.len());
 
+    // Invariant doc↔code coverage, likewise over the whole registered
+    // population. A missing INVARIANTS.md is a hard failure, not a
+    // silent empty-glob pass — the coverage gate exists to keep the
+    // document and the sweeps pointing at each other.
+    let invariants_path = root.join("INVARIANTS.md");
+    let invariants_doc = std::fs::read_to_string(&invariants_path);
+    let inv_cov = invariant_coverage(invariants_doc.as_deref().unwrap_or(""), &all_names);
+
     let mut selection_line = String::new();
     if let Some(rev) = &args.changed_since {
         let cs = match ChangeSet::from_git(&root, rev) {
@@ -245,6 +260,25 @@ fn main() {
         let _ = writeln!(out, "  unanchored: {n}");
     }
 
+    // Per-family fault-schedule counters, read after the run so they
+    // reflect exactly what the selected population swept.
+    let swept_by = |family: &str| -> u64 {
+        use veros_core::metrics as m;
+        match family {
+            "durability" => m::DURABILITY_SCHEDULES.get(),
+            "exactly_once" => m::EXACTLY_ONCE_SCHEDULES.get(),
+            "fs_journal" => m::FS_JOURNAL_SCHEDULES.get(),
+            "frames" => m::FRAMES_SCHEDULES.get(),
+            "uring_chain" => m::URING_CHAIN_SCHEDULES.get(),
+            _ => 0, // a new family must also add its counter
+        }
+    };
+    let sweeps: Vec<(String, u64)> = inv_cov
+        .families
+        .iter()
+        .map(|(f, _)| (f.clone(), swept_by(f)))
+        .collect();
+
     // Gate against the committed baseline. An explicit --baseline that
     // does not exist is an error; the default is best-effort so the
     // binary still runs from a bare checkout.
@@ -252,14 +286,56 @@ fn main() {
         .baseline
         .clone()
         .unwrap_or_else(|| root.join("BENCH_audit.json"));
-    let gate = match std::fs::read_to_string(&baseline_path) {
-        Ok(b) => Some(gate_against(&run, &report, &stats, &b)),
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(b) => Some(b),
         Err(e) if args.baseline.is_some() => {
             eprintln!("cannot read baseline {}: {e}", baseline_path.display());
             std::process::exit(2);
         }
         Err(_) => None,
     };
+    let gate = baseline_text
+        .as_ref()
+        .map(|b| gate_against(&run, &report, &stats, b));
+
+    // The invariant gate runs with or without a committed baseline —
+    // doc↔code coverage is a property of the tree, not of a reference
+    // measurement (missing baseline fields fall back to the committed
+    // defaults).
+    let mut inv_gate = gate_invariants(
+        &run,
+        &inv_cov,
+        &sweeps,
+        veros_telemetry::enabled(),
+        baseline_text.as_deref().unwrap_or(""),
+    );
+    if invariants_doc.is_err() {
+        inv_gate.violations.insert(
+            0,
+            format!(
+                "INVARIANTS.md missing at {} — every registered invariant family is \
+                 undocumented until it is restored",
+                invariants_path.display()
+            ),
+        );
+    }
+
+    let _ = writeln!(out);
+    let _ = writeln!(out, "end-to-end invariants:");
+    for (family, vcs) in &inv_cov.families {
+        let _ = writeln!(
+            out,
+            "  invariant::{family}::*  {vcs} VC(s), swept {} fault schedule(s)",
+            swept_by(family)
+        );
+    }
+    for n in &inv_gate.notes {
+        let _ = writeln!(out, "  {n}");
+    }
+    for v in &inv_gate.violations {
+        let _ = writeln!(out, "  VIOLATION: {v}");
+    }
+
     let _ = writeln!(out);
     let gates_ok = match &gate {
         Some(g) => {
@@ -295,14 +371,28 @@ fn main() {
         eprintln!("cannot write AUDIT.json: {e}");
         std::process::exit(2);
     }
+    let sweep_report = invariant_sweep_json(
+        &inv_cov,
+        &sweeps,
+        veros_core::metrics::VIOLATIONS.get(),
+        veros_telemetry::enabled(),
+    );
+    if let Err(e) = veros_bench::out::write_result("INVARIANTS_SWEEP.json", &sweep_report) {
+        eprintln!("cannot write INVARIANTS_SWEEP.json: {e}");
+        std::process::exit(2);
+    }
     if args.write_baseline {
         if let Err(e) = veros_bench::out::write_result(
             "BENCH_audit.json",
-            &baseline_json(&run, &report, &stats),
+            &baseline_json(&run, &report, &stats, inv_cov.families.len()),
         ) {
             eprintln!("cannot write BENCH_audit.json: {e}");
             std::process::exit(2);
         }
     }
-    veros_bench::out::finish("audit.txt", &out, report.all_passed() && gates_ok);
+    veros_bench::out::finish(
+        "audit.txt",
+        &out,
+        report.all_passed() && gates_ok && inv_gate.ok(),
+    );
 }

@@ -3,10 +3,11 @@
 //!
 //! Runs a small representative workload per subsystem — the NR hot
 //! path, a kernel boot with a syscall sequence, a journaled filesystem
-//! with crash recovery, and a replicated block-store cluster over the
-//! hostile simulated network — then registers the five `metrics::export`
-//! functions into one `Registry` and mirrors the JSON snapshot into the
-//! results directory (schema in OBSERVABILITY.md).
+//! with crash recovery, a replicated block-store cluster over the
+//! hostile simulated network, and a two-schedule mini-sweep of every
+//! end-to-end invariant family — then registers each crate's
+//! `metrics::export` into one `Registry` and mirrors the JSON snapshot
+//! into the results directory (schema in OBSERVABILITY.md).
 //!
 //! With `--no-default-features` the same binary still produces a
 //! structurally complete snapshot whose `telemetry_enabled` field is
@@ -141,6 +142,18 @@ fn exercise_uring() {
     set.shutdown_all(&mut k);
 }
 
+/// Invariants: one two-schedule mini-sweep per family, so every
+/// `invariant.*` counter is visibly nonzero in the snapshot while
+/// `invariant.violations` stays at the zero the alert policy pins.
+fn exercise_invariants() {
+    use veros_core::invariants::{self, Ablation};
+    invariants::durability(0, 2, Ablation::None).expect("durability sweep");
+    invariants::exactly_once(0, 2, Ablation::None).expect("exactly-once sweep");
+    invariants::fs_journal(0, 2, Ablation::None).expect("fs-journal sweep");
+    invariants::frames(0, 2, Ablation::None).expect("frames sweep");
+    invariants::uring_chain(0, 2, Ablation::None).expect("uring-chain sweep");
+}
+
 /// Filesystem: committed transactions plus a recovery replay.
 fn exercise_fs() {
     let mut jfs = JournaledFs::format(SimDisk::new(1024));
@@ -187,6 +200,7 @@ fn main() {
     exercise_uring();
     exercise_fs();
     exercise_cluster(check);
+    exercise_invariants();
 
     let mut reg = Registry::new();
     veros_nr::metrics::export(&mut reg);
@@ -195,9 +209,18 @@ fn main() {
     veros_net::metrics::export(&mut reg);
     veros_blockstore::metrics::export(&mut reg);
     veros_uring::metrics::export(&mut reg);
+    veros_core::metrics::export(&mut reg);
 
     let names = reg.metric_names();
-    let prefixes = ["nr.", "kernel.", "fs.", "net.", "blockstore.", "uring."];
+    let prefixes = [
+        "nr.",
+        "kernel.",
+        "fs.",
+        "net.",
+        "blockstore.",
+        "uring.",
+        "invariant.",
+    ];
     let all_crates_covered = prefixes
         .iter()
         .all(|p| names.iter().any(|n| n.starts_with(p)));
@@ -232,6 +255,8 @@ fn main() {
             && counter_value("uring.chain.atomicity_violations") == 0
             && counter_value("fs.journal.commits") > 0
             && counter_value("net.sim.delivered") > 0
+            && counter_value("invariant.schedules_swept") >= 10
+            && counter_value("invariant.violations") == 0
             && (check || counter_value("blockstore.checksum_failures") > 0)
     } else {
         true

@@ -29,11 +29,18 @@
 //!   submission/completion rings: a ring-driven kernel against a
 //!   synchronous twin, compared on every completion and on the final
 //!   abstract state.
+//! * [`invariants`] — the end-to-end safety invariants of
+//!   `INVARIANTS.md`, each swept under enumerated fault schedules
+//!   (crash points, wire faults, torn writes) rather than single seeds,
+//!   with per-family ablations proving the sweeps are not vacuous.
 //! * [`vcs`] — the verification-condition population for the whole OS
 //!   contract (scheduler sanity, NR linearizability, FS crash safety,
-//!   network transport spec, uring linearization, and the above),
-//!   complementing the page table's 220 VCs.
+//!   network transport spec, uring linearization, the fault-schedule
+//!   invariant families, and the above), complementing the page table's
+//!   220 VCs.
 
+pub mod invariants;
+pub mod metrics;
 pub mod obligations;
 pub mod sys;
 pub mod sys_spec;

@@ -33,17 +33,18 @@ use veros_uring::{pair, Cqe, Engine, RingSet, SetTwin, SqeFlags, SubstSource, Sy
 use crate::view::view;
 
 /// Base of the pre-mapped shared region both kernels get at setup.
-const SHARED_VA: u64 = 0x60_0000;
+pub(crate) const SHARED_VA: u64 = 0x60_0000;
 /// Futex words inside the shared region.
 const FUTEX_VAS: [u64; 3] = [SHARED_VA, SHARED_VA + 0x40, SHARED_VA + 0x80];
 /// Path string location inside the shared region.
-const PATH_VA: u64 = SHARED_VA + 0x1000;
-const PATH: &[u8] = b"/ringfile";
+pub(crate) const PATH_VA: u64 = SHARED_VA + 0x1000;
+pub(crate) const PATH: &[u8] = b"/ringfile";
 /// Pool of addresses the random Map/Unmap traffic works on (disjoint
 /// from the shared region so the setup state stays probeable).
-const MAP_VAS: [u64; 6] = [0x40_0000, 0x40_1000, 0x40_2000, 0x40_3000, 0x40_4000, 0x40_5000];
+pub(crate) const MAP_VAS: [u64; 6] =
+    [0x40_0000, 0x40_1000, 0x40_2000, 0x40_3000, 0x40_4000, 0x40_5000];
 
-fn boot() -> Result<Kernel, String> {
+pub(crate) fn boot() -> Result<Kernel, String> {
     let mut k = Kernel::boot(KernelConfig::default()).map_err(|e| format!("boot: {e:?}"))?;
     let c = (k.init_pid, k.init_tid);
     k.syscall(c, Syscall::Map { va: SHARED_VA, pages: 2, writable: true })

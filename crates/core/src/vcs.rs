@@ -43,6 +43,8 @@ struct Params {
     mutex_workers: u32,
     mutex_incs: u32,
     wire_iters: usize,
+    invariant_seeds: u64,
+    invariant_schedules: usize,
 }
 
 impl Profile {
@@ -62,6 +64,8 @@ impl Profile {
                 mutex_workers: 3,
                 mutex_incs: 5,
                 wire_iters: 200,
+                invariant_seeds: 2,
+                invariant_schedules: 2,
             },
             Profile::Full => Params {
                 refine_steps: 3_000,
@@ -77,6 +81,8 @@ impl Profile {
                 mutex_workers: 4,
                 mutex_incs: 40,
                 wire_iters: 20_000,
+                invariant_seeds: 8,
+                invariant_schedules: 4,
             },
         }
     }
@@ -340,6 +346,50 @@ pub fn register_all(engine: &mut VcEngine, profile: Profile) {
         "telemetry::journal_counters_match_commit_replay",
         telemetry_journal_counters_coherent,
     );
+
+    // --- end-to-end invariants under fault schedules ---------------------------
+    // The INVARIANTS.md families. Each VC sweeps a seeded *enumeration*
+    // of fault schedules (crash point × wire faults × torn writes, via
+    // `veros_spec::fault`), never a single seed. The names self-anchor
+    // to the doc's backticked `invariant::<family>::*` globs; the
+    // audit's invariant-coverage check enforces that mapping in both
+    // directions.
+    {
+        use crate::invariants::{self, Ablation};
+        for seed in 0..p.invariant_seeds {
+            let n = p.invariant_schedules;
+            engine.register(
+                MODULE,
+                VcKind::Invariant,
+                format!("invariant::durability::acked_survives_crash_s{seed}"),
+                move || invariants::durability(seed, n, Ablation::None),
+            );
+            engine.register(
+                MODULE,
+                VcKind::Invariant,
+                format!("invariant::exactly_once::applied_once_in_order_s{seed}"),
+                move || invariants::exactly_once(seed, n, Ablation::None),
+            );
+            engine.register(
+                MODULE,
+                VcKind::Invariant,
+                format!("invariant::fs_journal::recovers_committed_boundary_s{seed}"),
+                move || invariants::fs_journal(seed, n, Ablation::None),
+            );
+            engine.register(
+                MODULE,
+                VcKind::Invariant,
+                format!("invariant::frames::conservation_under_pressure_s{seed}"),
+                move || invariants::frames(seed, n, Ablation::None),
+            );
+            engine.register(
+                MODULE,
+                VcKind::Invariant,
+                format!("invariant::uring_chain::crash_leaves_exact_prefix_s{seed}"),
+                move || invariants::uring_chain(seed, n, Ablation::None),
+            );
+        }
+    }
 }
 
 /// Random scheduler workouts asserting the sanity invariant throughout.

@@ -213,6 +213,10 @@ pub struct JournaledFs {
     /// Ops buffered in the current (uncommitted) transaction.
     pending: Vec<FsOp>,
     journaling: bool,
+    /// Whether `commit` issues the flush barrier. Always true in real
+    /// use; switched off only by the `invariant::fs_journal` ablation to
+    /// prove the barrier is load-bearing.
+    commit_barriers: bool,
     /// Operations this instance replayed at recovery (0 for a freshly
     /// formatted filesystem) — the instance-exact companion to the
     /// process-global [`crate::metrics::JOURNAL_REPLAYED`] counter.
@@ -235,8 +239,18 @@ impl JournaledFs {
             txn: 1,
             pending: Vec::new(),
             journaling: true,
+            commit_barriers: true,
             replayed_ops: 0,
         }
+    }
+
+    /// Enables/disables the commit flush barrier. Disabling it breaks
+    /// the durability contract on purpose: commit records linger in the
+    /// volatile write cache, so a crash can lose *acknowledged*
+    /// transactions. Exists solely as the fault-injected site for the
+    /// `invariant::fs_journal::*` anti-vacuity regression test.
+    pub fn set_commit_barriers(&mut self, on: bool) {
+        self.commit_barriers = on;
     }
 
     /// Creates a filesystem with journaling disabled — the ablation
@@ -269,7 +283,9 @@ impl JournaledFs {
     pub fn commit(&mut self) -> Result<(), FsError> {
         if self.journaling {
             self.append_record(KIND_COMMIT, &[])?;
-            self.disk.flush();
+            if self.commit_barriers {
+                self.disk.flush();
+            }
             crate::metrics::JOURNAL_COMMITS.inc();
         }
         self.pending.clear();
@@ -330,6 +346,7 @@ impl JournaledFs {
             txn: txns + 1,
             pending: Vec::new(),
             journaling: true,
+            commit_barriers: true,
             replayed_ops: replayed,
         }
     }

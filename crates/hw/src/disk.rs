@@ -118,6 +118,28 @@ impl SimDisk {
         self.cache.clear();
     }
 
+    /// Crash keeping the first `keep` cached writes whole and the next
+    /// one *torn*: only its first `tear_bytes` bytes reach the platter,
+    /// the rest of that sector keeping whatever was durable before (or
+    /// zeroes for a never-written sector). Everything later is lost.
+    /// Models a power cut mid-sector — the failure the journal's record
+    /// checksums exist to detect.
+    pub fn crash_torn(&mut self, keep: usize, tear_bytes: usize) {
+        let pending: Vec<Pending> = self.cache.drain(..).collect();
+        let tear_bytes = tear_bytes.min(SECTOR_SIZE);
+        for (i, p) in pending.into_iter().enumerate() {
+            if i < keep {
+                self.persistent[p.sector as usize] = Some(p.data);
+            } else if i == keep {
+                let mut merged = self.persistent[p.sector as usize]
+                    .take()
+                    .unwrap_or_else(|| Box::new([0u8; SECTOR_SIZE]));
+                merged[..tear_bytes].copy_from_slice(&p.data[..tear_bytes]);
+                self.persistent[p.sector as usize] = Some(merged);
+            }
+        }
+    }
+
     /// Crash keeping an arbitrary subset of cached writes, in order —
     /// modelling drive-internal reordering at sector granularity. Later
     /// kept writes to the same sector still win (ordering per sector is
@@ -225,6 +247,37 @@ mod tests {
             }
         }
         assert!(survived > 0 && survived < 16, "seed 99 keeps a strict subset");
+    }
+
+    #[test]
+    fn torn_crash_keeps_prefix_then_tears_one_sector() {
+        let mut d = SimDisk::new(8);
+        d.write(5, &sec(9)).unwrap();
+        d.flush(); // old durable content for the torn sector
+        d.write(1, &sec(1)).unwrap();
+        d.write(5, &sec(2)).unwrap();
+        d.write(3, &sec(3)).unwrap();
+        d.crash_torn(1, 100);
+        let mut buf = sec(0);
+        d.read(1, &mut buf).unwrap();
+        assert_eq!(buf, sec(1), "prefix write is whole");
+        d.read(5, &mut buf).unwrap();
+        assert_eq!(&buf[..100], &[2u8; 100][..], "torn head holds new bytes");
+        assert_eq!(&buf[100..], &[9u8; 412][..], "torn tail holds old bytes");
+        d.read(3, &mut buf).unwrap();
+        assert_eq!(buf, sec(0), "writes past the torn one are lost");
+        assert_eq!(d.dirty(), 0);
+    }
+
+    #[test]
+    fn torn_crash_on_fresh_sector_zero_fills_the_tail() {
+        let mut d = SimDisk::new(4);
+        d.write(2, &sec(7)).unwrap();
+        d.crash_torn(0, 8);
+        let mut buf = sec(1);
+        d.read(2, &mut buf).unwrap();
+        assert_eq!(&buf[..8], &[7u8; 8][..]);
+        assert_eq!(&buf[8..], &[0u8; 504][..]);
     }
 
     #[test]

@@ -76,6 +76,51 @@ impl BuddyAllocator {
         self.frames - self.allocated_frames
     }
 
+    /// Audits frame conservation: every owned frame is either accounted
+    /// by `allocated_frames` or sits on exactly one free list, and free
+    /// blocks are in-range, aligned, non-overlapping and not marked
+    /// allocated. This is the checkable form of the no-lost-frames
+    /// invariant (`invariant::frames::*` in `INVARIANTS.md`); the fault
+    /// sweeps call it between every workload step.
+    pub fn audit_conservation(&self) -> Result<(), String> {
+        let end = self.base.0 + self.frames as u64 * PAGE_4K;
+        let mut intervals: Vec<(u64, u64)> = Vec::new();
+        let mut free_frames = 0usize;
+        for (order, list) in self.free.iter().enumerate() {
+            for &b in list {
+                let bytes = block_bytes(order);
+                if b.0 < self.base.0 || b.0 + bytes > end {
+                    return Err(format!("free list order {order} holds foreign block {b}"));
+                }
+                if !b.is_aligned(bytes) {
+                    return Err(format!("free list order {order} holds misaligned block {b}"));
+                }
+                if self.is_marked(b) {
+                    return Err(format!(
+                        "block {b} is on the order-{order} free list but marked allocated"
+                    ));
+                }
+                intervals.push((b.0, b.0 + bytes));
+                free_frames += 1 << order;
+            }
+        }
+        intervals.sort_unstable();
+        for ((a0, a1), (b0, b1)) in intervals.iter().zip(intervals.iter().skip(1)) {
+            if a1 > b0 {
+                return Err(format!(
+                    "free blocks overlap: [{a0:#x}, {a1:#x}) and [{b0:#x}, {b1:#x})"
+                ));
+            }
+        }
+        if free_frames + self.allocated_frames != self.frames {
+            return Err(format!(
+                "frame conservation violated: {free_frames} free + {} allocated != {} owned",
+                self.allocated_frames, self.frames
+            ));
+        }
+        Ok(())
+    }
+
     /// Allocates a block of `2^order` contiguous frames.
     pub fn alloc_order(&mut self, order: usize) -> Option<PAddr> {
         if order > MAX_ORDER {
@@ -257,6 +302,40 @@ mod tests {
         a.free_order(x, 0);
         let y = a.alloc_order(MAX_ORDER).unwrap();
         assert_eq!(y, PAddr(0), "coalesced back to the maximal block");
+    }
+
+    #[test]
+    fn conservation_audit_holds_through_a_mixed_workload() {
+        let mut a = BuddyAllocator::new(PAddr(0x10_0000), 96);
+        a.audit_conservation().unwrap();
+        let mut held = Vec::new();
+        for order in [0, 2, 0, 3, 1] {
+            held.push((a.alloc_order(order).unwrap(), order));
+            a.audit_conservation().unwrap();
+        }
+        let run = a.alloc_contiguous(5).unwrap();
+        a.audit_conservation().unwrap();
+        for (b, order) in held {
+            a.free_order(b, order);
+            a.audit_conservation().unwrap();
+        }
+        for i in 0..5 {
+            a.free_order(PAddr(run.0 + i * PAGE_4K), 0);
+        }
+        a.audit_conservation().unwrap();
+        assert_eq!(a.allocated_frames(), 0);
+    }
+
+    #[test]
+    fn conservation_audit_detects_leaked_accounting() {
+        let mut a = BuddyAllocator::new(PAddr(0), 16);
+        a.alloc_order(0).unwrap();
+        // Simulate a rollback path that dropped a frame: the count says
+        // allocated, but we also corrupt the free total by faking an
+        // extra allocated frame.
+        a.allocated_frames += 1;
+        let err = a.audit_conservation().unwrap_err();
+        assert!(err.contains("conservation"), "{err}");
     }
 
     #[test]

@@ -41,6 +41,19 @@ impl FaultPlan {
     }
 }
 
+/// A fault-schedule wire spec maps directly onto a plan — this is how
+/// the `invariant::*` VC sweeps thread `veros_spec::fault` schedules
+/// through the simulated network.
+impl From<veros_spec::fault::WireFaults> for FaultPlan {
+    fn from(w: veros_spec::fault::WireFaults) -> Self {
+        Self {
+            loss: w.loss,
+            duplicate: w.duplicate,
+            reorder: w.reorder,
+        }
+    }
+}
+
 /// The simulated network: hosts + the wire between them.
 pub struct Network {
     hosts: Vec<NetStack>,
@@ -160,6 +173,17 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_plan_from_wire_faults_preserves_every_degree() {
+        let plan = FaultPlan::from(veros_spec::fault::WireFaults::hostile());
+        assert_eq!(plan.loss, (1, 5));
+        assert_eq!(plan.duplicate, (1, 10));
+        assert!(plan.reorder);
+        let calm = FaultPlan::from(veros_spec::fault::WireFaults::reliable());
+        assert_eq!(calm.loss, (0, 1));
+        assert!(!calm.reorder);
+    }
 
     #[test]
     fn reliable_wire_delivers_everything() {

@@ -18,6 +18,9 @@
 //! * [`linearizability`] — a Wing–Gong linearizability checker used to
 //!   validate node replication once (Section 4.3), after which every
 //!   NR-replicated structure inherits a linearizable interface.
+//! * [`fault`] — seeded *enumeration* of fault schedules (crash points,
+//!   wire loss/duplication/reorder, torn sector writes) swept by the
+//!   end-to-end invariant VCs anchored in `INVARIANTS.md`.
 //! * [`vc`] — a verification-condition engine that names, runs, and
 //!   *times* each obligation; its report regenerates Figure 1a (the CDF
 //!   of verification-condition times).
@@ -25,6 +28,7 @@
 //! [Verus]: https://github.com/verus-lang/verus
 
 pub mod explorer;
+pub mod fault;
 pub mod history;
 pub mod linearizability;
 pub mod refinement;
@@ -34,6 +38,7 @@ pub mod state_machine;
 pub mod vc;
 
 pub use explorer::{ExploreLimits, ExploreOutcome, ExploreStats, Explorer, Trace};
+pub use fault::{FaultSchedule, WireFaults};
 pub use history::{Event, EventKind, History, Recorder};
 pub use linearizability::{check_linearizable, LinearizabilityError, SeqSpec};
 pub use refinement::{check_refinement, RefinementError, RefinementMap};

@@ -27,6 +27,17 @@ pub enum Rule {
         /// Inclusive upper bound.
         max: u64,
     },
+    /// The named counter (or gauge) must reach at least `min` — a
+    /// liveness floor proving a watched activity actually happened
+    /// (e.g. fault schedules swept). Evaluated only in telemetry-enabled
+    /// builds: with instruments compiled out every counter reads zero,
+    /// and a floor on a no-op is noise, not health.
+    CounterAtLeast {
+        /// Dotted metric name to match in the snapshot.
+        metric: &'static str,
+        /// Inclusive lower bound.
+        min: u64,
+    },
     /// The named histogram's p99 estimate must not exceed `max`.
     P99AtMost {
         /// Dotted metric name to match in the snapshot.
@@ -51,7 +62,9 @@ impl Rule {
     /// The metric name this rule watches (the numerator, for ratios).
     pub fn metric(&self) -> &'static str {
         match self {
-            Rule::CounterAtMost { metric, .. } | Rule::P99AtMost { metric, .. } => metric,
+            Rule::CounterAtMost { metric, .. }
+            | Rule::CounterAtLeast { metric, .. }
+            | Rule::P99AtMost { metric, .. } => metric,
             Rule::RatioAtMost { numerator, .. } => numerator,
         }
     }
@@ -96,6 +109,15 @@ pub fn default_rules() -> Vec<Rule> {
             denominator: "uring.poller.sweeps",
             max_milli: 999,
         },
+        // The end-to-end invariant sweeps (INVARIANTS.md) must never
+        // observe a violation outside a deliberate ablation: a tick here
+        // means an acked write was lost, a message applied twice, a
+        // journal boundary broken, a frame leaked, or a chain torn.
+        Rule::CounterAtMost { metric: "invariant.violations", max: 0 },
+        // And the sweeps must actually run: a report that registers the
+        // invariant instruments but swept nothing is a vacuous health
+        // check, not a healthy system.
+        Rule::CounterAtLeast { metric: "invariant.schedules_swept", min: 1 },
     ]
 }
 
@@ -163,6 +185,19 @@ pub fn evaluate(snapshot: &Snapshot, rules: &[Rule]) -> Vec<Alert> {
                         observed: *v,
                         allowed: *max,
                         message: format!("{name} = {v}, allowed at most {max}"),
+                    });
+                }
+            }
+            (
+                Rule::CounterAtLeast { metric: name, min },
+                MetricValue::Counter(v) | MetricValue::Gauge(v),
+            ) => {
+                if crate::enabled() && v < min {
+                    alerts.push(Alert {
+                        metric: name,
+                        observed: *v,
+                        allowed: *min,
+                        message: format!("{name} = {v}, expected at least {min}"),
                     });
                 }
             }
@@ -266,6 +301,33 @@ mod tests {
         assert!(rules
             .iter()
             .any(|r| r.metric() == "uring.poller.fairness_deferrals"));
+        assert!(rules
+            .iter()
+            .any(|r| matches!(r, Rule::CounterAtMost { metric: "invariant.violations", max: 0 })));
+        assert!(rules.iter().any(
+            |r| matches!(r, Rule::CounterAtLeast { metric: "invariant.schedules_swept", .. })
+        ));
+    }
+
+    static FLOOR: Counter = Counter::new();
+
+    #[test]
+    fn counter_at_least_is_a_liveness_floor() {
+        let mut reg = Registry::new();
+        reg.counter("test.floor", "events", &FLOOR);
+        let rules = [
+            Rule::CounterAtLeast { metric: "test.floor", min: 1 },
+            // Absent metrics are skipped, like the other scalar kinds.
+            Rule::CounterAtLeast { metric: "test.not_registered", min: 1 },
+        ];
+        if crate::enabled() {
+            let alerts = evaluate(&reg.snapshot(), &rules);
+            assert_eq!(alerts.len(), 1, "zero reading must trip the floor");
+            assert!(alerts[0].message.contains("at least"));
+            FLOOR.inc();
+        }
+        // Satisfied floor (or telemetry compiled out): no alerts.
+        assert!(evaluate(&reg.snapshot(), &rules).is_empty());
     }
 
     static RATIO_NUM: Counter = Counter::new();
