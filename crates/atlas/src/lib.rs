@@ -5,7 +5,8 @@
 //! re-running everything on every change is the binding constraint
 //! (ISSUE 6, ROADMAP "Incremental, parallel VC audit"). This crate is
 //! the cheap static layer that carries the load: it parses the whole
-//! workspace with `veros-lint`'s zero-dependency lexer, extracts an
+//! workspace with the zero-dependency lexer it hosts ([`lexer`],
+//! [`source`] — shared downstream by `veros-lint`), extracts an
 //! item graph ([`model`]), resolves conservative callee/use edges
 //! ([`graph`]), anchors every `engine.register(...)` site to a VC name
 //! pattern and seed set ([`anchors`]), and computes each obligation's
@@ -18,10 +19,13 @@
 //! claims are counted in [`Coverage`] and gated in CI, and changed
 //! files wholly unknown to the map select *every* obligation.
 
+pub mod access;
 pub mod anchors;
 pub mod changes;
 pub mod graph;
+pub mod lexer;
 pub mod model;
+pub mod source;
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
@@ -56,6 +60,58 @@ pub struct Coverage {
     pub unpatterned_sites: Vec<String>,
 }
 
+/// The shared file/item/edge view of the workspace: the layer both the
+/// VC dependency map and the lint protocol passes are built on.
+pub struct ItemGraph {
+    pub files: Vec<AtlasFile>,
+    pub items: Vec<Item>,
+    pub imports: Vec<Imports>,
+    pub graph: Graph,
+}
+
+impl ItemGraph {
+    /// Builds the graph for the workspace rooted at `root`.
+    pub fn load(root: &Path) -> io::Result<ItemGraph> {
+        Ok(Self::from_files(model::load_files(root)?))
+    }
+
+    /// Builds from in-memory sources (fixture tests).
+    pub fn from_sources(sources: &[(&str, &str)]) -> ItemGraph {
+        Self::from_files(
+            sources
+                .iter()
+                .map(|(p, s)| AtlasFile::from_source(p, s))
+                .collect(),
+        )
+    }
+
+    pub fn from_files(files: Vec<AtlasFile>) -> ItemGraph {
+        let mut items = Vec::new();
+        for (i, f) in files.iter().enumerate() {
+            model::extract_items(i, f, &mut items);
+        }
+        let idx = Index::build(&files, &items);
+        let imports: Vec<Imports> = files.iter().map(graph::imports_of).collect();
+        let graph = Graph::build(&files, &items, &idx, &imports);
+        ItemGraph {
+            files,
+            items,
+            imports,
+            graph,
+        }
+    }
+
+    /// Innermost non-preamble item containing 1-based `line` of `file`.
+    pub fn item_at(&self, file: usize, line: usize) -> Option<usize> {
+        model::innermost_item(&self.items, file, line)
+    }
+
+    /// The per-atomic-field access table over this graph's files.
+    pub fn access_table(&self) -> access::AccessTable {
+        access::AccessTable::build(&self.files, &self.items)
+    }
+}
+
 /// The dependency map: files, items, edges, and anchored sites.
 pub struct DepMap {
     pub files: Vec<AtlasFile>,
@@ -87,13 +143,13 @@ impl DepMap {
     }
 
     fn from_files(files: Vec<AtlasFile>) -> DepMap {
-        let mut items = Vec::new();
-        for (i, f) in files.iter().enumerate() {
-            model::extract_items(i, f, &mut items);
-        }
+        let ItemGraph {
+            files,
+            items,
+            imports,
+            graph,
+        } = ItemGraph::from_files(files);
         let idx = Index::build(&files, &items);
-        let imports: Vec<Imports> = files.iter().map(graph::imports_of).collect();
-        let graph = Graph::build(&files, &items, &idx, &imports);
 
         let mut sites = Vec::new();
         for (i, f) in files.iter().enumerate() {

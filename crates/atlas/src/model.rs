@@ -1,6 +1,7 @@
 //! The atlas file/item model: every workspace `.rs` file scanned twice
-//! (raw text for name-pattern extraction, lexed code via `veros-lint`
-//! for structure), and a brace-depth item extractor that recovers
+//! (raw text for name-pattern extraction, lexed code via the shared
+//! [`crate::lexer`] for structure), and a brace-depth item extractor
+//! that recovers
 //! `fn`/`impl`/`struct`/`enum`/`trait`/`mod`/`macro_rules!` definitions
 //! with their line ranges.
 //!
@@ -14,7 +15,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use veros_lint::source::SourceFile;
+use crate::source::SourceFile;
 
 /// Directory names never descended into (mirrors veros-lint).
 const EXCLUDED_DIRS: &[&str] = &["target", ".git", ".github", "results"];
@@ -109,7 +110,7 @@ impl AtlasFile {
 }
 
 /// Walks `root` collecting every `.rs` file, sorted by path (mirrors
-/// `veros_lint::source::Workspace::load`, but keeps raw text too).
+/// `crate::source::Workspace::load`, but keeps raw text too).
 pub fn load_files(root: &Path) -> io::Result<Vec<AtlasFile>> {
     let mut files = Vec::new();
     let mut stack = vec![root.to_path_buf()];
@@ -291,6 +292,24 @@ fn find_word_pos(s: &str, word: &str) -> Option<usize> {
         start = at + word.len();
     }
     None
+}
+
+/// Innermost non-preamble item containing 1-based `line` of `file`
+/// (smallest covering range wins, so an `fn` beats its `impl` block).
+pub fn innermost_item(items: &[Item], file: usize, line: usize) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    let mut best_span = usize::MAX;
+    for (id, it) in items.iter().enumerate() {
+        if it.file != file || it.kind == ItemKind::Preamble || !it.contains_line(line) {
+            continue;
+        }
+        let span: usize = it.ranges.iter().map(|&(a, b)| b - a + 1).sum();
+        if span < best_span {
+            best = Some(id);
+            best_span = span;
+        }
+    }
+    best
 }
 
 /// A header whose body/terminator has not been seen yet.

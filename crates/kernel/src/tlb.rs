@@ -48,11 +48,16 @@ struct Slot {
     /// Seqlock stamp: even = stable, odd = a fill is in flight.
     seq: AtomicU64,
     /// The 4 KiB page key (`va >> 12`) this slot caches.
+    // protocol: seqlock(seq)
     page: AtomicU64,
     /// Packed answer; see [`pack`].
+    // protocol: seqlock(seq)
     data: AtomicU64,
     /// Value of the cache epoch the filler observed before its walk.
-    epoch: AtomicU64,
+    /// (Named `fill_epoch` to keep it distinct from the cache-wide
+    /// [`TranslationCache::epoch`] counter it snapshots.)
+    // protocol: seqlock(seq)
+    fill_epoch: AtomicU64,
 }
 
 impl Slot {
@@ -61,7 +66,7 @@ impl Slot {
             seq: AtomicU64::new(0),
             page: AtomicU64::new(u64::MAX),
             data: AtomicU64::new(0),
-            epoch: AtomicU64::new(0),
+            fill_epoch: AtomicU64::new(0),
         }
     }
 }
@@ -146,14 +151,22 @@ impl TranslationCache {
         if s1 & 1 != 0 {
             return None;
         }
+        // lint: allow(atomics-ordering) — seqlock triple reads: the
+        // acquire load of `seq` above orders them after the stamp, and
+        // the fence below orders them before the re-read; the fields
+        // themselves need no individual edges.
         let k = slot.page.load(Ordering::Relaxed);
+        // lint: allow(atomics-ordering) — same seqlock triple read.
         let d = slot.data.load(Ordering::Relaxed);
-        let e = slot.epoch.load(Ordering::Relaxed);
+        // lint: allow(atomics-ordering) — same seqlock triple read.
+        let e = slot.fill_epoch.load(Ordering::Relaxed);
         // Order the triple reads before the stamp re-read: if the stamp
         // is unchanged and even, no fill overlapped them and the triple
         // is a consistent snapshot (each field is atomic, so the only
         // hazard is mixing fields of different fills).
         fence(Ordering::Acquire);
+        // lint: allow(atomics-ordering) — the acquire *fence* above is
+        // the ordering edge for this re-read; a Relaxed load suffices.
         let s2 = slot.seq.load(Ordering::Relaxed);
         if s1 != s2 || k != page || e != self.epoch.load(Ordering::Acquire) {
             return None;
@@ -168,20 +181,30 @@ impl TranslationCache {
     pub fn fill(&self, va: VAddr, ans: &ResolveAnswer, epoch_at_walk: u64) {
         let page = va.0 >> 12;
         let slot = &self.slots[(page as usize) & (SLOTS - 1)];
+        // lint: allow(atomics-ordering) — opportunistic stamp probe;
+        // the CAS below is the synchronizing access, this load only
+        // picks the expected value (a stale read just fails the CAS).
         let s = slot.seq.load(Ordering::Relaxed);
         if s & 1 != 0 {
             return;
         }
         if slot
             .seq
+            // lint: allow(atomics-ordering) — Relaxed on *failure* only:
+            // a failed claim publishes nothing and reads nothing guarded.
             .compare_exchange(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
             .is_err()
         {
             return;
         }
+        // lint: allow(atomics-ordering) — seqlock triple writes: the
+        // odd stamp from the CAS above already invalidates the slot for
+        // readers, and the Release store below publishes all three.
         slot.page.store(page, Ordering::Relaxed);
+        // lint: allow(atomics-ordering) — same seqlock triple write.
         slot.data.store(pack(va.0, ans), Ordering::Relaxed);
-        slot.epoch.store(epoch_at_walk, Ordering::Relaxed);
+        // lint: allow(atomics-ordering) — same seqlock triple write.
+        slot.fill_epoch.store(epoch_at_walk, Ordering::Relaxed);
         slot.seq.store(s + 2, Ordering::Release);
     }
 }
@@ -271,13 +294,23 @@ mod tests {
         // publish true answers, an invalidator bumps the epoch, readers
         // assert any hit is the truth — regardless of interleaving.
         let c = Arc::new(TranslationCache::new());
+        // The seqlock's races show up within a few hundred fills; the
+        // long native run is for schedule variety Miri does not need.
+        #[cfg(miri)]
+        const FILLS: u64 = 500;
+        #[cfg(not(miri))]
+        const FILLS: u64 = 20_000;
+        #[cfg(miri)]
+        const INVALIDATES: u64 = 100;
+        #[cfg(not(miri))]
+        const INVALIDATES: u64 = 5_000;
         let pages = 4 * SLOTS as u64;
         let truth = move |page: u64| answer_4k(page << 12, 0x100_0000 + (page << 12));
         let mut handles = Vec::new();
         for t in 0..2 {
             let c = Arc::clone(&c);
             handles.push(std::thread::spawn(move || {
-                for i in 0..20_000u64 {
+                for i in 0..FILLS {
                     let page = (i * 7 + t * 13) % pages;
                     let e = c.epoch();
                     c.fill(VAddr(page << 12), &truth(page), e);
@@ -287,7 +320,7 @@ mod tests {
         {
             let c = Arc::clone(&c);
             handles.push(std::thread::spawn(move || {
-                for _ in 0..5_000 {
+                for _ in 0..INVALIDATES {
                     c.invalidate_all();
                 }
             }));

@@ -7,8 +7,10 @@
 //! relaxed atomics in the NR layer are individually reviewed, and every
 //! module documents its role. This crate makes those conventions
 //! machine-checked: a hand-rolled lexer ([`lexer`]), a workspace model
-//! ([`source`]), a lint registry ([`lints`]), and baseline support
-//! ([`baseline`]) behind a `veros-lint` binary. Zero external
+//! ([`source`]) (both hosted by `veros-atlas` and shared with its item
+//! graph), a lint registry ([`lints`]), flow-aware concurrency-protocol
+//! passes over the atlas access table ([`protocol`]), and baseline
+//! support ([`baseline`]) behind a `veros-lint` binary. No external
 //! dependencies, so it builds offline with the rest of the workspace.
 //!
 //! Run it as CI does:
@@ -19,18 +21,25 @@
 
 pub mod baseline;
 pub mod diag;
-pub mod lexer;
 pub mod lints;
-pub mod source;
+pub mod protocol;
+
+// The lexer and workspace model moved into `veros-atlas` so the atlas
+// item graph and the lints share one scanner; re-export them under the
+// historical paths so `veros_lint::source::Workspace` keeps working.
+pub use veros_atlas::{lexer, source};
 
 use std::io;
 use std::path::Path;
 
-/// Loads the workspace at `root` and runs the full registry, returning
-/// findings sorted by file and line.
+/// Loads the workspace at `root` and runs the full registry plus the
+/// protocol passes, returning findings sorted by file and line.
 pub fn check(root: &Path) -> io::Result<Vec<diag::Diagnostic>> {
     let ws = source::Workspace::load(root)?;
-    Ok(lints::run_all(&ws))
+    let mut out = lints::run_all(&ws);
+    protocol::Analysis::load(root)?.run(&mut out);
+    out.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    Ok(out)
 }
 
 #[cfg(test)]

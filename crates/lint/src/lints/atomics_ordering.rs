@@ -1,11 +1,15 @@
 //! L4 `atomics-ordering`: `Ordering::Relaxed` in `crates/nr`,
-//! `crates/uring`, and `crates/ulib` must be an explicitly reviewed
-//! site. The NR log's correctness argument leans on acquire/release
-//! edges, the uring SPSC rings publish slot contents with a Release
-//! store that a stray `Relaxed` would silently unorder, and the ulib
-//! ring executor's park/unpark handshake rides those same edges; all
-//! three are exactly the kind of bug the linearizability checkers can
-//! miss on a lucky schedule. Reviewed sites carry
+//! `crates/uring`, `crates/ulib`, `crates/telemetry`, and
+//! `crates/kernel` must be an explicitly reviewed site. The NR log's
+//! correctness argument leans on acquire/release edges, the uring SPSC
+//! rings publish slot contents with a Release store that a stray
+//! `Relaxed` would silently unorder, the ulib ring executor's
+//! park/unpark handshake rides those same edges, the telemetry
+//! instruments deliberately trade exactness for Relaxed traffic (each
+//! trade carries its own argument), and the kernel's translation cache
+//! is a seqlock whose Relaxed triple reads are sound only under its
+//! fence; all of these are exactly the kind of bug the linearizability
+//! checkers can miss on a lucky schedule. Reviewed sites carry
 //! `// lint: allow(atomics-ordering) — <why Relaxed is sound here>`.
 
 use crate::diag::{Diagnostic, Severity};
@@ -21,13 +25,15 @@ impl super::Lint for AtomicsOrdering {
     }
 
     fn describe(&self) -> &'static str {
-        "`Ordering::Relaxed` in crates/{nr,uring,ulib} outside reviewed sites"
+        "`Ordering::Relaxed` in crates/{nr,uring,ulib,telemetry,kernel} outside reviewed sites"
     }
 
     fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
         for file in &ws.files {
-            let in_scope = matches!(file.crate_name.as_deref(), Some("nr" | "uring" | "ulib"))
-                && !file.test_path
+            let in_scope = matches!(
+                file.crate_name.as_deref(),
+                Some("nr" | "uring" | "ulib" | "telemetry" | "kernel")
+            ) && !file.test_path
                 && file.rel_path.contains("/src/");
             if !in_scope {
                 continue;
@@ -90,8 +96,16 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_and_kernel_are_in_scope() {
+        let out = run_on("crates/telemetry/src/counter.rs", "a.load(Ordering::Relaxed);\n");
+        assert_eq!(out.len(), 1);
+        let out = run_on("crates/kernel/src/tlb.rs", "a.load(Ordering::Relaxed);\n");
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
     fn other_crates_and_tests_out_of_scope() {
-        assert!(run_on("crates/kernel/src/x.rs", "a.load(Ordering::Relaxed);\n").is_empty());
+        assert!(run_on("crates/bench/src/x.rs", "a.load(Ordering::Relaxed);\n").is_empty());
         assert!(run_on("crates/nr/tests/t.rs", "a.load(Ordering::Relaxed);\n").is_empty());
         let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { a.load(Ordering::Relaxed); }\n}\n";
         assert!(run_on("crates/nr/src/log.rs", in_test).is_empty());

@@ -1,22 +1,37 @@
-//! The `veros-lint` binary: run the spec-discipline lints over a
-//! workspace tree and report `file:line` findings.
+//! The `veros-lint` binary: run the spec-discipline lints and the
+//! concurrency-protocol passes over a workspace tree and report
+//! `file:line` findings.
 //!
 //! ```text
 //! veros-lint [--root DIR] [--json] [--deny] [--baseline FILE]
-//!            [--write-baseline FILE] [--list]
+//!            [--write-baseline FILE] [--list] [--changed-since REV]
+//!            [--report] [--gate]
 //! ```
 //!
+//! `--changed-since REV` filters findings to files touched since the
+//! git revision (the PR profile; full runs stay on main, mirroring the
+//! audit's split). A diff touching build config or CI falls back to the
+//! full run — the incremental view cannot bound those effects.
+//!
+//! `--report` mirrors the protocol counters to `LINT.json` in
+//! `$VEROS_RESULTS_DIR` (default `./results`); `--gate` additionally
+//! enforces the anti-vacuity floors so CI fails when the analysis goes
+//! vacuous rather than silently passing an empty population.
+//!
 //! Exit codes: 0 clean (or all findings baselined / not denied), 1 when
-//! `--deny` and at least one non-baselined error-severity finding, 2 on
-//! usage or I/O errors.
+//! `--deny` and at least one non-baselined error-severity finding (or a
+//! `--gate` floor fails), 2 on usage or I/O errors.
 
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use veros_atlas::changes::{classify, ChangeSet, PathClass};
 use veros_lint::baseline::{self, Baseline};
 use veros_lint::diag::{to_json, Severity};
-use veros_lint::lints;
+use veros_lint::protocol::{self, Counters};
 use veros_lint::source::Workspace;
+use veros_lint::lints;
 
 struct Args {
     root: PathBuf,
@@ -25,6 +40,9 @@ struct Args {
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
     list: bool,
+    changed_since: Option<String>,
+    report: bool,
+    gate: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +53,9 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         write_baseline: None,
         list: false,
+        changed_since: None,
+        report: false,
+        gate: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -50,9 +71,15 @@ fn parse_args() -> Result<Args, String> {
                     Some(PathBuf::from(it.next().ok_or("--write-baseline needs a value")?))
             }
             "--list" => args.list = true,
+            "--changed-since" => {
+                args.changed_since = Some(it.next().ok_or("--changed-since needs a revision")?)
+            }
+            "--report" => args.report = true,
+            "--gate" => args.gate = true,
             "--help" | "-h" => {
                 println!(
-                    "veros-lint [--root DIR] [--json] [--deny] [--baseline FILE] [--write-baseline FILE] [--list]"
+                    "veros-lint [--root DIR] [--json] [--deny] [--baseline FILE] \
+                     [--write-baseline FILE] [--list] [--changed-since REV] [--report] [--gate]"
                 );
                 std::process::exit(0);
             }
@@ -60,6 +87,55 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Renders the protocol counters as the `LINT.json` artifact.
+fn counters_json(c: &Counters, findings: usize, baselined: usize, incremental: bool) -> String {
+    format!(
+        "{{\n  \"bench\": \"lint\",\n  \"incremental\": {incremental},\n  \
+         \"findings\": {findings},\n  \"baselined\": {baselined},\n  \
+         \"atomic_fields\": {},\n  \"accesses\": {},\n  \"publication_pairs\": {},\n  \
+         \"seqlock_fields\": {},\n  \"guard_fields\": {},\n  \"guards_resolved\": {},\n  \
+         \"unresolved_guards\": {},\n  \"unknown_orderings\": {},\n  \
+         \"unbound_accesses\": {},\n  \"ambiguous_fields\": {}\n}}\n",
+        c.atomic_fields,
+        c.accesses,
+        c.publication_pairs,
+        c.seqlock_fields,
+        c.guard_fields,
+        c.guards_resolved,
+        c.unresolved_guards,
+        c.unknown_orderings,
+        c.unbound_accesses,
+        c.ambiguous_fields,
+    )
+}
+
+/// The anti-vacuity floors: the analyzer must have seen a real
+/// population and resolved everything resolvable. Returns the list of
+/// violated floors.
+fn gate_failures(c: &Counters) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut floor = |name: &str, got: usize, min: usize| {
+        if got < min {
+            out.push(format!("{name} = {got} (floor {min})"));
+        }
+    };
+    floor("atomic_fields", c.atomic_fields, 20);
+    floor("publication_pairs", c.publication_pairs, 10);
+    floor("seqlock_fields", c.seqlock_fields, 1);
+    floor("guard_fields", c.guard_fields, 1);
+    floor("guards_resolved", c.guards_resolved, 1);
+    let mut zero = |name: &str, got: usize| {
+        if got != 0 {
+            out.push(format!("{name} = {got} (must be 0)"));
+        }
+    };
+    zero("unresolved_guards", c.unresolved_guards);
+    zero("unknown_orderings", c.unknown_orderings);
+    zero("unbound_accesses", c.unbound_accesses);
+    zero("ambiguous_fields", c.ambiguous_fields);
+    out
 }
 
 fn main() -> ExitCode {
@@ -75,6 +151,13 @@ fn main() -> ExitCode {
         for lint in lints::registry() {
             println!("{:<22} {}", lint.id(), lint.describe());
         }
+        for (id, what) in [
+            (protocol::PUBLICATION, "releasing stores must pair with acquiring loads"),
+            (protocol::SEQLOCK, "`protocol: seqlock(..)` fields bracketed by stamp accesses"),
+            (protocol::GUARD, "`guarded-by:` fields touched only under their lock"),
+        ] {
+            println!("{id:<22} {what}");
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -85,7 +168,51 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let all = lints::run_all(&ws);
+    let mut all = lints::run_all(&ws);
+    let analysis = match protocol::Analysis::load(&args.root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("veros-lint: cannot build the protocol analysis: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let counters = analysis.run(&mut all);
+    all.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+
+    // Incremental mode: keep only findings in files the diff touched.
+    // The analysis itself always runs workspace-wide (pairing is a
+    // global property); only the *reporting* narrows, so a PR is judged
+    // on the protocols its files participate in.
+    let mut incremental = false;
+    if let Some(rev) = &args.changed_since {
+        match ChangeSet::from_git(&args.root, rev) {
+            Err(e) => {
+                eprintln!("veros-lint: --changed-since {rev}: {e}");
+                return ExitCode::from(2);
+            }
+            Ok(cs) => {
+                let select_all = cs
+                    .files
+                    .keys()
+                    .any(|p| classify(p) == PathClass::SelectAll);
+                if select_all {
+                    eprintln!(
+                        "veros-lint: diff touches build/CI config — full run instead of incremental"
+                    );
+                } else {
+                    incremental = true;
+                    let before = all.len();
+                    all.retain(|d| cs.files.contains_key(&d.file));
+                    eprintln!(
+                        "veros-lint: incremental vs {rev}: {} changed files, {} of {} findings in scope",
+                        cs.files.len(),
+                        all.len(),
+                        before,
+                    );
+                }
+            }
+        }
+    }
 
     if let Some(path) = &args.write_baseline {
         if let Err(e) = std::fs::write(path, to_json(&all)) {
@@ -126,10 +253,52 @@ fn main() -> ExitCode {
             ws.files.len(),
             baselined.len()
         );
+        println!(
+            "veros-lint: protocols: {} atomic fields, {} accesses, {} publication pairs, \
+             {} seqlock fields, {}/{} guards resolved",
+            counters.atomic_fields,
+            counters.accesses,
+            counters.publication_pairs,
+            counters.seqlock_fields,
+            counters.guards_resolved,
+            counters.guard_fields,
+        );
+    }
+
+    let mut failed = false;
+    if args.report {
+        let json = counters_json(&counters, fresh.len(), baselined.len(), incremental);
+        let dir = match std::env::var_os("VEROS_RESULTS_DIR") {
+            Some(d) => PathBuf::from(d),
+            None => args.root.join("results"),
+        };
+        let write = std::fs::create_dir_all(&dir).and_then(|()| {
+            let path = dir.join("LINT.json");
+            std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes()))?;
+            Ok(path)
+        });
+        match write {
+            Ok(path) => eprintln!("veros-lint: report written to {}", path.display()),
+            Err(e) => {
+                eprintln!("veros-lint: cannot write LINT.json: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if args.gate {
+        let violations = gate_failures(&counters);
+        for v in &violations {
+            eprintln!("veros-lint: gate: {v}");
+        }
+        if violations.is_empty() {
+            eprintln!("veros-lint: gate: all anti-vacuity floors hold");
+        }
+        failed |= !violations.is_empty();
     }
 
     let deny_hits = fresh.iter().any(|d| d.severity == Severity::Error);
-    if args.deny && deny_hits {
+    failed |= args.deny && deny_hits;
+    if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

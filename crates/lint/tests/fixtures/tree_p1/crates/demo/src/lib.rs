@@ -1,0 +1,32 @@
+//! Fixture: both publication-pairing violations — a Release store
+//! nothing acquires, and an Acquire load over Relaxed-only stores.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Flags {
+    ready: AtomicU64,
+    state: AtomicU64,
+}
+
+impl Flags {
+    /// Publishes readiness — but no reader ever acquire-loads `ready`,
+    /// so the Release edge dangles.
+    pub fn publish(&self) {
+        self.ready.store(1, Ordering::Release);
+    }
+
+    /// The only reader of `ready`, and it is Relaxed.
+    pub fn peek(&self) -> u64 {
+        self.ready.load(Ordering::Relaxed)
+    }
+
+    /// Every store to `state` is Relaxed...
+    pub fn set_state(&self, v: u64) {
+        self.state.store(v, Ordering::Relaxed);
+    }
+
+    /// ...so this Acquire load synchronizes with nothing.
+    pub fn read_state(&self) -> u64 {
+        self.state.load(Ordering::Acquire)
+    }
+}

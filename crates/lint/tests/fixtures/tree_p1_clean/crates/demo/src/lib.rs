@@ -1,0 +1,31 @@
+//! Fixture: the clean twin of `tree_p1` — every Release store has an
+//! Acquire load and vice versa.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Flags {
+    ready: AtomicU64,
+    state: AtomicU64,
+}
+
+impl Flags {
+    /// Publishes readiness; `wait` acquires it.
+    pub fn publish(&self) {
+        self.ready.store(1, Ordering::Release);
+    }
+
+    /// Pairs with `publish`.
+    pub fn wait(&self) -> u64 {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    /// Pairs with `read_state`.
+    pub fn set_state(&self, v: u64) {
+        self.state.store(v, Ordering::Release);
+    }
+
+    /// Pairs with `set_state`.
+    pub fn read_state(&self) -> u64 {
+        self.state.load(Ordering::Acquire)
+    }
+}

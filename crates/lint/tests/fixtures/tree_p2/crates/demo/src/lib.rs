@@ -1,0 +1,30 @@
+//! Fixture: seqlock-discipline violation — the writer stores into the
+//! guarded field without touching the stamp at all.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Cell {
+    seq: AtomicU64,
+    // protocol: seqlock(seq)
+    data: AtomicU64,
+}
+
+impl Cell {
+    /// Writes the payload with no stamp bump on either side: a reader
+    /// can never tell this write raced its snapshot.
+    pub fn write(&self, v: u64) {
+        self.data.store(v, Ordering::Release);
+    }
+
+    /// The reader side is disciplined: stamp, payload, stamp re-check.
+    pub fn read(&self) -> Option<u64> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        let v = self.data.load(Ordering::Acquire);
+        let s2 = self.seq.load(Ordering::Acquire);
+        if s1 == s2 {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Fixture: the clean twin of `tree_p2` — the writer brackets the
+//! payload store with stamp bumps and the reader re-checks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Cell {
+    seq: AtomicU64,
+    // protocol: seqlock(seq)
+    data: AtomicU64,
+}
+
+impl Cell {
+    /// Bumps to odd, writes, bumps to even: a racing reader sees
+    /// either an odd stamp or a changed one.
+    pub fn write(&self, v: u64) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s + 1, Ordering::Release);
+        self.data.store(v, Ordering::Release);
+        self.seq.store(s + 2, Ordering::Release);
+    }
+
+    /// Stamp, payload, stamp re-check.
+    pub fn read(&self) -> Option<u64> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        let v = self.data.load(Ordering::Acquire);
+        let s2 = self.seq.load(Ordering::Acquire);
+        if s1 == s2 && s1 % 2 == 0 {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}

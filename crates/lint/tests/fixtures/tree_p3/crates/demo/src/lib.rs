@@ -1,0 +1,25 @@
+//! Fixture: guard-discipline violation — a `guarded-by:` field touched
+//! from an item whose footprint never acquires the lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Account {
+    lock: Mutex<u64>,
+    // guarded-by: lock
+    dirty: AtomicU64,
+}
+
+impl Account {
+    /// Touches `dirty` with the lock held — disciplined.
+    pub fn update(&self) {
+        if let Ok(_g) = self.lock.lock() {
+            self.dirty.store(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads `dirty` without the lock anywhere in its footprint.
+    pub fn rogue(&self) -> u64 {
+        self.dirty.load(Ordering::Relaxed)
+    }
+}

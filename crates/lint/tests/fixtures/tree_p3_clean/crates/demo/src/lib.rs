@@ -1,0 +1,31 @@
+//! Fixture: the clean twin of `tree_p3` — every touch of the guarded
+//! field happens under the lock, directly or through a callee.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Account {
+    lock: Mutex<u64>,
+    // guarded-by: lock
+    dirty: AtomicU64,
+}
+
+impl Account {
+    /// Touches `dirty` with the lock held.
+    pub fn update(&self) {
+        if let Ok(_g) = self.lock.lock() {
+            self.dirty.store(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Touches `dirty` inside a helper that acquires the lock itself —
+    /// the transitive footprint counts.
+    pub fn audit(&self) -> u64 {
+        self.locked_read()
+    }
+
+    fn locked_read(&self) -> u64 {
+        let _g = self.lock.lock();
+        self.dirty.load(Ordering::Relaxed)
+    }
+}

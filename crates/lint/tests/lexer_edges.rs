@@ -1,0 +1,36 @@
+//! The lint side of the shared lexer edge-case fixture: the scanner
+//! the lints run on is the atlas scanner re-exported, and it must
+//! classify the tricky lines identically. The deep per-line assertions
+//! live in `crates/atlas/tests/lexer_edges.rs`; this twin pins the
+//! re-export to the same behavior.
+
+use veros_lint::lexer::scan;
+
+const FIXTURE: &str = include_str!("../../atlas/tests/fixtures/lexer_edges.rs");
+
+#[test]
+fn reexported_scanner_matches_the_atlas_scanner_on_the_edge_fixture() {
+    let ours = scan(FIXTURE);
+    let theirs = veros_atlas::lexer::scan(FIXTURE);
+    assert_eq!(ours.len(), theirs.len());
+    for (a, b) in ours.iter().zip(theirs.iter()) {
+        assert_eq!(a.code, b.code);
+        assert_eq!(a.comment, b.comment);
+    }
+}
+
+#[test]
+fn edge_lines_classify_for_lint_purposes() {
+    let lines = scan(FIXTURE);
+    // Raw/byte strings never open comments: the suppression walker and
+    // keyword matchers must see these as plain code lines.
+    for idx in [3, 4, 5, 6, 7] {
+        assert!(lines[idx].comment.is_empty(), "line {idx} has no comment");
+        assert!(!lines[idx].is_code_blank(), "line {idx} is code");
+    }
+    // A nested block comment plus trailing code is both.
+    assert!(!lines[8].is_code_blank());
+    assert!(!lines[8].comment.is_empty());
+    // `//` inside a string is not a suppression site.
+    assert!(!lines[9].comment.contains("with slashes"));
+}

@@ -32,6 +32,7 @@ use crate::dispatch::Dispatch;
 /// `take` odd→even.
 pub(crate) struct SeqCell<T> {
     seq: AtomicUsize,
+    // protocol: seqlock(seq)
     val: UnsafeCell<Option<T>>,
 }
 
@@ -147,12 +148,18 @@ mod tests {
     #[test]
     fn ping_pong_across_threads() {
         use std::sync::Arc;
+        // Miri explores every interleaving orders of magnitude slower;
+        // a short run still covers the stamp protocol's transitions.
+        #[cfg(miri)]
+        const ROUNDS: u64 = 200;
+        #[cfg(not(miri))]
+        const ROUNDS: u64 = 10_000;
         let op: Arc<SeqCell<u64>> = Arc::new(SeqCell::default());
         let resp: Arc<SeqCell<u64>> = Arc::new(SeqCell::default());
         let (op2, resp2) = (Arc::clone(&op), Arc::clone(&resp));
         let consumer = std::thread::spawn(move || {
             let mut sum = 0u64;
-            for _ in 0..10_000 {
+            for _ in 0..ROUNDS {
                 loop {
                     if let Some(v) = op2.take() {
                         sum += v;
@@ -165,7 +172,7 @@ mod tests {
             sum
         });
         let mut expect = 0u64;
-        for i in 0..10_000u64 {
+        for i in 0..ROUNDS {
             op.publish(i);
             expect += i;
             loop {

@@ -30,6 +30,7 @@ pub struct Replica<D: Dispatch> {
     /// it, so it rides the combiner's cache traffic for free. Present
     /// (and zero) even with telemetry off so the struct layout does not
     /// depend on the feature.
+    // guarded-by: data
     pub(crate) pending_appends: CachePadded<core::sync::atomic::AtomicU64>,
 }
 

@@ -94,6 +94,9 @@ impl Counter {
     fn slot(&self) -> usize {
         *self
             .id
+            // lint: allow(atomics-ordering) — pure ID allocation: only
+            // uniqueness of the fetched value matters, no payload is
+            // published under it.
             .get_or_init(|| NEXT_ID.fetch_add(1, Ordering::Relaxed).min(MAX_COUNTERS - 1))
     }
 
@@ -113,7 +116,13 @@ impl Counter {
             // valid for the remainder of the program.
             let cell = unsafe { &(*ptr).cells[slot] };
             cell.store(
+                // lint: allow(atomics-ordering) — single-writer cell:
+                // the shard is thread-local, so this load/store pair is
+                // a private read-modify-write; readers tolerate lag by
+                // the documented exactness model.
                 cell.load(Ordering::Relaxed).wrapping_add(n),
+                // lint: allow(atomics-ordering) — same single-writer
+                // cell store.
                 Ordering::Relaxed,
             );
         }
@@ -141,6 +150,9 @@ impl Counter {
             };
             shards
                 .iter()
+                // lint: allow(atomics-ordering) — statistical read: the
+                // sum may lag in-flight writers by design (the module's
+                // exactness model); an acquire edge would not close it.
                 .map(|s| s.cells[slot].load(Ordering::Relaxed))
                 .fold(0u64, u64::wrapping_add)
         }
@@ -180,6 +192,11 @@ mod tests {
     #[test]
     fn concurrent_increments_are_never_lost() {
         const THREADS: usize = 8;
+        // Exactness needs volume natively; under Miri the point is the
+        // memory model, which a short run exercises just as well.
+        #[cfg(miri)]
+        const PER_THREAD: u64 = 500;
+        #[cfg(not(miri))]
         const PER_THREAD: u64 = 50_000;
         let before = STRESS.get();
         let handles: Vec<_> = (0..THREADS)

@@ -81,12 +81,19 @@ impl Histogram {
         #[cfg(feature = "telemetry")]
         {
             let bump = |cell: &AtomicU64, n: u64| {
+                // lint: allow(atomics-ordering) — statistical cells:
+                // racing bumps may drop increments by the module's
+                // documented exactness model; no payload rides on them.
                 cell.store(cell.load(Ordering::Relaxed).wrapping_add(n), Ordering::Relaxed);
             };
             bump(&self.buckets[bucket_index(v)], 1);
             bump(&self.count, 1);
             bump(&self.sum, v);
+            // lint: allow(atomics-ordering) — statistical max: a racing
+            // larger value may win or lose either way; ordering cannot
+            // change that.
             if v > self.max.load(Ordering::Relaxed) {
+                // lint: allow(atomics-ordering) — same statistical max.
                 self.max.store(v, Ordering::Relaxed);
             }
         }
@@ -113,6 +120,8 @@ impl Histogram {
     pub fn count(&self) -> u64 {
         #[cfg(feature = "telemetry")]
         {
+            // lint: allow(atomics-ordering) — statistical read;
+            // see the module exactness model.
             self.count.load(Ordering::Relaxed)
         }
         #[cfg(not(feature = "telemetry"))]
@@ -125,6 +134,8 @@ impl Histogram {
     pub fn sum(&self) -> u64 {
         #[cfg(feature = "telemetry")]
         {
+            // lint: allow(atomics-ordering) — statistical read;
+            // see the module exactness model.
             self.sum.load(Ordering::Relaxed)
         }
         #[cfg(not(feature = "telemetry"))]
@@ -137,6 +148,8 @@ impl Histogram {
     pub fn max(&self) -> u64 {
         #[cfg(feature = "telemetry")]
         {
+            // lint: allow(atomics-ordering) — statistical read;
+            // see the module exactness model.
             self.max.load(Ordering::Relaxed)
         }
         #[cfg(not(feature = "telemetry"))]
@@ -154,6 +167,8 @@ impl Histogram {
             let counts: Vec<u64> = self
                 .buckets
                 .iter()
+                // lint: allow(atomics-ordering) — statistical bucket
+                // snapshot; see the module exactness model.
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect();
             quantile_from_buckets(&counts, q)
@@ -175,18 +190,29 @@ impl Histogram {
         #[cfg(feature = "telemetry")]
         {
             let bump = |cell: &AtomicU64, n: u64| {
+                // lint: allow(atomics-ordering) — statistical cells, as
+                // in `record`; merging tolerates racing bumps.
                 cell.store(cell.load(Ordering::Relaxed).wrapping_add(n), Ordering::Relaxed);
             };
             for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+                // lint: allow(atomics-ordering) — statistical read of
+                // the source histogram; see the module exactness model.
                 let n = theirs.load(Ordering::Relaxed);
                 if n > 0 {
                     bump(mine, n);
                 }
             }
+            // lint: allow(atomics-ordering) — statistical reads of
+            // the source histogram; see the module exactness model.
             bump(&self.count, other.count.load(Ordering::Relaxed));
+            // lint: allow(atomics-ordering) — same statistical read.
             bump(&self.sum, other.sum.load(Ordering::Relaxed));
+            // lint: allow(atomics-ordering) — same statistical read.
             let theirs = other.max.load(Ordering::Relaxed);
+            // lint: allow(atomics-ordering) — statistical max, as in
+            // `record`.
             if theirs > self.max.load(Ordering::Relaxed) {
+                // lint: allow(atomics-ordering) — same statistical max.
                 self.max.store(theirs, Ordering::Relaxed);
             }
         }
@@ -202,6 +228,8 @@ impl Histogram {
                 .buckets
                 .iter()
                 .enumerate()
+                // lint: allow(atomics-ordering) — statistical bucket
+                // snapshot; see the module exactness model.
                 .map(|(i, b)| (i, b.load(Ordering::Relaxed)))
                 .filter(|&(_, n)| n > 0)
                 .collect();

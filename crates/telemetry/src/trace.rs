@@ -54,8 +54,11 @@ struct Slot {
     /// the empty state is distinguishable); [`WRITING`] = claimed by a
     /// writer mid-publish.
     seq: AtomicU64,
+    // protocol: seqlock(seq)
     ts_ns: AtomicU64,
+    // protocol: seqlock(seq)
     code: AtomicU64,
+    // protocol: seqlock(seq)
     value: AtomicU64,
 }
 
@@ -112,6 +115,9 @@ impl TraceRing {
     pub fn record(&self, code: u64, value: u64) {
         #[cfg(feature = "telemetry")]
         {
+            // lint: allow(atomics-ordering) — the head only hands
+            // out positions; slot contents are published by the slot's
+            // own SeqCst stamp protocol, not by this counter.
             let i = self.head.fetch_add(1, Ordering::Relaxed);
             let slot = &self.slots[(i % CAPACITY as u64) as usize];
             // Claim: the marker both excludes the colliding writer and
@@ -135,6 +141,8 @@ impl TraceRing {
     pub fn recorded(&self) -> u64 {
         #[cfg(feature = "telemetry")]
         {
+            // lint: allow(atomics-ordering) — monotonic counter read
+            // for reporting; no payload is acquired through it.
             self.head.load(Ordering::Relaxed)
         }
         #[cfg(not(feature = "telemetry"))]
@@ -150,7 +158,12 @@ impl TraceRing {
     pub fn events(&self) -> Vec<TraceEvent> {
         #[cfg(feature = "telemetry")]
         {
-            let head = self.head.load(Ordering::Acquire);
+            // lint: allow(atomics-ordering) — the head is only a
+            // position counter: every store to it is a Relaxed
+            // `fetch_add`, so an acquiring load here would synchronize
+            // with nothing. Slot consistency comes from the `seq`
+            // stamps, not the head.
+            let head = self.head.load(Ordering::Relaxed);
             let start = head.saturating_sub(CAPACITY as u64);
             let mut out = Vec::new();
             for i in start..head {
@@ -239,7 +252,11 @@ mod tests {
         let writers: Vec<_> = (0..4u64)
             .map(|t| {
                 std::thread::spawn(move || {
-                    for i in 0..2_000u64 {
+                    #[cfg(miri)]
+                    const EVENTS: u64 = 200;
+                    #[cfg(not(miri))]
+                    const EVENTS: u64 = 2_000;
+                    for i in 0..EVENTS {
                         // code and value carry the same tag so a torn
                         // read is detectable.
                         RING.record(t * 1_000_000 + i, t * 1_000_000 + i);
