@@ -201,7 +201,7 @@ pub fn baseline_json(
     out.push_str(&format!("  \"map_sites\": {},\n", stats.sites));
     out.push_str("  \"min_speedup_milli\": 2000,\n");
     out.push_str("  \"speedup_gate_min_cores\": 4,\n");
-    out.push_str("  \"min_invariant_families\": 5,\n");
+    out.push_str("  \"min_invariant_families\": 6,\n");
     out.push_str("  \"min_invariant_schedules\": 8,\n");
     out.push_str("  \"max_unparsed\": 0,\n");
     out.push_str("  \"max_stray_headers\": 0,\n");
@@ -314,7 +314,7 @@ pub fn gate_invariants(
              the sweep runs but its contract is undocumented"
         ));
     }
-    let min_families = field_num(baseline, "min_invariant_families").unwrap_or(5.0) as usize;
+    let min_families = field_num(baseline, "min_invariant_families").unwrap_or(6.0) as usize;
     if cov.families.len() < min_families {
         out.violations.push(format!(
             "invariant coverage: {} famil{} registered, baseline requires >= {min_families}",
@@ -704,7 +704,7 @@ mod tests {
         assert!(!gate.ok());
         assert!(gate.violations.iter().any(|v| v.contains("never swept")));
         assert!(gate.violations.iter().any(|v| v.contains("undocumented")));
-        // Two balanced families still sit under the committed floor of 5.
+        // Two balanced families still sit under the committed floor of 6.
         let cov = invariant_coverage(
             DOC,
             &names(&[
@@ -716,7 +716,7 @@ mod tests {
         assert!(gate
             .violations
             .iter()
-            .any(|v| v.contains("baseline requires >= 5")));
+            .any(|v| v.contains("baseline requires >= 6")));
     }
 
     #[test]

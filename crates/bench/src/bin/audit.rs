@@ -22,10 +22,13 @@
 //!   against the backticked anchors in `INVARIANTS.md` — loud in both
 //!   directions — and writes `results/INVARIANTS_SWEEP.json` with the
 //!   per-family fault-schedule counters (floor-gated on full runs).
+//! * `--schedules N` deepens every invariant sweep to N fault
+//!   schedules per VC (nightly deep sweeps). Values below 8 are
+//!   clamped up so the pinned corner schedules are never dropped.
 //!
 //! Usage: `cargo run --release -p veros-bench --bin audit [--quick]
-//! [--serial] [--threads N] [--changed-since REV] [--explain VC]
-//! [--baseline FILE] [--write-baseline]`
+//! [--serial] [--threads N] [--schedules N] [--changed-since REV]
+//! [--explain VC] [--baseline FILE] [--write-baseline]`
 
 use std::collections::HashSet;
 use std::fmt::Write as _;
@@ -38,7 +41,7 @@ use veros_bench::audit::{
     audit_json, baseline_json, gate_against, gate_invariants, invariant_coverage,
     invariant_sweep_json, AuditRun, MapStats,
 };
-use veros_core::vcs::{register_all, Profile};
+use veros_core::vcs::{register_all_with, Profile};
 use veros_spec::report::{human_duration, render_cdf};
 use veros_spec::VcEngine;
 
@@ -46,6 +49,7 @@ struct Args {
     quick: bool,
     serial: bool,
     threads: Option<usize>,
+    schedules: Option<usize>,
     changed_since: Option<String>,
     explain: Option<String>,
     baseline: Option<PathBuf>,
@@ -57,6 +61,7 @@ fn parse_args() -> Args {
         quick: false,
         serial: false,
         threads: None,
+        schedules: None,
         changed_since: None,
         explain: None,
         baseline: None,
@@ -76,6 +81,12 @@ fn parse_args() -> Args {
             "--threads" => {
                 args.threads = Some(value("--threads").parse().unwrap_or_else(|_| {
                     eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                }))
+            }
+            "--schedules" => {
+                args.schedules = Some(value("--schedules").parse().unwrap_or_else(|_| {
+                    eprintln!("--schedules needs a number");
                     std::process::exit(2);
                 }))
             }
@@ -141,8 +152,24 @@ fn main() {
     }
 
     let profile = if args.quick { Profile::Quick } else { Profile::Full };
+    // --schedules deepens the per-VC fault-schedule sweep without
+    // changing the VC population (names and anchors stay stable).
+    // Fewer than 8 schedules would drop the pinned corner schedules
+    // (`FaultSchedule::sweep` covers every wire tier × crash corner
+    // only from 8 up), so shallow requests are clamped, loudly.
+    let schedules = args.schedules.map(|n| {
+        if n < 8 {
+            eprintln!(
+                "--schedules {n} clamped to 8: corner schedules (wire tiers x crash \
+                 corners) are only all pinned from 8 schedules up"
+            );
+            8
+        } else {
+            n
+        }
+    });
     let mut engine = VcEngine::new();
-    register_all(&mut engine, profile);
+    register_all_with(&mut engine, profile, schedules);
     let all_names = engine.names();
     let total_registered = all_names.len();
 
@@ -270,6 +297,7 @@ fn main() {
             "fs_journal" => m::FS_JOURNAL_SCHEDULES.get(),
             "frames" => m::FRAMES_SCHEDULES.get(),
             "uring_chain" => m::URING_CHAIN_SCHEDULES.get(),
+            "cluster_durability" => m::CLUSTER_DURABILITY_SCHEDULES.get(),
             _ => 0, // a new family must also add its counter
         }
     };

@@ -1,10 +1,11 @@
 //! Emits one merged telemetry snapshot covering every instrumented
-//! crate (nr, kernel, fs, net, blockstore, uring).
+//! crate (nr, kernel, fs, net, blockstore, uring, cluster).
 //!
 //! Runs a small representative workload per subsystem — the NR hot
 //! path, a kernel boot with a syscall sequence, a journaled filesystem
 //! with crash recovery, a replicated block-store cluster over the
-//! hostile simulated network, and a two-schedule mini-sweep of every
+//! hostile simulated network, a sharded fleet with a mid-run chain-node
+//! kill, and a two-schedule mini-sweep of every
 //! end-to-end invariant family — then registers each crate's
 //! `metrics::export` into one `Registry` and mirrors the JSON snapshot
 //! into the results directory (schema in OBSERVABILITY.md).
@@ -142,6 +143,41 @@ fn exercise_uring() {
     set.shutdown_all(&mut k);
 }
 
+/// Fleet: a sharded chain-replicated fleet over a mildly lossy wire —
+/// puts and gets tick the per-node/per-shard banks and the replication
+/// lag histogram, then a chain-node kill plus follow-up reads drive a
+/// failover (view epoch bump, shard sync, failover-time sample).
+fn exercise_fleet() {
+    use veros_cluster::{Fleet, FleetConfig, Op};
+    let mut f = Fleet::new(FleetConfig {
+        nodes: 6,
+        replication: 3,
+        shards: 16,
+        vnodes: 8,
+        clients: 2,
+        // A mildly lossy wire: enough retransmission traffic to move
+        // the lag histogram without stretching the run.
+        plan: FaultPlan { loss: (1, 20), duplicate: (1, 40), reorder: false },
+        seed: 7,
+        sectors: 1 << 10,
+    });
+    const BUDGET: u64 = 30_000;
+    for i in 0..6u32 {
+        let key = format!("fleet-{i}");
+        f.run_op(i as usize % 2, Op::Put { key, data: vec![i as u8; 64] }, BUDGET)
+            .expect("fleet put acked");
+    }
+    // Kill the tail — the read-serving replica — so the follow-up get
+    // has to ride out suspicion, the view change, and promotion, giving
+    // the failover-time histogram a real sample.
+    let chain = f.chain_for_key("fleet-0");
+    f.kill_node(*chain.last().expect("non-empty chain"));
+    for i in 0..6u32 {
+        let key = format!("fleet-{i}");
+        f.run_op(0, Op::Get { key }, BUDGET).expect("fleet get after failover");
+    }
+}
+
 /// Invariants: one two-schedule mini-sweep per family, so every
 /// `invariant.*` counter is visibly nonzero in the snapshot while
 /// `invariant.violations` stays at the zero the alert policy pins.
@@ -152,6 +188,7 @@ fn exercise_invariants() {
     invariants::fs_journal(0, 2, Ablation::None).expect("fs-journal sweep");
     invariants::frames(0, 2, Ablation::None).expect("frames sweep");
     invariants::uring_chain(0, 2, Ablation::None).expect("uring-chain sweep");
+    invariants::cluster_durability(0, 2, Ablation::None).expect("cluster-durability sweep");
 }
 
 /// Filesystem: committed transactions plus a recovery replay.
@@ -200,6 +237,7 @@ fn main() {
     exercise_uring();
     exercise_fs();
     exercise_cluster(check);
+    exercise_fleet();
     exercise_invariants();
 
     let mut reg = Registry::new();
@@ -209,6 +247,7 @@ fn main() {
     veros_net::metrics::export(&mut reg);
     veros_blockstore::metrics::export(&mut reg);
     veros_uring::metrics::export(&mut reg);
+    veros_cluster::metrics::export(&mut reg);
     veros_core::metrics::export(&mut reg);
 
     let names = reg.metric_names();
@@ -219,6 +258,7 @@ fn main() {
         "net.",
         "blockstore.",
         "uring.",
+        "cluster.",
         "invariant.",
     ];
     let all_crates_covered = prefixes
@@ -255,7 +295,10 @@ fn main() {
             && counter_value("uring.chain.atomicity_violations") == 0
             && counter_value("fs.journal.commits") > 0
             && counter_value("net.sim.delivered") > 0
-            && counter_value("invariant.schedules_swept") >= 10
+            && counter_value("cluster.ops.completed") > 0
+            && counter_value("cluster.shard.syncs") > 0
+            && counter_value("cluster.view.epoch") > 0
+            && counter_value("invariant.schedules_swept") >= 12
             && counter_value("invariant.violations") == 0
             && (check || counter_value("blockstore.checksum_failures") > 0)
     } else {

@@ -17,6 +17,7 @@
 //! and the line-classification logic behind the ratio.
 
 pub mod audit;
+pub mod blockstore;
 pub mod hotpath;
 pub mod microbench;
 pub mod out;

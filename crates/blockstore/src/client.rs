@@ -15,6 +15,10 @@ pub enum ClientError {
     ChecksumMismatch,
     /// The response did not match the outstanding request.
     ProtocolViolation(String),
+    /// No response arrived within the caller's step budget. Harness
+    /// RPC helpers return this instead of panicking so wedge-freedom is
+    /// an assertable property.
+    Timeout,
 }
 
 /// A client bound to one node endpoint. One request outstanding at a
@@ -92,6 +96,13 @@ impl BlockClient {
         self.next_id = self.next_id.max(id + 1);
         let _ = self.endpoint.send(stack, now, bytes);
         id
+    }
+
+    /// Abandons the outstanding request after a timeout: the client may
+    /// issue again (with a fresh id). A late response for the abandoned
+    /// id is surfaced as a protocol violation by `poll`.
+    pub fn abandon(&mut self) {
+        self.outstanding = None;
     }
 
     fn fresh_id(&mut self) -> u64 {

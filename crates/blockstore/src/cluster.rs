@@ -25,6 +25,9 @@ mod ports {
     pub const BACKUP_SERVE_REPL: u16 = 6002;
 }
 
+/// Default per-RPC step budget before the harness reports a wedge.
+pub const DEFAULT_RPC_BUDGET: u64 = 60_000;
+
 /// The cluster.
 pub struct Cluster {
     /// The wire.
@@ -37,6 +40,10 @@ pub struct Cluster {
     pub primary: StorageNode,
     /// The backup node.
     pub backup: StorageNode,
+    /// Steps an RPC may pump before `ClientError::Timeout` — tests that
+    /// assert wedge-freedom tighten it, tests that *expect* a wedge
+    /// (e.g. killed primary, no failover) shrink it to stay fast.
+    pub rpc_budget: u64,
     now: u64,
     primary_alive: bool,
 }
@@ -77,6 +84,7 @@ impl Cluster {
             failover_client,
             primary,
             backup,
+            rpc_budget: DEFAULT_RPC_BUDGET,
             now: 0,
             primary_alive: true,
         }
@@ -97,25 +105,41 @@ impl Cluster {
         self.primary_alive = false;
     }
 
+    /// Issues `f` on the chosen client and pumps until its response
+    /// arrives or `rpc_budget` steps elapse — the single pump loop
+    /// behind [`Cluster::rpc`] and [`Cluster::rpc_failover`]. A timeout
+    /// comes back as [`ClientError::Timeout`] (the client's outstanding
+    /// slot is released), so tests assert wedge-freedom instead of
+    /// aborting the process.
+    fn rpc_on(
+        &mut self,
+        failover: bool,
+        f: impl FnOnce(&mut BlockClient, &mut veros_net::stack::NetStack, u64) -> u64,
+    ) -> Result<Response, ClientError> {
+        {
+            let client = if failover { &mut self.failover_client } else { &mut self.client };
+            let _ = f(client, self.net.host(0), self.now);
+        }
+        for _ in 0..self.rpc_budget {
+            self.pump();
+            let client = if failover { &mut self.failover_client } else { &mut self.client };
+            if let Some(r) = client.poll(self.net.host(0), self.now) {
+                return r;
+            }
+        }
+        let client = if failover { &mut self.failover_client } else { &mut self.client };
+        client.abandon();
+        Err(ClientError::Timeout)
+    }
+
     /// Issues `f` on the primary-facing client and pumps until its
-    /// response arrives.
-    ///
-    /// # Panics
-    ///
-    /// Panics when no response arrives within the step budget (a wedged
-    /// transport or node is a test failure).
+    /// response arrives; `Err(ClientError::Timeout)` after `rpc_budget`
+    /// steps.
     pub fn rpc(
         &mut self,
         f: impl FnOnce(&mut BlockClient, &mut veros_net::stack::NetStack, u64) -> u64,
     ) -> Result<Response, ClientError> {
-        let _ = f(&mut self.client, self.net.host(0), self.now);
-        for _ in 0..60_000 {
-            self.pump();
-            if let Some(r) = self.client.poll(self.net.host(0), self.now) {
-                return r;
-            }
-        }
-        panic!("rpc timed out");
+        self.rpc_on(false, f)
     }
 
     /// Same against the backup (after failover).
@@ -123,14 +147,7 @@ impl Cluster {
         &mut self,
         f: impl FnOnce(&mut BlockClient, &mut veros_net::stack::NetStack, u64) -> u64,
     ) -> Result<Response, ClientError> {
-        let _ = f(&mut self.failover_client, self.net.host(0), self.now);
-        for _ in 0..60_000 {
-            self.pump();
-            if let Some(r) = self.failover_client.poll(self.net.host(0), self.now) {
-                return r;
-            }
-        }
-        panic!("failover rpc timed out");
+        self.rpc_on(true, f)
     }
 }
 
@@ -218,6 +235,23 @@ mod tests {
         let recovered = BlockStore::recover(disk);
         assert_eq!(recovered.get("a").unwrap().0, b"one");
         assert_eq!(recovered.get("b").unwrap().0, b"two");
+    }
+
+    #[test]
+    fn dead_primary_times_out_instead_of_panicking() {
+        let mut c = reliable();
+        c.rpc(|cl, s, t| cl.put(s, t, "k", b"v")).unwrap();
+        c.kill_primary();
+        c.rpc_budget = 500;
+        // The primary no longer answers: the RPC reports Timeout (no
+        // panic), and the client can issue again afterwards.
+        let err = c.rpc(|cl, s, t| cl.get(s, t, "k")).unwrap_err();
+        assert_eq!(err, ClientError::Timeout);
+        // The failover path still serves within the same budget.
+        match c.rpc_failover(|cl, s, t| cl.get(s, t, "k")).unwrap() {
+            Response::GetOk { data, .. } => assert_eq!(data, b"v"),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

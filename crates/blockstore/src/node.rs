@@ -98,6 +98,17 @@ impl StorageNode {
                 id: *id,
                 keys: self.store.list(),
             },
+            // Fleet-only messages (sharding, chain replication, shard
+            // sync) are served by `veros-cluster`'s FleetNode; the
+            // standalone primary/backup node rejects them loudly.
+            Request::ShardPut { id, .. }
+            | Request::ShardDelete { id, .. }
+            | Request::ChainPut { id, .. }
+            | Request::ChainDelete { id, .. }
+            | Request::SyncShard { id, .. } => Response::Error {
+                id: *id,
+                reason: "fleet-only request on a standalone node".into(),
+            },
         }
     }
 

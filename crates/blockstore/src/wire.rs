@@ -46,6 +46,81 @@ pub enum Request {
         /// Request id.
         id: u64,
     },
+    /// Store a block in a sharded fleet (client → chain head). Carries
+    /// the client's identity and per-client sequence number so every
+    /// chain node can deduplicate retries — exactly-once across
+    /// failover.
+    ShardPut {
+        /// Request id (echoed in the response).
+        id: u64,
+        /// Block key.
+        key: String,
+        /// Block contents.
+        data: Vec<u8>,
+        /// Client-computed checksum of `data`.
+        checksum: u64,
+        /// Issuing client host id.
+        client: u64,
+        /// Per-client write sequence number (dedup key).
+        seq: u64,
+    },
+    /// Delete a block in a sharded fleet (client → chain head).
+    ShardDelete {
+        /// Request id.
+        id: u64,
+        /// Block key.
+        key: String,
+        /// Issuing client host id.
+        client: u64,
+        /// Per-client write sequence number (dedup key).
+        seq: u64,
+    },
+    /// A put forwarded down a replication chain (node → successor).
+    /// `rest` is the chain after the receiver; the receiver applies,
+    /// forwards to `rest[0]` (if any), and acks upstream only after its
+    /// successor acks — the chain-replication ack rule.
+    ChainPut {
+        /// Request id (echoed in the ack).
+        id: u64,
+        /// Block key.
+        key: String,
+        /// Block contents.
+        data: Vec<u8>,
+        /// Client-computed checksum of `data`.
+        checksum: u64,
+        /// Originating client host id (dedup).
+        client: u64,
+        /// Per-client sequence number (dedup).
+        seq: u64,
+        /// Membership epoch the head forwarded under.
+        epoch: u64,
+        /// Chain members after the receiver (host ids).
+        rest: Vec<u16>,
+    },
+    /// A delete forwarded down a replication chain.
+    ChainDelete {
+        /// Request id.
+        id: u64,
+        /// Block key.
+        key: String,
+        /// Originating client host id (dedup).
+        client: u64,
+        /// Per-client sequence number (dedup).
+        seq: u64,
+        /// Membership epoch the head forwarded under.
+        epoch: u64,
+        /// Chain members after the receiver (host ids).
+        rest: Vec<u16>,
+    },
+    /// Pull every block of one shard (promoted/new chain member →
+    /// surviving replica), so the chain regains full width after a
+    /// failure.
+    SyncShard {
+        /// Request id.
+        id: u64,
+        /// Shard index in the fleet's shard map.
+        shard: u32,
+    },
 }
 
 /// A response from node to client.
@@ -89,6 +164,22 @@ pub enum Response {
         /// Why.
         reason: String,
     },
+    /// The node cannot serve this request *right now* (mid-failover
+    /// shard sync, or the key moved under a newer membership view).
+    /// The client should refresh its view and retry — unlike `Error`,
+    /// nothing is wrong with the request itself.
+    Retry {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// One shard's blocks (`key`, `data`, stored checksum), the answer
+    /// to [`Request::SyncShard`].
+    SyncBlocks {
+        /// Echoed request id.
+        id: u64,
+        /// The shard's blocks.
+        blocks: Vec<(String, Vec<u8>, u64)>,
+    },
 }
 
 /// Computes the protocol checksum of a block.
@@ -106,6 +197,13 @@ fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     out.extend_from_slice(b);
 }
 
+fn put_hosts(out: &mut Vec<u8>, hosts: &[u16]) {
+    out.extend_from_slice(&(hosts.len() as u32).to_le_bytes());
+    for h in hosts {
+        out.extend_from_slice(&h.to_le_bytes());
+    }
+}
+
 struct Reader<'a>(&'a [u8], usize);
 
 impl<'a> Reader<'a> {
@@ -120,6 +218,24 @@ impl<'a> Reader<'a> {
 
     fn u64(&mut self) -> Option<u64> {
         Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    /// A chain-member list: bounded at 64 hosts (replication factors
+    /// are single digits; anything bigger is malformed).
+    fn hosts(&mut self) -> Option<Vec<u16>> {
+        let n = self.u32()? as usize;
+        if n > 64 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(u16::from_le_bytes(self.take(2)?.try_into().ok()?));
+        }
+        Some(out)
     }
 
     fn bytes(&mut self) -> Option<Vec<u8>> {
@@ -173,6 +289,70 @@ impl Request {
                 out.push(4);
                 out.extend_from_slice(&id.to_le_bytes());
             }
+            Request::ShardPut {
+                id,
+                key,
+                data,
+                checksum,
+                client,
+                seq,
+            } => {
+                out.push(5);
+                out.extend_from_slice(&id.to_le_bytes());
+                put_str(&mut out, key);
+                put_bytes(&mut out, data);
+                out.extend_from_slice(&checksum.to_le_bytes());
+                out.extend_from_slice(&client.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
+            Request::ShardDelete { id, key, client, seq } => {
+                out.push(6);
+                out.extend_from_slice(&id.to_le_bytes());
+                put_str(&mut out, key);
+                out.extend_from_slice(&client.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
+            Request::ChainPut {
+                id,
+                key,
+                data,
+                checksum,
+                client,
+                seq,
+                epoch,
+                rest,
+            } => {
+                out.push(7);
+                out.extend_from_slice(&id.to_le_bytes());
+                put_str(&mut out, key);
+                put_bytes(&mut out, data);
+                out.extend_from_slice(&checksum.to_le_bytes());
+                out.extend_from_slice(&client.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+                put_hosts(&mut out, rest);
+            }
+            Request::ChainDelete {
+                id,
+                key,
+                client,
+                seq,
+                epoch,
+                rest,
+            } => {
+                out.push(8);
+                out.extend_from_slice(&id.to_le_bytes());
+                put_str(&mut out, key);
+                out.extend_from_slice(&client.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+                put_hosts(&mut out, rest);
+            }
+            Request::SyncShard { id, shard } => {
+                out.push(9);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&shard.to_le_bytes());
+            }
         }
         out
     }
@@ -198,6 +378,42 @@ impl Request {
                 replicate: *r.take(1)?.first()? != 0,
             },
             4 => Request::List { id: r.u64()? },
+            5 => Request::ShardPut {
+                id: r.u64()?,
+                key: r.string()?,
+                data: r.bytes()?,
+                checksum: r.u64()?,
+                client: r.u64()?,
+                seq: r.u64()?,
+            },
+            6 => Request::ShardDelete {
+                id: r.u64()?,
+                key: r.string()?,
+                client: r.u64()?,
+                seq: r.u64()?,
+            },
+            7 => Request::ChainPut {
+                id: r.u64()?,
+                key: r.string()?,
+                data: r.bytes()?,
+                checksum: r.u64()?,
+                client: r.u64()?,
+                seq: r.u64()?,
+                epoch: r.u64()?,
+                rest: r.hosts()?,
+            },
+            8 => Request::ChainDelete {
+                id: r.u64()?,
+                key: r.string()?,
+                client: r.u64()?,
+                seq: r.u64()?,
+                epoch: r.u64()?,
+                rest: r.hosts()?,
+            },
+            9 => Request::SyncShard {
+                id: r.u64()?,
+                shard: r.u32()?,
+            },
             _ => return None,
         };
         r.done().then_some(req)
@@ -209,7 +425,12 @@ impl Request {
             Request::Put { id, .. }
             | Request::Get { id, .. }
             | Request::Delete { id, .. }
-            | Request::List { id } => *id,
+            | Request::List { id }
+            | Request::ShardPut { id, .. }
+            | Request::ShardDelete { id, .. }
+            | Request::ChainPut { id, .. }
+            | Request::ChainDelete { id, .. }
+            | Request::SyncShard { id, .. } => *id,
         }
     }
 }
@@ -250,6 +471,20 @@ impl Response {
                 out.extend_from_slice(&id.to_le_bytes());
                 put_str(&mut out, reason);
             }
+            Response::Retry { id } => {
+                out.push(7);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+            Response::SyncBlocks { id, blocks } => {
+                out.push(8);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+                for (key, data, checksum) in blocks {
+                    put_str(&mut out, key);
+                    put_bytes(&mut out, data);
+                    out.extend_from_slice(&checksum.to_le_bytes());
+                }
+            }
         }
         out
     }
@@ -282,6 +517,19 @@ impl Response {
                 id: r.u64()?,
                 reason: r.string()?,
             },
+            7 => Response::Retry { id: r.u64()? },
+            8 => {
+                let id = r.u64()?;
+                let n = u32::from_le_bytes(r.take(4)?.try_into().ok()?) as usize;
+                if n > (1 << 16) {
+                    return None;
+                }
+                let mut blocks = Vec::with_capacity(n);
+                for _ in 0..n {
+                    blocks.push((r.string()?, r.bytes()?, r.u64()?));
+                }
+                Response::SyncBlocks { id, blocks }
+            }
             _ => return None,
         };
         r.done().then_some(resp)
@@ -295,7 +543,9 @@ impl Response {
             | Response::NotFound { id }
             | Response::DeleteOk { id }
             | Response::Keys { id, .. }
-            | Response::Error { id, .. } => *id,
+            | Response::Error { id, .. }
+            | Response::Retry { id }
+            | Response::SyncBlocks { id, .. } => *id,
         }
     }
 }
@@ -376,6 +626,90 @@ mod tests {
     fn trailing_garbage_rejected() {
         let mut bytes = Request::List { id: 3 }.encode();
         bytes.push(0);
+        assert_eq!(Request::decode(&bytes), None);
+    }
+
+    #[test]
+    fn fleet_requests_round_trip() {
+        let reqs = [
+            Request::ShardPut {
+                id: 11,
+                key: "obj".into(),
+                data: vec![9; 32],
+                checksum: block_checksum(&[9; 32]),
+                client: 1003,
+                seq: 42,
+            },
+            Request::ShardDelete {
+                id: 12,
+                key: "obj".into(),
+                client: 1003,
+                seq: 43,
+            },
+            Request::ChainPut {
+                id: 13,
+                key: "obj".into(),
+                data: vec![7; 8],
+                checksum: block_checksum(&[7; 8]),
+                client: 1003,
+                seq: 44,
+                epoch: 2,
+                rest: vec![4, 6],
+            },
+            Request::ChainDelete {
+                id: 14,
+                key: "obj".into(),
+                client: 1003,
+                seq: 45,
+                epoch: 2,
+                rest: vec![],
+            },
+            Request::SyncShard { id: 15, shard: 37 },
+        ];
+        for r in reqs {
+            assert_eq!(Request::decode(&r.encode()), Some(r.clone()));
+            assert!(r.id() >= 11);
+            // Truncations never decode.
+            let full = r.encode();
+            for cut in 1..full.len() {
+                assert_eq!(Request::decode(&full[..cut]), None, "{r:?} cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_responses_round_trip() {
+        let resps = [
+            Response::Retry { id: 21 },
+            Response::SyncBlocks {
+                id: 22,
+                blocks: vec![
+                    ("a".into(), vec![1, 2], block_checksum(&[1, 2])),
+                    ("b".into(), vec![], block_checksum(&[])),
+                ],
+            },
+        ];
+        for r in resps {
+            assert_eq!(Response::decode(&r.encode()), Some(r.clone()));
+        }
+    }
+
+    #[test]
+    fn oversized_chain_rejected() {
+        let mut bytes = Request::ChainDelete {
+            id: 1,
+            key: "k".into(),
+            client: 1,
+            seq: 1,
+            epoch: 1,
+            rest: vec![0; 64],
+        }
+        .encode();
+        assert!(Request::decode(&bytes).is_some());
+        // Patch the host count to 65: over the bound, rejected.
+        let count_at = bytes.len() - 64 * 2 - 4;
+        bytes[count_at..count_at + 4].copy_from_slice(&65u32.to_le_bytes());
+        bytes.extend_from_slice(&[0, 0]);
         assert_eq!(Request::decode(&bytes), None);
     }
 }

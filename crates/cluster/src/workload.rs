@@ -1,0 +1,299 @@
+//! Open-loop YCSB-style workload generation and scoring.
+//!
+//! The generator precomputes a deterministic *arrival schedule*: a list
+//! of `(tick, client, op)` entries drawn from a zipfian key popularity
+//! distribution, a read/write/delete mix, and a mean inter-arrival gap
+//! with periodic **burst windows** where arrivals come several times
+//! faster. The schedule is open-loop: arrivals do not wait for
+//! completions, so when the fleet falls behind, operations queue at
+//! their client hosts and the queueing delay is charged to latency
+//! ([`crate::client::OpResult::latency`] measures from the scheduled
+//! arrival). That is the YCSB/coordinated-omission-aware convention —
+//! closed-loop latency hides exactly the overload behaviour a capacity
+//! benchmark exists to measure.
+
+use veros_spec::rng::SpecRng;
+
+use crate::client::{Op, OpResult};
+
+/// Workload shape.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Simulated client hosts the schedule spreads over.
+    pub client_hosts: u16,
+    /// Distinct keys.
+    pub keyspace: u32,
+    /// Zipfian skew (0 = uniform; YCSB uses 0.99).
+    pub zipf_theta: f64,
+    /// Reads per 1000 operations.
+    pub read_milli: u32,
+    /// Deletes per 1000 operations (the rest are puts).
+    pub delete_milli: u32,
+    /// Value size for puts.
+    pub value_bytes: usize,
+    /// Total operations.
+    pub ops: usize,
+    /// Mean ticks between arrivals outside bursts (fleet-wide).
+    pub mean_gap: u64,
+    /// A burst window opens every this many ticks…
+    pub burst_every: u64,
+    /// …lasts this many ticks…
+    pub burst_len: u64,
+    /// …and multiplies the arrival rate by this factor.
+    pub burst_factor: u64,
+    /// Schedule seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            client_hosts: 1000,
+            keyspace: 512,
+            zipf_theta: 0.99,
+            read_milli: 800,
+            delete_milli: 20,
+            value_bytes: 128,
+            ops: 4000,
+            mean_gap: 2,
+            burst_every: 1000,
+            burst_len: 100,
+            burst_factor: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// Zipfian sampler over ranks `0..n` (rank 0 most popular), via an
+/// inverse-CDF table and binary search.
+pub struct Zipfian {
+    cdf: Vec<f64>,
+}
+
+impl Zipfian {
+    /// Builds the sampler for `n` ranks with skew `theta`.
+    pub fn new(n: u32, theta: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for rank in 1..=n.max(1) {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draws a rank.
+    pub fn sample(&self, rng: &mut SpecRng) -> u32 {
+        // 53 random bits → uniform in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf.partition_point(|&c| c < u) as u32
+    }
+}
+
+/// One scheduled arrival.
+#[derive(Clone, Debug)]
+pub struct Arrival {
+    /// Tick the operation enters the system.
+    pub tick: u64,
+    /// Client host index (0-based fleet client index).
+    pub client: usize,
+    /// The operation.
+    pub op: Op,
+}
+
+/// Generates the full deterministic arrival schedule for `cfg`.
+pub fn schedule(cfg: &WorkloadConfig) -> Vec<Arrival> {
+    let mut rng = SpecRng::seeded(cfg.seed);
+    let zipf = Zipfian::new(cfg.keyspace, cfg.zipf_theta);
+    let mut out = Vec::with_capacity(cfg.ops);
+    let mut tick = 0u64;
+    for _ in 0..cfg.ops {
+        let in_burst = cfg.burst_every > 0 && tick % cfg.burst_every < cfg.burst_len;
+        let gap = if in_burst {
+            (cfg.mean_gap / cfg.burst_factor.max(1)).max(1)
+        } else {
+            cfg.mean_gap.max(1)
+        };
+        // Jittered gap with the configured mean: uniform over
+        // [0, 2·gap], except gap 1 which stays dense.
+        tick += if gap > 1 { rng.below(2 * gap + 1) } else { rng.below(2) };
+        let rank = zipf.sample(&mut rng);
+        let key = format!("ycsb-{rank}");
+        let roll = rng.below(1000) as u32;
+        let op = if roll < cfg.read_milli {
+            Op::Get { key }
+        } else if roll < cfg.read_milli + cfg.delete_milli {
+            Op::Delete { key }
+        } else {
+            let fill = (rank % 251) as u8;
+            Op::Put { key, data: vec![fill; cfg.value_bytes.max(1)] }
+        };
+        let client = rng.below(cfg.client_hosts.max(1) as u64) as usize;
+        out.push(Arrival { tick, client, op });
+    }
+    out
+}
+
+/// Score of a completed run.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadStats {
+    /// Operations that completed.
+    pub completed: u64,
+    /// Completed operations whose terminal response was a failure.
+    pub failed: u64,
+    /// Total re-issues across all operations.
+    pub retries: u64,
+    /// Latency percentiles (ticks, from scheduled arrival).
+    pub p50: u64,
+    /// 99th percentile latency.
+    pub p99: u64,
+    /// Worst latency.
+    pub max: u64,
+    /// Completed operations per 1000 ticks.
+    pub throughput_milli: u64,
+    /// Run length in ticks.
+    pub ticks: u64,
+}
+
+/// Computes the score for `results` over a run of `ticks`.
+pub fn stats(results: &[OpResult], ticks: u64) -> WorkloadStats {
+    let mut lat: Vec<u64> = results.iter().map(OpResult::latency).collect();
+    lat.sort_unstable();
+    let pct = |p: usize| -> u64 {
+        if lat.is_empty() {
+            return 0;
+        }
+        lat[(lat.len() - 1) * p / 100]
+    };
+    let completed = results.len() as u64;
+    WorkloadStats {
+        completed,
+        failed: results.iter().filter(|r| !r.ok).count() as u64,
+        retries: results.iter().map(|r| r.retries as u64).sum(),
+        p50: pct(50),
+        p99: pct(99),
+        max: lat.last().copied().unwrap_or(0),
+        throughput_milli: (completed * 1000).checked_div(ticks).unwrap_or(0),
+        ticks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let cfg = WorkloadConfig { ops: 200, ..WorkloadConfig::default() };
+        let a = schedule(&cfg);
+        let b = schedule(&cfg);
+        assert_eq!(a.len(), 200);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tick, y.tick);
+            assert_eq!(x.client, y.client);
+            assert_eq!(x.op, y.op);
+        }
+        let c = schedule(&WorkloadConfig { seed: 43, ops: 200, ..WorkloadConfig::default() });
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.op != y.op || x.tick != y.tick),
+            "seeds must decorrelate"
+        );
+    }
+
+    #[test]
+    fn zipfian_skews_toward_low_ranks() {
+        let zipf = Zipfian::new(100, 0.99);
+        let mut rng = SpecRng::seeded(7);
+        let mut head = 0u32;
+        const DRAWS: u32 = 2000;
+        for _ in 0..DRAWS {
+            let r = zipf.sample(&mut rng);
+            assert!(r < 100);
+            if r < 10 {
+                head += 1;
+            }
+        }
+        // Top 10% of ranks should draw far more than 10% of samples
+        // (≈63% at theta 0.99); uniform would give ~200.
+        assert!(head > DRAWS / 3, "only {head}/{DRAWS} drew from the head");
+    }
+
+    #[test]
+    fn mix_and_spread_follow_the_config() {
+        let cfg = WorkloadConfig {
+            ops: 2000,
+            read_milli: 500,
+            delete_milli: 100,
+            client_hosts: 50,
+            ..WorkloadConfig::default()
+        };
+        let s = schedule(&cfg);
+        let reads = s.iter().filter(|a| matches!(a.op, Op::Get { .. })).count();
+        let dels = s.iter().filter(|a| matches!(a.op, Op::Delete { .. })).count();
+        assert!((800..1200).contains(&reads), "reads {reads}");
+        assert!((100..300).contains(&dels), "deletes {dels}");
+        assert!(s.iter().all(|a| a.client < 50));
+        let distinct: std::collections::BTreeSet<usize> = s.iter().map(|a| a.client).collect();
+        assert!(distinct.len() > 30, "only {} client hosts used", distinct.len());
+        // Arrivals are sorted by construction.
+        assert!(s.windows(2).all(|w| w[0].tick <= w[1].tick));
+    }
+
+    #[test]
+    fn bursts_compress_inter_arrival_gaps() {
+        let cfg = WorkloadConfig {
+            ops: 4000,
+            mean_gap: 8,
+            burst_every: 400,
+            burst_len: 100,
+            burst_factor: 4,
+            ..WorkloadConfig::default()
+        };
+        let s = schedule(&cfg);
+        let rate = |pred: &dyn Fn(u64) -> bool| {
+            let n = s.iter().filter(|a| pred(a.tick)).count() as u64;
+            let ticks: u64 = {
+                let span = s.last().unwrap().tick;
+                (0..span).filter(|t| pred(*t)).count() as u64
+            };
+            (n * 1000).checked_div(ticks).unwrap_or(0)
+        };
+        let burst_rate = rate(&|t| t % 400 < 100);
+        let calm_rate = rate(&|t| t % 400 >= 100);
+        assert!(
+            burst_rate > calm_rate * 2,
+            "burst {burst_rate}/1000t vs calm {calm_rate}/1000t"
+        );
+    }
+
+    #[test]
+    fn stats_score_percentiles_and_throughput() {
+        use crate::client::OpResult;
+        use veros_blockstore::Response;
+        let results: Vec<OpResult> = (0..100u64)
+            .map(|i| OpResult {
+                host: 0,
+                op: Op::Get { key: "k".into() },
+                issued_at: 0,
+                completed_at: i + 1,
+                retries: u32::from(i % 10 == 0),
+                ok: i != 5,
+                read: None,
+                resp: Response::NotFound { id: 0 },
+            })
+            .collect();
+        let s = stats(&results, 1000);
+        assert_eq!(s.completed, 100);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.retries, 10);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.throughput_milli, 100);
+        assert_eq!(stats(&[], 10).p99, 0);
+    }
+}

@@ -31,12 +31,13 @@ use crate::metrics;
 /// appear in `INVARIANTS.md`. The audit's invariant-coverage check
 /// matches the doc's backticked anchors against registered VC names;
 /// this table is the code-side source of truth for family names.
-pub const FAMILIES: [(&str, &str); 5] = [
+pub const FAMILIES: [(&str, &str); 6] = [
     ("durability", "invariant::durability::*"),
     ("exactly_once", "invariant::exactly_once::*"),
     ("fs_journal", "invariant::fs_journal::*"),
     ("frames", "invariant::frames::*"),
     ("uring_chain", "invariant::uring_chain::*"),
+    ("cluster_durability", "invariant::cluster_durability::*"),
 ];
 
 /// Deliberate single-defense breakage, one per family. The sweeps must
@@ -56,6 +57,9 @@ pub enum Ablation {
     /// Uring: recovery replays the dispatch log from the start instead
     /// of resuming at the crash boundary.
     ReplayLogTwice,
+    /// Cluster durability: replication chains one node wide, so an ack
+    /// no longer implies a copy that survives the writer's death.
+    UnreplicatedChain,
 }
 
 fn swept(family: &'static Counter) {
@@ -632,6 +636,103 @@ fn uring_chain_one(sched: &FaultSchedule, ablation: Ablation) -> Result<(), Stri
     }
     if view(&ka) != view(&kb) {
         return Err("replayed kernel state diverges from the crashed kernel".to_string());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Invariant 6: cluster durability on the sharded fleet.
+// ---------------------------------------------------------------------
+
+/// **Cluster durability** (`invariant::cluster_durability::*`): on the
+/// sharded, chain-replicated fleet, every write a client saw
+/// acknowledged survives the fail-stop loss of any single member of its
+/// replication chain — head, middle, or tail, chosen by the schedule's
+/// victim selector — and reads back with exactly the acknowledged
+/// contents from the surviving nodes, under every wire tier.
+///
+/// This is the §1 durability invariant re-proven on the topology
+/// `veros-cluster` generalizes it to: the ack is released only after
+/// the tail of an M-way chain acknowledged upstream, so any M−1 deaths
+/// short of the whole chain leave a serving copy. The sweep kills one
+/// member per schedule; `FaultSchedule::victim_of` walks every chain
+/// position across consecutive ordinals, so "any single chain node" is
+/// covered, not sampled.
+pub fn cluster_durability(
+    family_seed: u64,
+    schedules: usize,
+    ablation: Ablation,
+) -> Result<(), String> {
+    for sched in FaultSchedule::sweep("cluster_durability", family_seed, schedules) {
+        swept(&metrics::CLUSTER_DURABILITY_SCHEDULES);
+        cluster_durability_one(&sched, ablation).map_err(|e| {
+            violation(
+                ablation,
+                format!("cluster_durability: {e} [{}]", sched.describe()),
+            )
+        })?;
+    }
+    Ok(())
+}
+
+fn cluster_durability_one(sched: &FaultSchedule, ablation: Ablation) -> Result<(), String> {
+    use veros_blockstore::Response;
+    use veros_cluster::{Fleet, FleetConfig, Op};
+
+    // The ablation strips every chain to a single replica: the ack no
+    // longer buys a surviving copy, and the sweep must notice the loss.
+    let replication = if ablation == Ablation::UnreplicatedChain { 1 } else { 3 };
+    let mut f = Fleet::new(FleetConfig {
+        nodes: 6,
+        replication,
+        shards: 16,
+        vnodes: 8,
+        clients: 1,
+        plan: sched.wire.into(),
+        seed: sched.seed,
+        sectors: 1 << 10,
+    });
+    const BUDGET: u64 = 30_000;
+
+    // Acked writes: the set the invariant quantifies over.
+    let nkeys = 3 + sched.ordinal % 3;
+    let mut acked: Vec<(String, Vec<u8>)> = Vec::new();
+    for i in 0..nkeys {
+        let key = format!("cd-{i}");
+        let data = vec![(sched.seed >> (8 * (i % 8))) as u8; 24 + 8 * i];
+        let r = f
+            .run_op(0, Op::Put { key: key.clone(), data: data.clone() }, BUDGET)
+            .ok_or_else(|| format!("put {key} wedged"))?;
+        if !matches!(r.resp, Response::PutOk { .. }) {
+            return Err(format!("put {key} not acked: {:?}", r.resp));
+        }
+        acked.push((key, data));
+    }
+
+    // The single failure: the schedule's crash fraction picks which
+    // acked key's chain to attack, and the victim selector picks which
+    // chain position dies.
+    let attacked = acked[sched.crash_point(nkeys - 1)].0.clone();
+    let chain = f.chain_for_key(&attacked);
+    let victim_pos = sched.victim_of(chain.len());
+    let victim = chain[victim_pos];
+    f.kill_node(victim);
+
+    // Every acked write — on the attacked chain or off it — must read
+    // back from the surviving fleet, through failover and shard syncs.
+    for (key, data) in &acked {
+        let r = f
+            .run_op(0, Op::Get { key: key.clone() }, BUDGET)
+            .ok_or_else(|| format!("{key} unreadable after losing node {victim}"))?;
+        match &r.resp {
+            Response::GetOk { data: got, .. } if got == data => {}
+            other => {
+                return Err(format!(
+                    "{key} lost after killing chain position {victim_pos} \
+                     (node {victim}): {other:?}"
+                ))
+            }
+        }
     }
     Ok(())
 }

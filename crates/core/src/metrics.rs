@@ -34,6 +34,10 @@ pub static FRAMES_SCHEDULES: Counter = Counter::new();
 /// under mid-chain crash).
 pub static URING_CHAIN_SCHEDULES: Counter = Counter::new();
 
+/// Schedules swept by `invariant::cluster_durability::*` (sharded-fleet
+/// durability under loss of any single chain member).
+pub static CLUSTER_DURABILITY_SCHEDULES: Counter = Counter::new();
+
 /// End-to-end invariant violations observed by non-ablated sweeps.
 /// Alert-pinned at 0: any increment is a verification failure, never
 /// expected operational noise.
@@ -48,5 +52,10 @@ pub fn export(reg: &mut Registry) {
     reg.counter("invariant.fs_journal.schedules", "schedules", &FS_JOURNAL_SCHEDULES);
     reg.counter("invariant.frames.schedules", "schedules", &FRAMES_SCHEDULES);
     reg.counter("invariant.uring_chain.schedules", "schedules", &URING_CHAIN_SCHEDULES);
+    reg.counter(
+        "invariant.cluster_durability.schedules",
+        "schedules",
+        &CLUSTER_DURABILITY_SCHEDULES,
+    );
     reg.counter("invariant.violations", "violations", &VIOLATIONS);
 }

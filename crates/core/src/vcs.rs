@@ -92,7 +92,25 @@ const MODULE: &str = "os-contract";
 
 /// Registers the full-stack VC population.
 pub fn register_all(engine: &mut VcEngine, profile: Profile) {
-    let p = profile.params();
+    register_all_with(engine, profile, None);
+}
+
+/// [`register_all`] with the invariant fault-schedule depth overridden
+/// — the audit's `--schedules N` deep-sweep knob. `None` keeps the
+/// profile's sizing. The override changes only how many schedules each
+/// `invariant::*` VC sweeps, never which VCs exist, so names (and the
+/// dependency map's anchors) are stable across depths; sweeps of ≥ 8
+/// schedules keep the lattice corner-pinning guarantee
+/// (`veros_spec::fault::FaultSchedule::sweep`).
+pub fn register_all_with(
+    engine: &mut VcEngine,
+    profile: Profile,
+    invariant_schedules: Option<usize>,
+) {
+    let mut p = profile.params();
+    if let Some(n) = invariant_schedules {
+        p.invariant_schedules = n.max(1);
+    }
 
     // --- §3 obligations ---------------------------------------------------
     engine.register(MODULE, VcKind::Marshalling, "abi::all_variants_roundtrip", || {
@@ -387,6 +405,12 @@ pub fn register_all(engine: &mut VcEngine, profile: Profile) {
                 VcKind::Invariant,
                 format!("invariant::uring_chain::crash_leaves_exact_prefix_s{seed}"),
                 move || invariants::uring_chain(seed, n, Ablation::None),
+            );
+            engine.register(
+                MODULE,
+                VcKind::Invariant,
+                format!("invariant::cluster_durability::acked_survives_any_chain_loss_s{seed}"),
+                move || invariants::cluster_durability(seed, n, Ablation::None),
             );
         }
     }

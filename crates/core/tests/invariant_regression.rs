@@ -53,6 +53,17 @@ fn frames_fail_when_the_rollback_path_leaks() {
 }
 
 #[test]
+fn cluster_durability_fails_without_chain_replication() {
+    // With every chain one replica wide, schedule 0 kills the acked
+    // write's only holder: the promoted owner syncs an empty shard and
+    // serves NotFound — the ack bought nothing.
+    let err = invariants::cluster_durability(0, 2, Ablation::UnreplicatedChain)
+        .expect_err("a 1-wide chain must lose acked writes with its only holder");
+    assert!(err.contains("cluster_durability"), "{err}");
+    invariants::cluster_durability(0, 2, Ablation::None).expect("3-way chains hold");
+}
+
+#[test]
 fn uring_chain_fails_when_recovery_replays_from_the_start() {
     // Mid-stream crash points leave a non-empty dispatch log; replaying
     // it twice re-executes non-idempotent links (opens, maps, even

@@ -9,8 +9,11 @@ impl Mac {
     pub const BROADCAST: Mac = Mac([0xff; 6]);
 
     /// A deterministic MAC for host `n` (test/simulation convenience).
-    pub fn host(n: u8) -> Mac {
-        Mac([0x02, 0x00, 0x00, 0x00, 0x00, n])
+    /// Host ids are 16-bit so a simulation can address fleet-scale
+    /// topologies (thousands of client hosts) without aliasing.
+    pub fn host(n: u16) -> Mac {
+        let [hi, lo] = n.to_be_bytes();
+        Mac([0x02, 0x00, 0x00, 0x00, hi, lo])
     }
 }
 

@@ -9,8 +9,9 @@
 pub struct IpAddr(pub u32);
 
 impl IpAddr {
-    /// Address `10.0.0.n` for host `n`.
-    pub fn host(n: u8) -> IpAddr {
+    /// Address `10.0.hi.lo` for host `n` (16-bit host ids so fleet
+    /// simulations can address thousands of hosts without aliasing).
+    pub fn host(n: u16) -> IpAddr {
         IpAddr(0x0a00_0000 | n as u32)
     }
 }

@@ -13,6 +13,8 @@
 //!   classic one: *the receiver delivers a prefix of the sender's
 //!   stream, in order, without duplicates* — checked under loss,
 //!   duplication, and reordering injected by the wire simulator.
+//! * [`demux`] — many-peer reliable serving: one socket demultiplexed
+//!   into per-peer go-back-N sessions (the fleet-node server path).
 //! * [`socket`] — a UDP socket table (bind / send_to / recv_from).
 //! * [`stack`] — one host's stack: NIC ↔ IP demux ↔ sockets.
 //! * [`sim`] — the wire: moves frames between NICs with deterministic
@@ -39,6 +41,7 @@ pub(crate) fn take_arr<const N: usize>(buf: &[u8], off: usize) -> [u8; N] {
     out
 }
 
+pub mod demux;
 pub mod frame;
 pub mod ip;
 pub mod metrics;
@@ -48,6 +51,7 @@ pub mod socket;
 pub mod stack;
 pub mod udp;
 
+pub use demux::RdtDemux;
 pub use frame::{EthFrame, EtherType, Mac};
 pub use ip::{IpAddr, IpPacket, Proto};
 pub use rdt::{RdtEndpoint, RdtEvent};

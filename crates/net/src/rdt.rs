@@ -169,48 +169,63 @@ impl RdtEndpoint {
             if (src, sport) != self.peer {
                 continue; // Not our peer: ignore.
             }
-            if data.is_empty() {
-                continue;
-            }
-            match data[0] {
-                MSG_DATA if data.len() >= 9 => {
-                    let seq = u64::from_le_bytes(crate::take_arr(&data, 1));
-                    if seq == self.expected {
-                        self.delivered.push_back(data[9..].to_vec());
-                        self.expected += 1;
-                        events.push(RdtEvent::Delivered);
-                        // Deliver any... go-back-N receiver has no
-                        // buffer: only in-order accepted.
-                    }
-                    // Always (re-)ack the cumulative frontier: acks for
-                    // duplicates re-synchronize a sender whose ack was
-                    // lost.
-                    self.transmit_ack(stack)?;
-                }
-                MSG_ACK if data.len() >= 9 => {
-                    let ack = u64::from_le_bytes(crate::take_arr(&data, 1));
-                    if ack > self.send_base {
-                        while self
-                            .unacked
-                            .front()
-                            .is_some_and(|(seq, _)| *seq < ack)
-                        {
-                            self.unacked.pop_front();
-                        }
-                        self.send_base = ack;
-                        self.timer_deadline = if self.unacked.is_empty() {
-                            None
-                        } else {
-                            Some(now + self.timeout)
-                        };
-                        events.push(RdtEvent::AckedUpTo(ack));
-                        self.pump(stack, now)?;
-                    }
-                }
-                _ => {} // Malformed: drop.
-            }
+            self.on_datagram(stack, now, &data, &mut events)?;
         }
         Ok(events)
+    }
+
+    /// Processes one datagram already attributed to this endpoint's
+    /// peer. [`RdtEndpoint::poll`] filters and calls this; a demux
+    /// ([`crate::demux::RdtDemux`]) that routes one shared socket to
+    /// many per-peer sessions calls it directly.
+    pub fn on_datagram(
+        &mut self,
+        stack: &mut NetStack,
+        now: u64,
+        data: &[u8],
+        events: &mut Vec<RdtEvent>,
+    ) -> Result<(), SocketError> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        match data[0] {
+            MSG_DATA if data.len() >= 9 => {
+                let seq = u64::from_le_bytes(crate::take_arr(data, 1));
+                if seq == self.expected {
+                    self.delivered.push_back(data[9..].to_vec());
+                    self.expected += 1;
+                    events.push(RdtEvent::Delivered);
+                    // Deliver any... go-back-N receiver has no
+                    // buffer: only in-order accepted.
+                }
+                // Always (re-)ack the cumulative frontier: acks for
+                // duplicates re-synchronize a sender whose ack was
+                // lost.
+                self.transmit_ack(stack)?;
+            }
+            MSG_ACK if data.len() >= 9 => {
+                let ack = u64::from_le_bytes(crate::take_arr(data, 1));
+                if ack > self.send_base {
+                    while self
+                        .unacked
+                        .front()
+                        .is_some_and(|(seq, _)| *seq < ack)
+                    {
+                        self.unacked.pop_front();
+                    }
+                    self.send_base = ack;
+                    self.timer_deadline = if self.unacked.is_empty() {
+                        None
+                    } else {
+                        Some(now + self.timeout)
+                    };
+                    events.push(RdtEvent::AckedUpTo(ack));
+                    self.pump(stack, now)?;
+                }
+            }
+            _ => {} // Malformed: drop.
+        }
+        Ok(())
     }
 
     /// Takes the next delivered in-order message.

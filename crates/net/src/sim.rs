@@ -4,6 +4,8 @@
 //! duplication, and reordering — driven by a seeded RNG. The transport's
 //! reliability spec is only meaningful against this adversary.
 
+use std::collections::HashMap;
+
 use veros_spec::rng::SpecRng;
 
 use crate::frame::{EthFrame, Mac};
@@ -57,6 +59,9 @@ impl From<veros_spec::fault::WireFaults> for FaultPlan {
 /// The simulated network: hosts + the wire between them.
 pub struct Network {
     hosts: Vec<NetStack>,
+    /// Unicast delivery index: destination MAC → host index, so a step
+    /// is O(frames) instead of O(frames × hosts). Broadcast still scans.
+    by_mac: HashMap<Mac, usize>,
     plan: FaultPlan,
     rng: SpecRng,
     in_flight: Vec<Vec<u8>>,
@@ -66,8 +71,9 @@ pub struct Network {
 
 impl Network {
     /// Creates a network of `n` hosts (host `i` gets `Mac::host(i)` and
-    /// `IpAddr::host(i)`), with full neighbour tables.
-    pub fn new(n: u8, plan: FaultPlan, seed: u64) -> Self {
+    /// `IpAddr::host(i)`), with full neighbour tables. Host counts are
+    /// 16-bit: fleet simulations address thousands of client hosts.
+    pub fn new(n: u16, plan: FaultPlan, seed: u64) -> Self {
         let mut hosts: Vec<NetStack> = (0..n)
             .map(|i| NetStack::new(Mac::host(i), IpAddr::host(i)))
             .collect();
@@ -79,8 +85,43 @@ impl Network {
                 }
             }
         }
+        let by_mac = hosts.iter().enumerate().map(|(i, h)| (h.mac(), i)).collect();
         Self {
             hosts,
+            by_mac,
+            plan,
+            rng: SpecRng::seeded(seed),
+            in_flight: Vec::new(),
+            delivered_frames: 0,
+            dropped_frames: 0,
+        }
+    }
+
+    /// Creates a fleet-shaped network of `n` hosts where only the first
+    /// `hubs` hosts (servers) need to be reachable by everyone. Each
+    /// client host (index ≥ `hubs`) learns the hub addresses and every
+    /// hub learns every host, so the neighbour fill is O(n·hubs) rather
+    /// than O(n²) — at a thousand clients the full fill is millions of
+    /// table entries that no client-to-client path ever uses.
+    pub fn new_fleet(n: u16, hubs: u16, plan: FaultPlan, seed: u64) -> Self {
+        let hubs = hubs.min(n);
+        let mut hosts: Vec<NetStack> = (0..n)
+            .map(|i| NetStack::new(Mac::host(i), IpAddr::host(i)))
+            .collect();
+        for i in 0..n as usize {
+            for j in 0..hubs as usize {
+                if i != j {
+                    let (ip, mac) = (hosts[j].ip(), hosts[j].mac());
+                    hosts[i].add_neighbor(ip, mac);
+                    let (ip, mac) = (hosts[i].ip(), hosts[i].mac());
+                    hosts[j].add_neighbor(ip, mac);
+                }
+            }
+        }
+        let by_mac = hosts.iter().enumerate().map(|(i, h)| (h.mac(), i)).collect();
+        Self {
+            hosts,
+            by_mac,
             plan,
             rng: SpecRng::seeded(seed),
             in_flight: Vec::new(),
@@ -135,6 +176,8 @@ impl Network {
         }
         // Deliver by destination MAC (broadcast goes everywhere except
         // the sender's own queue — we do not track sender, so everywhere).
+        // Unicast resolves through the MAC index: O(1) per frame, so a
+        // fleet-scale step is O(frames) rather than O(frames × hosts).
         for f in surviving {
             let Some(frame) = EthFrame::decode(&f) else {
                 self.dropped_frames += 1;
@@ -142,11 +185,14 @@ impl Network {
                 continue;
             };
             let mut hit = false;
-            for h in &mut self.hosts {
-                if frame.dst == h.mac() || frame.dst == Mac::BROADCAST {
+            if frame.dst == Mac::BROADCAST {
+                for h in &mut self.hosts {
                     h.nic.wire_deliver(f.clone());
                     hit = true;
                 }
+            } else if let Some(&i) = self.by_mac.get(&frame.dst) {
+                self.hosts[i].nic.wire_deliver(f.clone());
+                hit = true;
             }
             if hit {
                 self.delivered_frames += 1;

@@ -75,6 +75,13 @@ pub struct FaultSchedule {
     /// `Some(n)`: the first write past the crash boundary lands torn,
     /// with only its first `n` bytes reaching stable storage.
     pub torn_bytes: Option<usize>,
+    /// Multi-node victim selector: which member of a replication chain
+    /// this schedule kills, mapped onto a concrete chain by
+    /// [`Self::victim_of`]. The sweep walks it with the ordinal, so any
+    /// `chain_len` consecutive schedules kill every chain position at
+    /// least once — "loss of any single chain node" is covered, not
+    /// sampled.
+    pub victim: u32,
 }
 
 impl FaultSchedule {
@@ -82,6 +89,13 @@ impl FaultSchedule {
     /// (`0..=extent`), e.g. the number of cached disk writes to keep.
     pub fn crash_point(&self, extent: usize) -> usize {
         (extent * self.crash_milli as usize) / 1000
+    }
+
+    /// Maps the victim selector onto a chain of `chain_len` replicas:
+    /// the position (0 = head, `chain_len - 1` = tail) this schedule's
+    /// crash should take down.
+    pub fn victim_of(&self, chain_len: usize) -> usize {
+        self.victim as usize % chain_len.max(1)
     }
 
     /// Deterministically enumerates `count` schedules for an invariant
@@ -120,6 +134,7 @@ impl FaultSchedule {
                     wire,
                     crash_milli,
                     torn_bytes,
+                    victim: ordinal as u32,
                 }
             })
             .collect()
@@ -132,7 +147,7 @@ impl FaultSchedule {
             None => String::new(),
         };
         format!(
-            "schedule #{} (seed {:#018x}, loss {}/{}, dup {}/{}, reorder {}, crash @{}‰{})",
+            "schedule #{} (seed {:#018x}, loss {}/{}, dup {}/{}, reorder {}, crash @{}‰{}, victim {})",
             self.ordinal,
             self.seed,
             self.wire.loss.0,
@@ -141,7 +156,8 @@ impl FaultSchedule {
             self.wire.duplicate.1,
             self.wire.reorder,
             self.crash_milli,
-            torn
+            torn,
+            self.victim
         )
     }
 }
@@ -188,6 +204,21 @@ mod tests {
             assert!(f.crash_milli <= 1000);
             assert!(f.crash_point(100) <= 100);
         }
+    }
+
+    #[test]
+    fn victims_cover_every_chain_position() {
+        // Any chain the stack uses (M ≤ 8) has every position killed at
+        // least once by an 8-schedule sweep, and every window of M
+        // consecutive ordinals covers all M positions.
+        let s = FaultSchedule::sweep("victims", 5, 8);
+        for chain_len in 1..=8usize {
+            let hit: std::collections::BTreeSet<usize> =
+                s.iter().take(chain_len).map(|f| f.victim_of(chain_len)).collect();
+            assert_eq!(hit.len(), chain_len, "chain of {chain_len}");
+        }
+        // Degenerate chain length never panics.
+        assert_eq!(s[3].victim_of(0), 0);
     }
 
     #[test]

@@ -109,6 +109,16 @@ pub fn default_rules() -> Vec<Rule> {
             denominator: "uring.poller.sweeps",
             max_milli: 999,
         },
+        // Chain replication lag is bounded by one chain traversal plus
+        // wire retransmissions: a p99 past this means a head is
+        // forwarding into a wedged successor instead of a lossy wire
+        // (client op timeouts would fire long before).
+        Rule::P99AtMost { metric: "cluster.replication.lag", max: 2000 },
+        // Failover is local suspicion (op timeout + retry backoff) plus
+        // the coordinator's death deadline plus a shard sync; a p99
+        // beyond this ceiling means promotion wedged and clients are
+        // spinning on a dead chain, not riding out a view change.
+        Rule::P99AtMost { metric: "cluster.failover.time", max: 5000 },
         // The end-to-end invariant sweeps (INVARIANTS.md) must never
         // observe a violation outside a deliberate ablation: a tick here
         // means an acked write was lost, a message applied twice, a
@@ -301,6 +311,12 @@ mod tests {
         assert!(rules
             .iter()
             .any(|r| r.metric() == "uring.poller.fairness_deferrals"));
+        assert!(rules
+            .iter()
+            .any(|r| matches!(r, Rule::P99AtMost { metric: "cluster.replication.lag", .. })));
+        assert!(rules
+            .iter()
+            .any(|r| matches!(r, Rule::P99AtMost { metric: "cluster.failover.time", .. })));
         assert!(rules
             .iter()
             .any(|r| matches!(r, Rule::CounterAtMost { metric: "invariant.violations", max: 0 })));
